@@ -1,0 +1,77 @@
+// Ablation — energy-storage sizing: per-server UPS capacity, TES capacity,
+// and the no-TES configuration the paper discusses in Section V.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/datacenter.h"
+#include "util/table.h"
+#include "workload/yahoo_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::core;
+  const Config args = bench::parse_args(argc, argv);
+
+  workload::YahooTraceParams yp;
+  yp.burst_degree = 3.2;
+  yp.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(yp);
+
+  std::cout << "=== Ablation: UPS battery capacity (paper default 0.5 Ah"
+               " ~ 6 min at peak normal) ===\n";
+  TablePrinter ups({"Ah/server", "runtime @55W", "greedy perf", "min SoC",
+                    "sprint min"});
+  for (double ah : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+    DataCenterConfig config = bench::bench_config(args);
+    config.battery_per_server.capacity = Charge::amp_hours(ah);
+    DataCenter dc(config);
+    GreedyStrategy greedy;
+    const RunResult r = dc.run(trace, &greedy);
+    const Duration runtime =
+        config.battery_per_server.capacity.at_volts(
+            config.battery_per_server.bus_voltage) /
+        Power::watts(55.0);
+    ups.add_row(format_double(ah, 3),
+                {runtime.min(), r.performance_factor, r.min_ups_soc,
+                 r.sprint_time.min()});
+  }
+  ups.print(std::cout);
+
+  std::cout << "\n=== Ablation: TES capacity (paper default 12 min of"
+               " peak-normal cooling) ===\n";
+  TablePrinter tes({"TES minutes", "greedy perf", "min TES SoC", "sprint min"});
+  for (double minutes : {3.0, 6.0, 12.0, 24.0, 48.0}) {
+    DataCenterConfig config = bench::bench_config(args);
+    config.tes_capacity_minutes = minutes;
+    DataCenter dc(config);
+    GreedyStrategy greedy;
+    const RunResult r = dc.run(trace, &greedy);
+    tes.add_row(format_double(minutes, 0),
+                {r.performance_factor, r.min_tes_soc, r.sprint_time.min()});
+  }
+  tes.print(std::cout);
+
+  std::cout << "\n=== Ablation: no TES at all (Section V: sprinting still"
+               " works, shorter) ===\n";
+  {
+    DataCenterConfig with = bench::bench_config(args);
+    with.battery_per_server.capacity = Charge::amp_hours(2.0);
+    DataCenterConfig without = with;
+    without.has_tes = false;
+    workload::YahooTraceParams lp;
+    lp.length = Duration::minutes(32);
+    lp.burst_degree = 3.2;
+    lp.burst_duration = Duration::minutes(24);
+    const TimeSeries long_trace = workload::generate_yahoo_trace(lp);
+    ConstantBoundStrategy bound(2.4);
+    const RunResult rw = DataCenter(with).run(long_trace, &bound);
+    const RunResult ro = DataCenter(without).run(long_trace, &bound);
+    TablePrinter t({"config", "perf", "sprint min", "peak room C"});
+    t.add_row("with TES", {rw.performance_factor, rw.sprint_time.min(),
+                           rw.peak_room_temperature.c()});
+    t.add_row("no TES", {ro.performance_factor, ro.sprint_time.min(),
+                         ro.peak_room_temperature.c()});
+    t.print(std::cout);
+  }
+  return 0;
+}

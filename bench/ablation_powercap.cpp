@@ -1,0 +1,42 @@
+// Ablation — Data Center Sprinting vs conventional power capping (the
+// related-work family the paper contrasts itself against in Section II:
+// capping never exceeds a rating and uses no stored energy, so it can only
+// harvest the provisioning slack).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/datacenter.h"
+#include "util/table.h"
+#include "workload/yahoo_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::core;
+  const Config args = bench::parse_args(argc, argv);
+  DataCenter dc(bench::bench_config(args));
+
+  std::cout << "=== Ablation: sprinting vs power capping vs no sprint ===\n";
+  TablePrinter table({"burst degree", "no-sprint", "DVFS-capped",
+                      "core-capped", "DCS greedy", "uncontrolled"});
+  for (double degree : {1.5, 2.0, 2.6, 3.2, 3.6}) {
+    workload::YahooTraceParams p;
+    p.burst_degree = degree;
+    p.burst_duration = Duration::minutes(10);
+    const TimeSeries trace = workload::generate_yahoo_trace(p);
+    GreedyStrategy greedy;
+    table.add_row(
+        format_double(degree, 1),
+        {dc.run(trace, nullptr, {.mode = Mode::kNoSprint}).performance_factor,
+         dc.run(trace, nullptr, {.mode = Mode::kDvfsCapped}).performance_factor,
+         dc.run(trace, nullptr, {.mode = Mode::kPowerCapped}).performance_factor,
+         dc.run(trace, &greedy).performance_factor,
+         dc.run(trace, nullptr, {.mode = Mode::kUncontrolled})
+             .performance_factor});
+  }
+  table.print(std::cout);
+  std::cout << "\nDVFS capping (cubic power cost) trails even core capping"
+               " within the ratings; DCS\ntemporarily exceeds the ratings"
+               " safely; uncontrolled chip-level sprinting trips\nbreakers"
+               " and collapses.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — zonal (non-uniform) sprinting: bursts concentrated on a few
+// PDU groups, coordinated with the paper's Section V-B parent/child breaker
+// rule. Shows the fairness split when zones compete and the advantage of a
+// concentrated burst (idle neighbours' substation budget flows to it).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/zonal_controller.h"
+#include "util/table.h"
+#include "workload/yahoo_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::core;
+  const Config args = bench::parse_args(argc, argv);
+  DataCenterConfig config = bench::bench_config(args);
+
+  std::cout << "=== Zonal sprinting (Section V-B CB coordination) ===\n";
+
+  workload::YahooTraceParams hot_p;
+  hot_p.burst_degree = 4.0;
+  hot_p.burst_duration = Duration::minutes(10);
+  const TimeSeries hot = workload::generate_yahoo_trace(hot_p);
+  TimeSeries idle;
+  idle.push_back(Duration::zero(), 0.4);
+  idle.push_back(hot.end_time(), 0.4);
+
+  std::cout << "\n--- one hot zone (4.0x/10min), neighbours idle ---\n";
+  TablePrinter t1({"hot-zone PDUs / total", "hot perf", "idle perf",
+                   "total perf", "sprint min"});
+  for (std::size_t hot_pdus : {1u, 2u, 4u}) {
+    config.fleet.pdu_count = 8;
+    ZonalController ctl(config, {{hot_pdus, &hot}, {8 - hot_pdus, &idle}});
+    const ZonalRunResult r = ctl.run();
+    t1.add_row(std::to_string(hot_pdus) + "/8",
+               {r.performance_factor[0], r.performance_factor[1],
+                r.total_performance_factor, r.sprint_time.min()});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n--- two zones competing (heavy 3.6x vs light 2.0x,"
+               " 15 min, zero headroom) ---\n";
+  config.fleet.pdu_count = 8;
+  config.dc_headroom = 0.0;
+  workload::YahooTraceParams heavy_p, light_p;
+  heavy_p.burst_degree = 3.6;
+  heavy_p.burst_duration = Duration::minutes(15);
+  light_p.burst_degree = 2.0;
+  light_p.burst_duration = Duration::minutes(15);
+  light_p.seed = 0x777;
+  const TimeSeries heavy = workload::generate_yahoo_trace(heavy_p);
+  const TimeSeries light = workload::generate_yahoo_trace(light_p);
+  ZonalController competing(config, {{4, &heavy}, {4, &light}});
+  const ZonalRunResult r = competing.run();
+  TablePrinter t2({"zone", "burst", "perf"});
+  t2.add_row({"heavy", "3.6x / 15 min", format_double(r.performance_factor[0], 3)});
+  t2.add_row({"light", "2.0x / 15 min", format_double(r.performance_factor[1], 3)});
+  t2.print(std::cout);
+  std::cout << "\nMax-min fairness: the light zone is served in full before"
+               " the heavy zone's excess\nis granted; no breaker trips even"
+               " at zero headroom.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+
+#include "core/config.h"
+#include "util/config.h"
+#include "util/csv.h"
+#include "util/time_series.h"
+
+namespace dcs::bench {
+
+/// Parses "key=value" command-line arguments.
+inline Config parse_args(int argc, char** argv) {
+  return Config::from_args(
+      std::span<const char* const>(argv + 1, static_cast<std::size_t>(argc - 1)));
+}
+
+/// The default experiment configuration: the paper's data center, simulated
+/// with a small PDU count (results are invariant to it, see
+/// core/datacenter.h) so every bench finishes in seconds.
+inline core::DataCenterConfig bench_config(const Config& args) {
+  core::DataCenterConfig config;
+  config.fleet.pdu_count =
+      static_cast<std::size_t>(args.get_int("pdus", 8));
+  config.dc_headroom = args.get_double("dc_headroom", 0.10);
+  config.pue = args.get_double("pue", 1.53);
+  return config;
+}
+
+/// Writes a time series as CSV ("time_s,value") under csv=<dir> if given.
+inline void maybe_export_csv(const Config& args, const std::string& name,
+                             const TimeSeries& series) {
+  const std::string dir = args.get_string("csv", "");
+  if (dir.empty()) return;
+  std::ofstream out(dir + "/" + name + ".csv");
+  if (!out) {
+    std::cerr << "cannot write CSV to " << dir << "/" << name << ".csv\n";
+    return;
+  }
+  CsvWriter csv(out);
+  csv.write_row({"time_s", "value"});
+  for (const Sample& s : series.samples()) {
+    csv.write_numeric_row({s.time.sec(), s.value});
+  }
+  std::cout << "[csv] wrote " << dir << "/" << name << ".csv\n";
+}
+
+}  // namespace dcs::bench

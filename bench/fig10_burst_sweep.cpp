@@ -1,0 +1,65 @@
+// Figure 10 — average performance of the four strategies on Yahoo-style
+// bursts: degree 2.6-3.6, durations 5 min (Fig. 10a) and 15 min (Fig. 10b),
+// zero estimation error.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/heuristic_strategy.h"
+#include "core/oracle.h"
+#include "core/prediction_strategy.h"
+#include "util/table.h"
+#include "workload/predictor.h"
+#include "workload/yahoo_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::core;
+  const Config args = bench::parse_args(argc, argv);
+  DataCenter dc(bench::bench_config(args));
+
+  std::cout << "=== Figure 10: strategies vs burst degree and duration ===\n";
+
+  const std::vector<Duration> durations = {
+      Duration::minutes(1), Duration::minutes(5), Duration::minutes(10),
+      Duration::minutes(15), Duration::minutes(25)};
+  const std::vector<double> degrees = {1.5, 2.0, 2.6, 3.0, 3.6};
+  const UpperBoundTable table = build_upper_bound_table(
+      dc, durations, degrees, workload::YahooTraceParams{}, 4);
+  const double budget = dc.budget_degree_seconds();
+
+  for (double minutes : {5.0, 15.0}) {
+    std::cout << "\n--- Fig. 10" << (minutes == 5.0 ? "a" : "b") << ": "
+              << format_double(minutes, 0) << "-minute bursts ---\n";
+    TablePrinter out({"burst degree", "G", "P", "H", "O"});
+    for (double degree = 2.6; degree <= 3.6 + 1e-9; degree += 0.2) {
+      workload::YahooTraceParams p;
+      p.burst_degree = degree;
+      p.burst_duration = Duration::minutes(minutes);
+      const TimeSeries trace = workload::generate_yahoo_trace(p);
+      const workload::BurstTruth truth = workload::measure_burst_truth(trace);
+
+      GreedyStrategy greedy;
+      const double g = dc.run(trace, &greedy).performance_factor;
+
+      const OracleResult oracle = oracle_search(dc, trace, 2);
+      ConstantBoundStrategy ob(oracle.best_bound, "oracle");
+      const RunResult orun = dc.run(trace, &ob);
+
+      PredictionStrategy prediction(truth.duration, &table);
+      HeuristicStrategy heuristic(orun.avg_sprint_degree, budget);
+
+      out.add_row(format_double(degree, 1),
+                  {g, dc.run(trace, &prediction).performance_factor,
+                   dc.run(trace, &heuristic).performance_factor,
+                   oracle.best_performance});
+    }
+    out.print(std::cout);
+  }
+
+  std::cout << "\nPaper: 5-min bursts -> Greedy matches Oracle; 15-min"
+               " bursts -> Greedy significantly degraded,\nPrediction >"
+               " Heuristic > Greedy; overall Yahoo band 1.75-2.45 (ours is"
+               " slightly lower, see EXPERIMENTS.md).\n";
+  return 0;
+}

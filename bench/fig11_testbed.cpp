@@ -1,0 +1,56 @@
+// Figure 11 — the hardware-testbed experiment (emulated):
+// (a) power split between breaker and UPS under the reserved-trip-time
+//     policy;
+// (b) total sustained time vs reserved trip time, compared to the CB-First
+//     baseline and the CB-only reference.
+#include <iostream>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::testbed;
+  const Config args = bench::parse_args(argc, argv);
+
+  std::cout << "=== Figure 11: hardware testbed (emulated) ===\n";
+  Testbed tb(TestbedParams{});
+  const TimeSeries util = reference_utilization();
+
+  // Fig. 11a: power curve with a 10 s reserved trip time.
+  const TestbedOutcome curve =
+      tb.run(util, Policy::kReservedTripTime, Duration::seconds(10));
+  std::cout << "\nFig. 11a: power split, reserved trip time = 10 s"
+               " (10 s resolution):\n";
+  TablePrinter pw({"t (s)", "total W", "CB W", "UPS W"});
+  for (double t = 0.0; t < curve.sustained.sec(); t += 10.0) {
+    pw.add_row(format_double(t, 0),
+               {curve.total_power_w.at(Duration::seconds(t)),
+                curve.cb_power_w.at(Duration::seconds(t)),
+                curve.ups_power_w.at(Duration::seconds(t))},
+               0);
+  }
+  pw.print(std::cout);
+  bench::maybe_export_csv(args, "fig11a_cb_power", curve.cb_power_w);
+
+  // Fig. 11b: sustained time vs reserved trip time.
+  const TestbedOutcome cb_only = tb.run(util, Policy::kCbOnly);
+  const TestbedOutcome cb_first = tb.run(util, Policy::kCbFirst);
+  std::cout << "\nFig. 11b: sustained time vs reserved trip time:\n";
+  TablePrinter st({"reserved (s)", "ours (s)", "CB First (s)"});
+  for (double reserve : {10.0, 20.0, 30.0, 45.0, 60.0, 90.0}) {
+    const TestbedOutcome ours =
+        tb.run(util, Policy::kReservedTripTime, Duration::seconds(reserve));
+    st.add_row(format_double(reserve, 0),
+               {ours.sustained.sec(), cb_first.sustained.sec()}, 0);
+  }
+  st.print(std::cout);
+  std::cout << "\nCB-only (no UPS) trips after "
+            << format_double(cb_only.sustained.sec(), 0)
+            << " s (paper: 65 s, ~26% of the coordinated sustained time).\n"
+            << "Paper: an intermediate reserve (~30 s) maximizes the"
+               " sustained time, and ours\noutlasts CB First (by 14 s on"
+               " their hardware).\n";
+  return 0;
+}

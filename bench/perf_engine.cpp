@@ -1,0 +1,82 @@
+// Simulator performance microbenchmarks (google-benchmark): the cost of the
+// inner loops — breaker thermal stepping, fleet operating-point solving,
+// one controller step, and a full 30-minute experiment run.
+#include <benchmark/benchmark.h>
+
+#include "compute/fleet.h"
+#include "core/datacenter.h"
+#include "core/oracle.h"
+#include "power/circuit_breaker.h"
+#include "workload/ms_trace.h"
+
+namespace {
+
+using namespace dcs;
+
+void BM_BreakerStep(benchmark::State& state) {
+  power::CircuitBreaker cb("cb", {.rated = Power::kilowatts(13.75)});
+  const Power load = Power::kilowatts(15.0);
+  for (auto _ : state) {
+    cb.apply_load(load, Duration::seconds(1));
+    if (cb.tripped()) cb.reset();
+    benchmark::DoNotOptimize(cb.thermal_state());
+  }
+}
+BENCHMARK(BM_BreakerStep);
+
+void BM_FleetOperate(benchmark::State& state) {
+  const compute::Fleet fleet;
+  double demand = 0.5;
+  for (auto _ : state) {
+    demand = demand > 3.5 ? 0.5 : demand + 0.1;
+    benchmark::DoNotOptimize(fleet.operate(demand, 4.0));
+  }
+}
+BENCHMARK(BM_FleetOperate);
+
+void BM_ControllerStep(benchmark::State& state) {
+  core::DataCenterConfig config;
+  config.fleet.pdu_count = static_cast<std::size_t>(state.range(0));
+  compute::Fleet fleet(config.fleet);
+  power::PowerTopology topology(config.topology_params());
+  thermal::TesTank tes("tes", config.tes_params());
+  thermal::CoolingPlant cooling(config.cooling_params(&tes));
+  thermal::RoomModel room(config.room_params());
+  core::GreedyStrategy greedy;
+  core::SprintingController controller(
+      config, {&fleet, &topology, &cooling, &tes, &room}, &greedy,
+      core::Mode::kControlled);
+  Duration now = Duration::zero();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.step(now, 2.5, Duration::seconds(1)));
+    now += Duration::seconds(1);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(config.fleet.pdu_count));
+}
+BENCHMARK(BM_ControllerStep)->Arg(1)->Arg(8)->Arg(64)->Arg(909);
+
+void BM_FullMsRun(benchmark::State& state) {
+  core::DataCenterConfig config;
+  config.fleet.pdu_count = static_cast<std::size_t>(state.range(0));
+  core::DataCenter dc(config);
+  const TimeSeries trace = workload::generate_ms_trace();
+  core::GreedyStrategy greedy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dc.run(trace, &greedy));
+  }
+}
+BENCHMARK(BM_FullMsRun)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_OracleSearch(benchmark::State& state) {
+  core::DataCenterConfig config;
+  config.fleet.pdu_count = 2;
+  core::DataCenter dc(config);
+  const TimeSeries trace = workload::generate_ms_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::oracle_search(dc, trace, 6));
+  }
+}
+BENCHMARK(BM_OracleSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace

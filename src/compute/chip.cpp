@@ -1,0 +1,50 @@
+#include "compute/chip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs::compute {
+
+Chip::Chip(const Params& params) : params_(params) {
+  DCS_REQUIRE(params_.total_cores > 0, "chip needs cores");
+  DCS_REQUIRE(params_.normal_cores > 0 && params_.normal_cores <= params_.total_cores,
+              "normal cores must be in [1, total]");
+  DCS_REQUIRE(params_.base >= Power::zero(), "base power must be non-negative");
+  DCS_REQUIRE(params_.per_core > Power::zero(), "per-core power must be positive");
+  DCS_REQUIRE(params_.active_idle_fraction >= 0.0 && params_.active_idle_fraction <= 1.0,
+              "active idle fraction in [0, 1]");
+}
+
+Power Chip::power(std::size_t active, double util) const {
+  DCS_REQUIRE(active <= params_.total_cores, "more active cores than exist");
+  DCS_REQUIRE(util >= 0.0 && util <= 1.0, "utilization in [0, 1]");
+  const double idle = params_.active_idle_fraction;
+  const double per_core_share = idle + (1.0 - idle) * util;
+  return params_.base +
+         params_.per_core * (static_cast<double>(active) * per_core_share);
+}
+
+Power Chip::peak_power() const { return power(params_.total_cores, 1.0); }
+
+Power Chip::normal_peak_power() const { return power(params_.normal_cores, 1.0); }
+
+double Chip::max_sprint_degree() const noexcept {
+  return static_cast<double>(params_.total_cores) /
+         static_cast<double>(params_.normal_cores);
+}
+
+std::size_t Chip::cores_for_degree(double degree) const {
+  DCS_REQUIRE(degree >= 0.0, "degree must be non-negative");
+  const double cores = degree * static_cast<double>(params_.normal_cores);
+  const auto n = static_cast<std::size_t>(std::ceil(cores - 1e-9));
+  return std::min(n, params_.total_cores);
+}
+
+double Chip::degree_for_cores(std::size_t active) const {
+  DCS_REQUIRE(active <= params_.total_cores, "more active cores than exist");
+  return static_cast<double>(active) / static_cast<double>(params_.normal_cores);
+}
+
+}  // namespace dcs::compute

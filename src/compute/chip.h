@@ -1,0 +1,52 @@
+// Many-core chip power model after Intel's 48-core Single-chip Cloud
+// Computer [14], the paper's Section VI-A configuration: 125 W fully
+// utilized, 2.5 W per fully-utilized core, 5 W with every core inactive.
+// Normally only 12 of the 48 cores are active (dark silicon); chip-level
+// sprinting turns more on.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.h"
+
+namespace dcs::compute {
+
+class Chip {
+ public:
+  struct Params {
+    std::size_t total_cores = 48;
+    std::size_t normal_cores = 12;
+    /// Chip power with all cores inactive.
+    Power base = Power::watts(5.0);
+    /// Additional power of one fully-utilized core.
+    Power per_core = Power::watts(2.5);
+    /// Fraction of per-core power an active-but-idle core draws. The paper's
+    /// model charges cores only when utilized; 0 reproduces it exactly.
+    double active_idle_fraction = 0.0;
+  };
+
+  Chip() : Chip(Params{}) {}
+  explicit Chip(const Params& params);
+
+  /// Chip power with `active` cores on, each at average utilization `util`.
+  [[nodiscard]] Power power(std::size_t active, double util) const;
+
+  /// Power with every core active and fully utilized (sprint peak).
+  [[nodiscard]] Power peak_power() const;
+  /// Power with the normal core count fully utilized.
+  [[nodiscard]] Power normal_peak_power() const;
+
+  /// Maximum sprinting degree = total / normal cores.
+  [[nodiscard]] double max_sprint_degree() const noexcept;
+  /// Active cores corresponding to a sprinting degree (rounded up, clamped).
+  [[nodiscard]] std::size_t cores_for_degree(double degree) const;
+  /// Sprinting degree corresponding to a core count.
+  [[nodiscard]] double degree_for_cores(std::size_t active) const;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace dcs::compute

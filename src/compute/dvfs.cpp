@@ -1,0 +1,37 @@
+#include "compute/dvfs.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/interpolate.h"
+
+namespace dcs::compute {
+
+DvfsModel::DvfsModel(const Params& params) : params_(params) {
+  DCS_REQUIRE(params_.min_multiplier > 0.0, "min multiplier must be positive");
+  DCS_REQUIRE(params_.max_multiplier >= params_.min_multiplier,
+              "max multiplier below min");
+  DCS_REQUIRE(params_.dynamic_exponent >= 1.0, "dynamic exponent >= 1");
+}
+
+double DvfsModel::power_multiplier(double frequency) const {
+  DCS_REQUIRE(frequency >= params_.min_multiplier &&
+                  frequency <= params_.max_multiplier,
+              "frequency outside the DVFS range");
+  return std::pow(frequency, params_.dynamic_exponent);
+}
+
+double DvfsModel::max_frequency_for(double power_budget) const {
+  DCS_REQUIRE(power_budget >= 0.0, "power budget must be non-negative");
+  const double f = std::pow(power_budget, 1.0 / params_.dynamic_exponent);
+  return clamp(f, params_.min_multiplier, params_.max_multiplier);
+}
+
+double DvfsModel::performance(double frequency) const {
+  DCS_REQUIRE(frequency >= params_.min_multiplier &&
+                  frequency <= params_.max_multiplier,
+              "frequency outside the DVFS range");
+  return frequency;
+}
+
+}  // namespace dcs::compute

@@ -1,0 +1,69 @@
+#include "compute/fleet.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::compute {
+
+Fleet::Fleet(const Params& params)
+    : params_(params), server_(params.server), throughput_(params.throughput) {
+  DCS_REQUIRE(params_.servers_per_pdu > 0, "servers per PDU must be positive");
+  DCS_REQUIRE(params_.pdu_count > 0, "PDU count must be positive");
+  DCS_REQUIRE(params_.throughput.normal_cores == params_.server.chip.normal_cores,
+              "throughput model and chip must agree on the normal core count");
+}
+
+std::size_t Fleet::server_count() const noexcept {
+  return params_.servers_per_pdu * params_.pdu_count;
+}
+
+double Fleet::capacity(double degree_cap) const {
+  DCS_REQUIRE(degree_cap >= 0.0, "degree cap must be non-negative");
+  const Chip& chip = server_.chip();
+  const double capped = std::min(degree_cap, chip.max_sprint_degree());
+  const std::size_t cores = chip.cores_for_degree(capped);
+  return throughput_.throughput(std::max<std::size_t>(cores, 1));
+}
+
+Fleet::Operation Fleet::operate(double demand, double degree_cap) const {
+  DCS_REQUIRE(demand >= 0.0, "demand must be non-negative");
+  DCS_REQUIRE(degree_cap >= 1.0, "degree cap must be at least 1 (normal cores stay on)");
+  const Chip& chip = server_.chip();
+  const std::size_t normal = chip.params().normal_cores;
+  const std::size_t cap_cores =
+      std::max(normal, chip.cores_for_degree(
+                           std::min(degree_cap, chip.max_sprint_degree())));
+  // Activate just enough cores for the demand, never below normal, never
+  // above the strategy's bound.
+  const std::size_t want = throughput_.cores_for_demand(demand);
+  const std::size_t active = std::clamp(want, normal, cap_cores);
+  return operate_with_cores(demand, active);
+}
+
+Fleet::Operation Fleet::operate_with_cores(double demand,
+                                           std::size_t active_cores) const {
+  const Chip& chip = server_.chip();
+  DCS_REQUIRE(active_cores >= 1 && active_cores <= chip.params().total_cores,
+              "active core count out of range");
+  Operation op;
+  op.active_cores = active_cores;
+  op.degree = chip.degree_for_cores(active_cores);
+  const double cap = throughput_.throughput(active_cores);
+  op.achieved = std::min(demand, cap);
+  op.utilization = cap > 0.0 ? op.achieved / cap : 0.0;
+  op.per_server = server_.power(active_cores, op.utilization);
+  op.per_pdu = op.per_server * static_cast<double>(params_.servers_per_pdu);
+  op.fleet_total = op.per_pdu * static_cast<double>(params_.pdu_count);
+  return op;
+}
+
+Power Fleet::peak_normal_power() const {
+  return server_.peak_normal_power() * static_cast<double>(server_count());
+}
+
+Power Fleet::peak_sprint_power() const {
+  return server_.peak_sprint_power() * static_cast<double>(server_count());
+}
+
+}  // namespace dcs::compute

@@ -1,0 +1,69 @@
+// The homogeneous server fleet: translates a normalized workload demand and
+// a sprinting-degree decision into active cores, utilization, achieved
+// throughput and electrical power at server / PDU / fleet granularity.
+//
+// Normalization convention (paper Section VI/VII): demand and throughput are
+// expressed relative to the fleet's capacity with the normal core count
+// (demand 1.0 = "peak computing performance without sprinting").
+#pragma once
+
+#include <cstddef>
+
+#include "compute/server.h"
+#include "compute/throughput_model.h"
+#include "util/units.h"
+
+namespace dcs::compute {
+
+class Fleet {
+ public:
+  struct Params {
+    Server::Params server{};
+    ThroughputModel::Params throughput{};
+    std::size_t servers_per_pdu = 200;
+    std::size_t pdu_count = 909;
+  };
+
+  /// The fleet's operating point for one control step.
+  struct Operation {
+    std::size_t active_cores = 0;  ///< per server
+    double degree = 1.0;           ///< active / normal cores
+    double utilization = 0.0;      ///< average utilization of active cores
+    double achieved = 0.0;         ///< normalized throughput delivered
+    Power per_server;
+    Power per_pdu;
+    Power fleet_total;
+  };
+
+  Fleet() : Fleet(Params{}) {}
+  explicit Fleet(const Params& params);
+
+  /// Serves `demand` (normalized) with the sprinting degree capped at
+  /// `degree_cap` (>= 1). Activates only as many cores as the demand needs
+  /// (the real sprinting degree can be lower than the bound, Section IV-A).
+  [[nodiscard]] Operation operate(double demand, double degree_cap) const;
+
+  /// Operating point with an explicit per-server active-core count.
+  [[nodiscard]] Operation operate_with_cores(double demand,
+                                             std::size_t active_cores) const;
+
+  /// Normalized capacity at a given degree cap.
+  [[nodiscard]] double capacity(double degree_cap) const;
+
+  /// Fleet-wide power at the normal peak (degree 1, fully utilized).
+  [[nodiscard]] Power peak_normal_power() const;
+  /// Fleet-wide power ceiling with every core on and utilized.
+  [[nodiscard]] Power peak_sprint_power() const;
+
+  [[nodiscard]] std::size_t server_count() const noexcept;
+  [[nodiscard]] const Server& server() const noexcept { return server_; }
+  [[nodiscard]] const ThroughputModel& throughput() const noexcept { return throughput_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  Server server_;
+  ThroughputModel throughput_;
+};
+
+}  // namespace dcs::compute

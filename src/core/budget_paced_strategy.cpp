@@ -1,0 +1,81 @@
+#include "core/budget_paced_strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "workload/burst.h"
+
+namespace dcs::core {
+
+BudgetPacedStrategy::BudgetPacedStrategy(const TimeSeries& demand,
+                                         const DataCenterConfig& config) {
+  DCS_REQUIRE(!demand.empty(), "planner needs a demand trace");
+  const workload::BurstStats stats = workload::analyze_bursts(demand, 1.0);
+  if (stats.over_capacity_time <= Duration::zero()) {
+    cap_ = 1.0;  // nothing to plan
+    return;
+  }
+  // Plan for the longest contiguous episode: the pools recharge (slowly)
+  // between episodes, so per-episode planning is the right granularity for
+  // multi-burst traces; for a single burst this equals the total.
+  const Duration burst = stats.longest_burst;
+  const double burst_demand = std::max(1.0, stats.mean_burst_demand);
+
+  const compute::Fleet fleet(config.fleet);
+  const compute::Chip& chip = fleet.server().chip();
+  const std::size_t normal = chip.params().normal_cores;
+  const std::size_t total = chip.params().total_cores;
+  const auto n_pdus = static_cast<double>(config.fleet.pdu_count);
+  const auto servers = static_cast<double>(config.fleet.servers_per_pdu);
+
+  // Stored-energy pools (a small exhaustion margin mirrors the controller's
+  // 2 % cut-off).
+  const Energy ups_per_pdu =
+      config.battery_per_server.capacity.at_volts(
+          config.battery_per_server.bus_voltage) *
+      servers * 0.98;
+  const Energy tes = config.has_tes
+                         ? config.tes_params().capacity * 0.98
+                         : Energy::zero();
+  // Sustained breaker floor: the no-trip ratio holds indefinitely.
+  const Power pdu_floor = config.pdu_rated() * config.trip_curve.no_trip_ratio;
+  const Power thermal_cap = config.fleet_peak_normal();
+  const Duration t_act = config.tes_activation_time();
+
+  double best_value = -1.0;
+  for (std::size_t cores = normal; cores <= total; ++cores) {
+    const double b = chip.degree_for_cores(cores);
+    const double thr =
+        std::min(fleet.throughput().throughput(cores), burst_demand);
+    // During the burst the demand exceeds the cap's capacity, so the active
+    // cores run fully utilized.
+    const Power per_pdu = fleet.server().power(cores, 1.0) * servers;
+
+    Duration dur = burst;
+    const Power ups_rate =
+        per_pdu > pdu_floor ? per_pdu - pdu_floor : Power::zero();
+    if (ups_rate > Power::zero()) {
+      dur = std::min(dur, ups_per_pdu / ups_rate);
+    }
+    const Power fleet_power = per_pdu * n_pdus;
+    const Power excess =
+        fleet_power > thermal_cap ? fleet_power - thermal_cap : Power::zero();
+    if (excess > Power::zero()) {
+      dur = std::min(dur, config.has_tes ? t_act + tes / excess : t_act);
+    }
+    // Served throughput: thr while the sprint lasts, the normal capacity
+    // for the remainder of the burst after exhaustion.
+    const double value = thr * dur.sec() + 1.0 * (burst - dur).sec();
+    if (value > best_value) {
+      best_value = value;
+      cap_ = b;
+      duration_ = dur;
+    }
+  }
+}
+
+double BudgetPacedStrategy::upper_bound(const SprintContext& ctx) {
+  return std::clamp(cap_, 1.0, ctx.max_degree);
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,47 @@
+// Budget-paced planner — the paper's future-work direction ("formulate
+// optimization problems to minimize the performance degradation",
+// Section V-A) made concrete.
+//
+// For a burst served at a constant degree cap b, the drain rates of the two
+// stored-energy pools have closed forms:
+//   * the UPS banks carry the per-PDU power above the breakers' sustained
+//     floor (the no-trip ratio), so dur_ups(b) = E_ups / ups_rate(b);
+//   * the TES absorbs the heat above the chiller's thermal capacity from
+//     its activation time on, so dur_tes(b) = t_act + E_tes / excess(b);
+// and the sprint ends when either pool empties (Section IV-A). The planner
+// therefore evaluates, for every candidate cap, the sustained duration
+//   T(b) = min(dur_ups, dur_tes, burst duration)
+// and the resulting average throughput min(thr(b), burst demand) * T(b) +
+// 1 * (burst - T(b)), picking the best cap — an O(cores) closed-form
+// computation that lands within a few percent of the Oracle's exhaustive
+// simulation sweep.
+#pragma once
+
+#include "compute/fleet.h"
+#include "core/config.h"
+#include "core/strategy.h"
+#include "util/time_series.h"
+
+namespace dcs::core {
+
+class BudgetPacedStrategy final : public Strategy {
+ public:
+  /// Plans against `demand` for the data center described by `config`.
+  BudgetPacedStrategy(const TimeSeries& demand, const DataCenterConfig& config);
+
+  [[nodiscard]] double upper_bound(const SprintContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "budget-paced";
+  }
+
+  /// The cap the plan selected.
+  [[nodiscard]] double planned_cap() const noexcept { return cap_; }
+  /// The sustained sprint duration the plan expects at that cap.
+  [[nodiscard]] Duration planned_duration() const noexcept { return duration_; }
+
+ private:
+  double cap_ = 1.0;
+  Duration duration_ = Duration::zero();
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,47 @@
+#include "core/cb_budget.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+std::vector<Power> allocate_cb_budget(
+    Power parent_allow, const std::vector<CbBudgetRequest>& children) {
+  DCS_REQUIRE(parent_allow >= Power::zero(), "parent bound must be non-negative");
+  std::vector<Power> wants;
+  wants.reserve(children.size());
+  Power total = Power::zero();
+  for (const CbBudgetRequest& c : children) {
+    DCS_REQUIRE(c.demand >= Power::zero(), "demand must be non-negative");
+    DCS_REQUIRE(c.child_allow >= Power::zero(), "child bound must be non-negative");
+    wants.push_back(std::min(c.demand, c.child_allow));
+    total += wants.back();
+  }
+  if (total <= parent_allow) return wants;  // everyone fits
+
+  // Max-min fairness: find the water level L such that
+  // sum(min(want_i, L)) == parent_allow, by sweeping the sorted wants.
+  std::vector<Power> sorted = wants;
+  std::sort(sorted.begin(), sorted.end());
+  Power granted_below = Power::zero();
+  Power level = Power::zero();
+  std::size_t remaining = sorted.size();
+  for (std::size_t i = 0; i < sorted.size(); ++i, --remaining) {
+    // Everyone still above the level shares what is left equally.
+    const Power candidate =
+        (parent_allow - granted_below) / static_cast<double>(remaining);
+    if (candidate <= sorted[i]) {
+      level = candidate;
+      break;
+    }
+    granted_below += sorted[i];
+    level = sorted[i];
+  }
+  std::vector<Power> grants;
+  grants.reserve(wants.size());
+  for (const Power w : wants) grants.push_back(std::min(w, level));
+  return grants;
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,95 @@
+#include "core/config.h"
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+Power DataCenterConfig::server_peak_normal() const {
+  return compute::Server(fleet.server).peak_normal_power();
+}
+
+Power DataCenterConfig::fleet_peak_normal() const {
+  return compute::Fleet(fleet).peak_normal_power();
+}
+
+Power DataCenterConfig::fleet_peak_sprint() const {
+  return compute::Fleet(fleet).peak_sprint_power();
+}
+
+Power DataCenterConfig::total_peak_normal() const {
+  return fleet_peak_normal() * pue;
+}
+
+Power DataCenterConfig::pdu_rated() const {
+  return server_peak_normal() *
+         static_cast<double>(fleet.servers_per_pdu) * (1.0 + pdu_headroom);
+}
+
+Power DataCenterConfig::dc_rated() const {
+  return total_peak_normal() * (1.0 + dc_headroom);
+}
+
+Duration DataCenterConfig::tes_activation_time() const {
+  // Section V-C: "5 minute x normal peak server power / maximum additional
+  // server power" — the CFD gap scales with the additional heat.
+  const Power normal = fleet_peak_normal();
+  const Power additional = fleet_peak_sprint() - normal;
+  DCS_ENSURE(additional > Power::zero(), "sprinting adds no power?");
+  return tes_rule_base * (normal / additional);
+}
+
+power::PowerTopology::Params DataCenterConfig::topology_params() const {
+  power::PowerTopology::Params p;
+  p.pdu_count = fleet.pdu_count;
+  p.pdu.server_count = fleet.servers_per_pdu;
+  p.pdu.breaker.rated = pdu_rated();
+  p.pdu.breaker.curve = power::TripCurve{trip_curve};
+  p.pdu.breaker.cooling_tau = cb_cooling_tau;
+  p.pdu.battery_per_server = battery_per_server;
+  p.dc_breaker.rated = dc_rated();
+  p.dc_breaker.curve = power::TripCurve{trip_curve};
+  p.dc_breaker.cooling_tau = cb_cooling_tau;
+  return p;
+}
+
+thermal::TesTank::Params DataCenterConfig::tes_params() const {
+  thermal::TesTank::Params p;
+  p.capacity = fleet_peak_normal() * Duration::minutes(tes_capacity_minutes);
+  return p;
+}
+
+thermal::CoolingPlant::Params DataCenterConfig::cooling_params(
+    thermal::TesTank* tes) const {
+  thermal::CoolingPlant::Params p;
+  p.pue = pue;
+  p.chiller_fraction = chiller_fraction;
+  p.nominal_it_load = fleet_peak_normal();
+  p.tes = tes;
+  return p;
+}
+
+thermal::RoomModel::Params DataCenterConfig::room_params() const {
+  thermal::RoomModel::Params p = room;
+  p.calibration_power = fleet_peak_normal();
+  return p;
+}
+
+void DataCenterConfig::validate() const {
+  DCS_REQUIRE(pue > 1.0, "PUE must exceed 1");
+  DCS_REQUIRE(dc_headroom >= 0.0 && dc_headroom <= 1.0, "dc headroom in [0, 1]");
+  DCS_REQUIRE(pdu_headroom >= 0.0 && pdu_headroom <= 1.0, "pdu headroom in [0, 1]");
+  DCS_REQUIRE(tes_capacity_minutes > 0.0, "TES capacity must be positive");
+  DCS_REQUIRE(chiller_fraction > 0.0 && chiller_fraction < 1.0,
+              "chiller fraction in (0, 1)");
+  DCS_REQUIRE(cb_reserve > Duration::zero(), "CB reserve must be positive");
+  DCS_REQUIRE(control_period > Duration::zero(), "control period must be positive");
+  DCS_REQUIRE(recharge_demand_threshold > 0.0 && recharge_demand_threshold <= 1.0,
+              "recharge threshold in (0, 1]");
+  // Instantiating the substrates runs their own precondition checks.
+  (void)compute::Fleet(fleet);
+  (void)topology_params();
+  (void)tes_params();
+  (void)room_params();
+}
+
+}  // namespace dcs::core

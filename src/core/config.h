@@ -1,0 +1,88 @@
+// Full data-center configuration (paper Section VI-A defaults) plus the
+// derived parameter builders for every substrate.
+//
+// Defaults:
+//  * 48-core SCC-style chips, 12 cores normally active, 55 W peak-normal
+//    server power, 20 W non-CPU;
+//  * 909 PDUs x 200 servers = 181,800 servers = ~10 MW peak-normal IT power;
+//  * PDU breaker rated at 25 % above the group's peak-normal power
+//    (13.75 kW, the NEC provisioning rule);
+//  * DC breaker rated at `dc_headroom` (10 % default, swept 0-20 %) above
+//    the peak-normal *total* (IT + cooling at PUE 1.53) power —
+//    under-provisioning leaves less than the NEC 25 %;
+//  * 0.5 Ah / 11 V per-server UPS (~6 min at peak-normal draw);
+//  * TES sized to carry the cooling load for 12 minutes at peak-normal IT
+//    power; chiller is 2/3 of cooling power;
+//  * 1-minute reserved CB trip time, 1 s control period.
+#pragma once
+
+#include <optional>
+
+#include "compute/fleet.h"
+#include "compute/pcm_heatsink.h"
+#include "power/battery.h"
+#include "power/topology.h"
+#include "power/trip_curve.h"
+#include "thermal/cooling_plant.h"
+#include "thermal/room_model.h"
+#include "thermal/tes_tank.h"
+#include "util/units.h"
+
+namespace dcs::core {
+
+struct DataCenterConfig {
+  compute::Fleet::Params fleet{};
+  /// Chip-level PCM heat sink (the paper's prerequisite, refs [31][32]).
+  /// The default capacity does not bind before the data-center level.
+  compute::PcmHeatSink::Params chip_pcm{};
+
+  // --- power infrastructure ---
+  double pue = 1.53;
+  /// Available headroom of the DC-level breaker over peak-normal total power.
+  double dc_headroom = 0.10;
+  /// Headroom of each PDU breaker over its group's peak-normal power.
+  double pdu_headroom = 0.25;
+  power::TripCurveParams trip_curve{};
+  Duration cb_cooling_tau = Duration::minutes(10);
+  power::Battery::Params battery_per_server{};
+
+  // --- thermal plant ---
+  bool has_tes = true;
+  /// TES capacity in minutes of cooling at peak-normal IT power.
+  double tes_capacity_minutes = 12.0;
+  double chiller_fraction = 2.0 / 3.0;
+  thermal::RoomModel::Params room{};  // calibration power filled by room_params()
+
+  // --- controller ---
+  /// Minimum remaining CB trip time the controller preserves (Section V-B's
+  /// user-defined 1 minute).
+  Duration cb_reserve = Duration::minutes(1);
+  Duration control_period = Duration::seconds(1);
+  /// Demand level below which idle capacity recharges the ESDs.
+  double recharge_demand_threshold = 0.9;
+  /// CFD rule constant: TES activates at 5 min scaled by the ratio of
+  /// peak-normal to maximum-additional server power (Section V-C).
+  Duration tes_rule_base = Duration::minutes(5);
+
+  // --- derived builders ---
+  [[nodiscard]] Power server_peak_normal() const;
+  [[nodiscard]] Power fleet_peak_normal() const;
+  [[nodiscard]] Power fleet_peak_sprint() const;
+  /// Peak-normal total (IT + cooling) power.
+  [[nodiscard]] Power total_peak_normal() const;
+  [[nodiscard]] Power pdu_rated() const;
+  [[nodiscard]] Power dc_rated() const;
+  /// Paper Section V-C: time after sprint start at which the TES activates.
+  [[nodiscard]] Duration tes_activation_time() const;
+
+  [[nodiscard]] power::PowerTopology::Params topology_params() const;
+  [[nodiscard]] thermal::TesTank::Params tes_params() const;
+  [[nodiscard]] thermal::CoolingPlant::Params cooling_params(
+      thermal::TesTank* tes) const;
+  [[nodiscard]] thermal::RoomModel::Params room_params() const;
+
+  /// Throws std::invalid_argument when the configuration is inconsistent.
+  void validate() const;
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,568 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs::core {
+namespace {
+
+constexpr double kDegreeEps = 1e-9;
+const Power kPowerEps = Power::watts(1e-6);
+
+}  // namespace
+
+std::string_view to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kControlled: return "controlled";
+    case Mode::kUncontrolled: return "uncontrolled";
+    case Mode::kNoSprint: return "no-sprint";
+    case Mode::kPowerCapped: return "power-capped";
+    case Mode::kDvfsCapped: return "dvfs-capped";
+  }
+  return "?";
+}
+
+std::string_view to_string(SprintPhase phase) noexcept {
+  switch (phase) {
+    case SprintPhase::kNormal: return "normal";
+    case SprintPhase::kCbOverload: return "cb-overload";
+    case SprintPhase::kUpsAssist: return "ups-assist";
+    case SprintPhase::kTesCooling: return "tes-cooling";
+    case SprintPhase::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+SprintingController::SprintingController(const DataCenterConfig& config,
+                                         const Deps& deps, Strategy* strategy,
+                                         Mode mode)
+    : config_(config), deps_(deps), strategy_(strategy), mode_(mode) {
+  DCS_REQUIRE(deps_.fleet != nullptr, "controller needs a fleet");
+  DCS_REQUIRE(deps_.topology != nullptr, "controller needs a power topology");
+  DCS_REQUIRE(deps_.cooling != nullptr, "controller needs a cooling plant");
+  DCS_REQUIRE(deps_.room != nullptr, "controller needs a room model");
+  DCS_REQUIRE(mode_ != Mode::kControlled || strategy_ != nullptr,
+              "controlled mode needs a strategy");
+
+  // Total additional-energy budget EB_tot (Section V-A): stored UPS energy,
+  // the chiller electrical energy the TES can displace, and the transient
+  // above-rating energy the breakers can carry.
+  cb_budget_initial_ = cb_budget_estimate();
+  Energy total = deps_.topology->ups_available() + cb_budget_initial_;
+  if (deps_.tes != nullptr) {
+    // The TES enables additional IT energy roughly 1:1 — every joule of
+    // additional server heat beyond the chiller's capacity must come out of
+    // the tank once phase 3 starts.
+    total += deps_.tes->stored();
+  }
+  budget_total_ds_ = total.j() / power_per_degree().w();
+}
+
+Power SprintingController::power_per_degree() const {
+  const Power normal = config_.fleet_peak_normal();
+  const Power sprint = config_.fleet_peak_sprint();
+  const double span =
+      deps_.fleet->server().chip().max_sprint_degree() - 1.0;
+  DCS_ENSURE(span > 0.0, "chip has no dark cores to sprint with");
+  return (sprint - normal) / span;
+}
+
+Energy SprintingController::cb_budget_estimate() const {
+  // Holding a constant overload o for its full trip time T = C / o^2
+  // delivers P_rated * o * T = P_rated * sqrt(C * T) extra joules; we plan
+  // for a T of ten minutes (the order of the paper's bursts). The binding
+  // level is whichever tier can carry less in aggregate.
+  const double c = config_.trip_curve.thermal_coeff_s;
+  const double t_plan = Duration::minutes(10).sec();
+  const double factor = std::sqrt(c * t_plan);
+  const Power pdu_total = config_.pdu_rated() *
+                          static_cast<double>(deps_.topology->pdu_count());
+  const Power binding = std::min(config_.dc_rated(), pdu_total);
+  return Energy::joules(binding.w() * factor);
+}
+
+double SprintingController::remaining_energy_fraction() const {
+  Energy remaining = deps_.topology->ups_available();
+  if (deps_.tes != nullptr) {
+    remaining += deps_.tes->stored();
+  }
+  // Breaker transient budget shrinks as the hottest element heats up.
+  double max_heat = deps_.topology->dc_breaker().thermal_state();
+  for (const auto& pdu : deps_.topology->pdus()) {
+    max_heat = std::max(max_heat, pdu.breaker().thermal_state());
+  }
+  remaining += cb_budget_initial_ * (1.0 - max_heat);
+  const Energy total =
+      Energy::joules(budget_total_ds_ * power_per_degree().w());
+  return total > Energy::zero() ? std::clamp(remaining / total, 0.0, 1.0) : 0.0;
+}
+
+SprintContext SprintingController::make_context(double demand) const {
+  SprintContext ctx;
+  ctx.elapsed_in_burst = burst_elapsed_;
+  ctx.demand = demand;
+  ctx.max_degree = deps_.fleet->server().chip().max_sprint_degree();
+  ctx.max_demand_in_burst = std::max(max_demand_in_burst_, demand);
+  ctx.avg_degree = burst_elapsed_ > Duration::zero()
+                       ? degree_time_integral_ / burst_elapsed_.sec()
+                       : 1.0;
+  ctx.remaining_energy_fraction = remaining_energy_fraction();
+  ctx.period = config_.control_period;
+  return ctx;
+}
+
+bool SprintingController::should_activate_tes() const {
+  if (mode_ != Mode::kControlled || deps_.tes == nullptr) return false;
+  if (deps_.tes->empty()) return false;
+  return in_burst_ && !sprint_terminated_ &&
+         burst_elapsed_ >= config_.tes_activation_time();
+}
+
+bool SprintingController::check_cores(std::size_t cores, double demand,
+                                      bool tes_active, Duration dt,
+                                      Power* ups_per_pdu,
+                                      Power* tes_relief) const {
+  const auto op = deps_.fleet->operate_with_cores(demand, cores);
+  const auto& topo = *deps_.topology;
+  const power::Pdu& pdu = topo.pdus().front();  // fleet is homogeneous
+
+  if (pdu.breaker().tripped() || topo.dc_breaker().tripped()) return false;
+
+  // Thermal tier: once phase 3 is due, the additional heat (beyond the
+  // chiller's capacity) must fit in the tank for this step; otherwise the
+  // room heats toward the threshold and the sprint would terminate.
+  const Power excess_heat =
+      op.fleet_total > deps_.cooling->thermal_capacity()
+          ? op.fleet_total - deps_.cooling->thermal_capacity()
+          : Power::zero();
+  Power tes_rate_left = Power::zero();
+  if (tes_active && deps_.tes != nullptr) {
+    tes_rate_left = deps_.tes->stored() / dt;
+    if (excess_heat > tes_rate_left + kPowerEps) return false;
+    tes_rate_left -= excess_heat;
+  }
+
+  // PDU tier: the breaker may carry up to the governor's bound; the UPS
+  // bank covers the rest, limited by inverter power and stored energy.
+  const Power pdu_allow = pdu.breaker().max_load_for(config_.cb_reserve);
+  const Power ups_max = std::min(pdu.ups().max_discharge(),
+                                 pdu.ups().available() / dt);
+  Power ups = op.per_pdu > pdu_allow ? op.per_pdu - pdu_allow : Power::zero();
+  if (ups > ups_max + kPowerEps) return false;
+
+  // DC tier: grid-side PDU flows plus cooling must fit the substation
+  // governor's bound and the utility feed's current capability. In phase 3
+  // the TES displaces chiller power first ("reduce the chiller power to
+  // decrease the overload of DC-level CBs"); extra UPS discharge relieves
+  // whatever remains.
+  const Power cooling = deps_.cooling->electrical_projection(
+      op.fleet_total, tes_active, Power::zero());
+  Power dc_allow = topo.dc_breaker().max_load_for(config_.cb_reserve);
+  if (grid_limited_) dc_allow = std::min(dc_allow, grid_cap_);
+  const double n = static_cast<double>(topo.pdu_count());
+  Power dc_load = (op.per_pdu - ups) * n + cooling;
+  Power relief = Power::zero();
+  if (dc_load > dc_allow + kPowerEps && tes_active && deps_.tes != nullptr) {
+    const Power chiller_now = deps_.cooling->chiller_electrical(
+        std::min(op.fleet_total, deps_.cooling->thermal_capacity()));
+    const Power relief_max = std::min(
+        chiller_now, tes_rate_left * deps_.cooling->chiller_elec_per_heat());
+    relief = std::min(dc_load - dc_allow, relief_max);
+    dc_load -= relief;
+  }
+  if (dc_load > dc_allow + kPowerEps) {
+    const Power extra_per_pdu = (dc_load - dc_allow) / n;
+    ups += extra_per_pdu;
+    if (ups > ups_max + kPowerEps) return false;
+    if (ups > op.per_pdu) return false;  // cannot discharge more than the load
+  }
+  if (ups_per_pdu != nullptr) *ups_per_pdu = ups;
+  if (tes_relief != nullptr) *tes_relief = relief;
+  return true;
+}
+
+SprintingController::Feasible SprintingController::find_feasible(
+    double demand, double bound, Duration dt) const {
+  const bool tes_active = should_activate_tes();
+  const std::size_t normal =
+      deps_.fleet->server().chip().params().normal_cores;
+  const std::size_t desired =
+      deps_.fleet->operate(demand, std::max(1.0, bound)).active_cores;
+
+  Feasible best{normal, Power::zero(), Power::zero(), tes_active};
+  // check_cores() is monotone in the core count (power grows with cores),
+  // so binary-search the largest feasible count in [normal, desired].
+  Power ups = Power::zero();
+  Power relief = Power::zero();
+  if (check_cores(desired, demand, tes_active, dt, &ups, &relief)) {
+    return Feasible{desired, ups, relief, tes_active};
+  }
+  std::size_t lo = normal, hi = desired;
+  // Invariant: lo feasible (rated load always is), hi infeasible.
+  if (!check_cores(lo, demand, tes_active, dt, &ups, &relief)) {
+    // Breakers too hot even for normal load (possible right after heavy
+    // overload): shed to normal cores anyway — rated load cannot trip.
+    return best;
+  }
+  best.ups_per_pdu = ups;
+  best.tes_relief = relief;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (check_cores(mid, demand, tes_active, dt, &ups, &relief)) {
+      lo = mid;
+      best.cores = mid;
+      best.ups_per_pdu = ups;
+      best.tes_relief = relief;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+StepResult SprintingController::step(Duration now, double demand, Duration dt) {
+  DCS_REQUIRE(demand >= 0.0, "demand must be non-negative");
+  DCS_REQUIRE(dt > Duration::zero(), "dt must be positive");
+  StepResult result;
+  switch (mode_) {
+    case Mode::kControlled:
+      result = step_controlled(now, demand, dt);
+      break;
+    case Mode::kUncontrolled:
+      result = step_uncontrolled(demand, dt);
+      if (result.tripped && trip_time_.is_infinite()) trip_time_ = now;
+      break;
+    case Mode::kNoSprint:
+    case Mode::kPowerCapped:
+      result = step_capped(demand, dt);
+      break;
+    case Mode::kDvfsCapped:
+      result = step_dvfs(demand, dt);
+      break;
+  }
+  account(result, dt);
+  return result;
+}
+
+StepResult SprintingController::step_controlled(Duration now, double demand,
+                                                Duration dt) {
+  // Utility-feed health: a disturbance immediately ends the sprint
+  // (Section IV-A) and brings the backup generator online; the UPS banks
+  // bridge whatever the derated feed cannot carry.
+  double supply = 1.0;
+  if (supply_fraction_ != nullptr) {
+    supply = std::clamp(supply_fraction_->at(now), 0.0, 1.0);
+  }
+  grid_limited_ = supply < 1.0 - 1e-9;
+  if (generator_ != nullptr) {
+    if (grid_limited_) generator_->request_start();
+    generator_->tick(dt);
+  }
+  grid_cap_ = config_.dc_rated() * supply +
+              (generator_ != nullptr ? generator_->available() : Power::zero());
+
+  const bool active = burst_active(demand);
+  if (active && !in_burst_) {
+    in_burst_ = true;
+    if (strategy_ != nullptr) strategy_->on_burst_start();
+  }
+  if (strategy_ != nullptr) strategy_->observe(make_context(demand));
+  if (!active && in_burst_) {
+    in_burst_ = false;
+    sprint_terminated_ = false;  // a future burst starts a fresh sprint
+  }
+
+  if (grid_limited_ && in_burst_) sprint_terminated_ = true;
+
+  // Pre-emptive thermal cut-off: if even one more control period at the
+  // worst-case heat gap could cross the room threshold, end the sprint now
+  // rather than let the peak overshoot by a tick.
+  if (active && !sprint_terminated_) {
+    const Power max_gap =
+        config_.fleet_peak_sprint() - deps_.cooling->thermal_capacity();
+    if (deps_.room->time_to_threshold(max_gap) <= dt) {
+      sprint_terminated_ = true;
+    }
+  }
+
+  double bound = 1.0;
+  if (active && !sprint_terminated_) {
+    bound = std::clamp(strategy_->upper_bound(make_context(demand)), 1.0,
+                       deps_.fleet->server().chip().max_sprint_degree());
+  }
+
+  StepResult result;
+  result.demand = demand;
+  result.upper_bound = bound;
+  result.supply_fraction = supply;
+
+  // No ESD recharging while the feed is disturbed.
+  const bool recharging = !grid_limited_ && !active &&
+                          demand <= config_.recharge_demand_threshold;
+
+  const Feasible f = find_feasible(demand, bound, dt);
+  const auto op = deps_.fleet->operate_with_cores(demand, f.cores);
+
+  thermal::CoolingStep cooling{};
+  power::Flows flows{};
+  if (recharging) {
+    // Idle headroom recharges the ESDs: UPS banks first, then the TES, all
+    // while every breaker stays at or below its rating.
+    const double n = static_cast<double>(deps_.topology->pdu_count());
+    const Power nominal_cooling = deps_.cooling->electrical_projection(
+        op.fleet_total, false, Power::zero());
+    const Power dc_used = op.per_pdu * n + nominal_cooling;
+    Power dc_room =
+        config_.dc_rated() > dc_used ? config_.dc_rated() - dc_used : Power::zero();
+    const Power pdu_room = config_.pdu_rated() > op.per_pdu
+                               ? config_.pdu_rated() - op.per_pdu
+                               : Power::zero();
+    const Power ups_recharge = std::min(pdu_room, dc_room / n);
+    dc_room -= ups_recharge * n;
+    Power tes_rate = Power::zero();
+    if (deps_.tes != nullptr) {
+      // Convert the remaining electrical room into a thermal recharge rate.
+      tes_rate = dc_room / deps_.cooling->chiller_elec_per_heat();
+    }
+    cooling = deps_.cooling->recharge_tes_step(op.fleet_total, tes_rate, dt);
+    flows = deps_.topology->recharge_uniform(op.per_pdu, ups_recharge,
+                                             cooling.electrical, dt);
+  } else {
+    cooling = deps_.cooling->step(op.fleet_total, f.tes_active, f.tes_relief, dt);
+    flows = deps_.topology->step_uniform(op.per_pdu, f.ups_per_pdu,
+                                         cooling.electrical, dt);
+  }
+  deps_.room->step(op.fleet_total, cooling.heat_absorbed, dt);
+
+  DCS_ENSURE(!flows.dc_tripped && !flows.any_pdu_tripped,
+             "controlled sprinting must never trip a breaker");
+
+  // Chip-level PCM: melted by chip power above the sustainable level; an
+  // exhausted buffer means chip sprinting itself is over ("If the
+  // chip-level sprinting can be no longer sustained, we also finish Data
+  // Center Sprinting", Section IV).
+  if (deps_.pcm != nullptr) {
+    const Power chip = op.per_server - deps_.fleet->server().non_cpu();
+    deps_.pcm->step(chip, dt);
+    if (deps_.pcm->exhausted() && op.degree > 1.0 + kDegreeEps) {
+      sprint_terminated_ = true;
+    }
+  }
+
+  // Terminal rules (Sections IV-A, V-C): overheating, the TES running dry
+  // while carrying the cooling load, or the stored energy being exhausted
+  // altogether, end the sprint — the additional cores go back to inactive
+  // until the burst is over.
+  if (deps_.room->over_threshold()) sprint_terminated_ = true;
+  if (f.tes_active && deps_.tes != nullptr && deps_.tes->empty()) {
+    sprint_terminated_ = true;
+  }
+  if (active && op.degree > 1.0 + kDegreeEps) {
+    // "The additional power or cooling can no longer be provided": the UPS
+    // running dry ends phase 2, the TES running dry ends phase 3 — either
+    // way the sprint is over (Section IV-A).
+    constexpr double kExhausted = 0.02;
+    const bool ups_out =
+        deps_.topology->ups_available() <=
+        deps_.topology->ups_capacity() * kExhausted;
+    const bool tes_out =
+        f.tes_active && deps_.tes != nullptr &&
+        deps_.tes->stored() <= deps_.tes->capacity() * kExhausted;
+    if (ups_out || tes_out) sprint_terminated_ = true;
+  }
+
+  // Burst bookkeeping for the strategies.
+  if (active) {
+    burst_elapsed_ += dt;
+    max_demand_in_burst_ = std::max(max_demand_in_burst_, demand);
+    degree_time_integral_ += op.degree * dt.sec();
+  }
+
+  result.achieved = op.achieved;
+  result.degree = op.degree;
+  result.active_cores = op.active_cores;
+  result.server_power = op.fleet_total;
+  result.cooling_power = cooling.electrical;
+  result.ups_power = flows.ups_total;
+  result.dc_load = flows.dc_load;
+  result.tes_heat = cooling.tes_heat;
+  result.tes_relief = cooling.relief;
+  result.room = deps_.room->temperature();
+  if (op.degree <= 1.0 + kDegreeEps) {
+    result.phase = SprintPhase::kNormal;
+  } else if (cooling.tes_active) {
+    result.phase = SprintPhase::kTesCooling;
+  } else if (flows.ups_total > kPowerEps) {
+    result.phase = SprintPhase::kUpsAssist;
+  } else {
+    result.phase = SprintPhase::kCbOverload;
+  }
+  return result;
+}
+
+StepResult SprintingController::step_uncontrolled(double demand, Duration dt) {
+  StepResult result;
+  result.demand = demand;
+  if (shutdown_) {
+    // Breaker tripped earlier: the data center is dark.
+    result.phase = SprintPhase::kShutdown;
+    result.tripped = true;
+    result.room = deps_.room->temperature();
+    deps_.room->step(Power::zero(), Power::zero(), dt);
+    return result;
+  }
+  // Chip-level sprinting with no data-center-level coordination: every chip
+  // turns on whatever the demand asks for.
+  const double max_degree = deps_.fleet->server().chip().max_sprint_degree();
+  const auto op = deps_.fleet->operate(demand, max_degree);
+  const auto cooling =
+      deps_.cooling->step(op.fleet_total, false, Power::zero(), dt);
+  const auto flows = deps_.topology->step_uniform(op.per_pdu, Power::zero(),
+                                                  cooling.electrical, dt);
+  deps_.room->step(op.fleet_total, cooling.heat_absorbed, dt);
+
+  result.achieved = op.achieved;
+  result.degree = op.degree;
+  result.active_cores = op.active_cores;
+  result.upper_bound = max_degree;
+  result.server_power = op.fleet_total;
+  result.cooling_power = cooling.electrical;
+  result.dc_load = flows.dc_load;
+  result.room = deps_.room->temperature();
+  result.phase = op.degree > 1.0 + kDegreeEps ? SprintPhase::kCbOverload
+                                              : SprintPhase::kNormal;
+  if (flows.dc_tripped || flows.any_pdu_tripped) {
+    shutdown_ = true;
+    result.tripped = true;
+    result.achieved = 0.0;  // the trip kills the service within this step
+    result.phase = SprintPhase::kShutdown;
+  }
+  return result;
+}
+
+StepResult SprintingController::step_capped(double demand, Duration dt) {
+  StepResult result;
+  result.demand = demand;
+  const std::size_t normal = deps_.fleet->server().chip().params().normal_cores;
+  std::size_t cores = normal;
+  if (mode_ == Mode::kPowerCapped) {
+    // Conventional power capping: activate extra cores only while every
+    // rating is respected — no overload, no stored energy.
+    const std::size_t total = deps_.fleet->server().chip().params().total_cores;
+    const double max_degree = deps_.fleet->server().chip().max_sprint_degree();
+    const std::size_t desired =
+        deps_.fleet->operate(demand, max_degree).active_cores;
+    for (std::size_t n = desired; n >= normal; --n) {
+      const auto op = deps_.fleet->operate_with_cores(demand, n);
+      const Power cooling = deps_.cooling->electrical_projection(
+          op.fleet_total, false, Power::zero());
+      const Power dc_load =
+          op.per_pdu * static_cast<double>(deps_.topology->pdu_count()) + cooling;
+      if (op.per_pdu <= config_.pdu_rated() && dc_load <= config_.dc_rated()) {
+        cores = n;
+        break;
+      }
+      if (n == normal) break;
+    }
+    DCS_ENSURE(cores <= total, "core search overflow");
+  }
+  const auto op = deps_.fleet->operate_with_cores(demand, cores);
+  const auto cooling =
+      deps_.cooling->step(op.fleet_total, false, Power::zero(), dt);
+  const auto flows = deps_.topology->step_uniform(op.per_pdu, Power::zero(),
+                                                  cooling.electrical, dt);
+  deps_.room->step(op.fleet_total, cooling.heat_absorbed, dt);
+  result.achieved = op.achieved;
+  result.degree = op.degree;
+  result.active_cores = op.active_cores;
+  result.upper_bound = op.degree;
+  result.server_power = op.fleet_total;
+  result.cooling_power = cooling.electrical;
+  result.dc_load = flows.dc_load;
+  result.room = deps_.room->temperature();
+  result.phase = op.degree > 1.0 + kDegreeEps ? SprintPhase::kCbOverload
+                                              : SprintPhase::kNormal;
+  return result;
+}
+
+StepResult SprintingController::step_dvfs(double demand, Duration dt) {
+  // Conventional DVFS power capping: the normal cores overclock as far as
+  // every rating allows — no dark cores, no overload, no stored energy.
+  StepResult result;
+  result.demand = demand;
+  const compute::Chip& chip = deps_.fleet->server().chip();
+  const std::size_t n0 = chip.params().normal_cores;
+  const double n_pdus = static_cast<double>(deps_.topology->pdu_count());
+  const auto servers = static_cast<double>(
+      deps_.fleet->params().servers_per_pdu);
+
+  // Server power at frequency multiplier f serving `demand`:
+  // utilization u = min(1, demand / f); dynamic power scales as f^3.
+  const auto server_power = [&](double f) {
+    const double u = std::min(1.0, demand / f);
+    return deps_.fleet->server().non_cpu() + chip.params().base +
+           chip.params().per_core *
+               (static_cast<double>(n0) * u * dvfs_.power_multiplier(f));
+  };
+  const auto fits = [&](double f) {
+    const Power per_pdu = server_power(f) * servers;
+    if (per_pdu > config_.pdu_rated()) return false;
+    const Power fleet_power = per_pdu * n_pdus;
+    const Power cooling = deps_.cooling->electrical_projection(
+        fleet_power, false, Power::zero());
+    return fleet_power + cooling <= config_.dc_rated();
+  };
+
+  double f = 1.0;
+  if (demand > 1.0 && fits(1.0)) {
+    double lo = 1.0, hi = dvfs_.params().max_multiplier;
+    if (fits(hi)) {
+      f = hi;
+    } else {
+      for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        (fits(mid) ? lo : hi) = mid;
+      }
+      f = lo;
+    }
+  }
+
+  const Power per_server = server_power(f);
+  const auto cooling = deps_.cooling->step(per_server * servers * n_pdus,
+                                           false, Power::zero(), dt);
+  const auto flows = deps_.topology->step_uniform(
+      per_server * servers, Power::zero(), cooling.electrical, dt);
+  deps_.room->step(per_server * servers * n_pdus, cooling.heat_absorbed, dt);
+
+  result.achieved = std::min(demand, dvfs_.performance(f));
+  result.degree = f;  // frequency multiplier reported as the "degree"
+  result.active_cores = n0;
+  result.upper_bound = dvfs_.params().max_multiplier;
+  result.server_power = per_server * servers * n_pdus;
+  result.cooling_power = cooling.electrical;
+  result.dc_load = flows.dc_load;
+  result.room = deps_.room->temperature();
+  result.phase = f > 1.0 + kDegreeEps ? SprintPhase::kCbOverload
+                                      : SprintPhase::kNormal;
+  return result;
+}
+
+void SprintingController::account(const StepResult& result, Duration dt) {
+  ups_energy_ += result.ups_power * dt;
+  if (result.degree > 1.0 + kDegreeEps) sprint_time_ += dt;
+  phase_time_[static_cast<std::size_t>(result.phase)] += dt;
+  tes_saved_ += result.tes_relief * dt;
+  const Power pdu_rated_total =
+      config_.pdu_rated() * static_cast<double>(deps_.topology->pdu_count());
+  const Power pdu_grid = result.dc_load - result.cooling_power;
+  if (pdu_grid > pdu_rated_total) {
+    pdu_overload_ += (pdu_grid - pdu_rated_total) * dt;
+  }
+  if (result.dc_load > config_.dc_rated()) {
+    dc_overload_ += (result.dc_load - config_.dc_rated()) * dt;
+  }
+}
+
+}  // namespace dcs::core

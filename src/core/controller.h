@@ -1,0 +1,193 @@
+// The Data Center Sprinting controller (paper Sections IV-V).
+//
+// Each control period (1 s) the controller:
+//  1. detects bursts (normalized demand > 1) and asks the strategy for the
+//     sprinting-degree upper bound;
+//  2. finds the largest feasible active-core count under that bound given
+//     the breaker governor (keep every breaker's remaining trip time at or
+//     above the reserve — Section V-B's shrinking overload bound), the UPS
+//     banks' power/energy limits, and the DC-level budget including cooling;
+//  3. coordinates the three phases: CB overload only (phase 1), UPS
+//     discharge for the gap the breakers may no longer carry (phase 2), and
+//     TES-backed cooling from the CFD-derived activation time (phase 3);
+//  4. commits the loads to the physical models (breaker thermal state,
+//     battery/tank charge, room temperature) and enforces the terminal
+//     rules: room over threshold or TES exhausted in phase 3 ends the
+//     sprint (Section V-C).
+//
+// Modes: the same stepping core also implements the paper's baselines —
+// uncontrolled chip-level sprinting (no governor, no ESDs; breakers trip
+// and the data center goes dark, Fig. 8a), no-sprint, and a conventional
+// power-capping baseline that never exceeds any rating.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "compute/dvfs.h"
+#include "compute/fleet.h"
+#include "core/config.h"
+#include "core/strategy.h"
+#include "power/generator.h"
+#include "power/topology.h"
+#include "util/time_series.h"
+#include "thermal/cooling_plant.h"
+#include "thermal/room_model.h"
+#include "thermal/tes_tank.h"
+#include "util/units.h"
+
+namespace dcs::core {
+
+enum class Mode {
+  kControlled,    ///< full Data Center Sprinting
+  kUncontrolled,  ///< chip-level sprinting with no DC-level control (Fig. 8a)
+  kNoSprint,      ///< normal cores only
+  kPowerCapped,   ///< extra cores only within ratings; no overload, no ESDs
+  kDvfsCapped,    ///< conventional DVFS capping: boost frequency, not cores
+};
+
+[[nodiscard]] std::string_view to_string(Mode mode) noexcept;
+
+enum class SprintPhase {
+  kNormal = 0,    ///< not sprinting
+  kCbOverload = 1,///< phase 1: breaker tolerance only
+  kUpsAssist = 2, ///< phase 2: UPS carrying part of the load
+  kTesCooling = 3,///< phase 3: TES carrying the cooling load
+  kShutdown = 4,  ///< a breaker tripped (uncontrolled mode only)
+};
+
+[[nodiscard]] std::string_view to_string(SprintPhase phase) noexcept;
+
+/// Everything one control step produced (for recording and tests).
+struct StepResult {
+  double demand = 0.0;
+  double achieved = 0.0;        ///< normalized throughput delivered
+  double degree = 1.0;          ///< realized sprinting degree
+  double upper_bound = 1.0;     ///< strategy bound after clamping
+  std::size_t active_cores = 0; ///< per server
+  SprintPhase phase = SprintPhase::kNormal;
+  Power server_power;           ///< fleet-wide IT power
+  Power cooling_power;          ///< cooling electrical power
+  Power ups_power;              ///< fleet-wide UPS discharge
+  Power dc_load;                ///< substation breaker load
+  double supply_fraction = 1.0; ///< utility feed health this step
+  Power tes_heat;               ///< heat absorbed by the TES
+  Power tes_relief;             ///< chiller electrical displaced by the TES
+  Temperature room;
+  bool tripped = false;
+};
+
+class SprintingController {
+ public:
+  struct Deps {
+    compute::Fleet* fleet = nullptr;
+    power::PowerTopology* topology = nullptr;
+    thermal::CoolingPlant* cooling = nullptr;
+    thermal::TesTank* tes = nullptr;  // may be null (no-TES ablation)
+    thermal::RoomModel* room = nullptr;
+    /// Representative chip PCM heat sink (uniform fleet); may be null to
+    /// skip chip-level thermal limits.
+    compute::PcmHeatSink* pcm = nullptr;
+  };
+
+  SprintingController(const DataCenterConfig& config, const Deps& deps,
+                      Strategy* strategy, Mode mode);
+
+  /// Advances one control period.
+  StepResult step(Duration now, double demand, Duration dt);
+
+  /// Utility-feed health over time as a fraction of the DC rating in [0, 1]
+  /// (1 = healthy; below 1 models the paper's "unexpected power spikes in
+  /// the utility power supply", which immediately end the sprint). The
+  /// series must outlive the controller; nullptr restores a healthy feed.
+  void set_supply_fraction(const TimeSeries* fraction) noexcept {
+    supply_fraction_ = fraction;
+  }
+  /// Optional backup generator, started automatically on a disturbance.
+  void attach_generator(power::DieselGenerator* generator) noexcept {
+    generator_ = generator;
+  }
+
+  // --- accumulated accounting (for RunResult) ---
+  [[nodiscard]] Energy ups_energy() const noexcept { return ups_energy_; }
+  /// Chiller electrical energy displaced by the TES.
+  [[nodiscard]] Energy tes_saved_energy() const noexcept { return tes_saved_; }
+  /// Above-rating energy carried by the PDU breakers.
+  [[nodiscard]] Energy pdu_overload_energy() const noexcept { return pdu_overload_; }
+  /// Above-rating energy carried by the DC breaker.
+  [[nodiscard]] Energy dc_overload_energy() const noexcept { return dc_overload_; }
+  /// Aggregated time spent sprinting (degree > 1).
+  [[nodiscard]] Duration sprint_time() const noexcept { return sprint_time_; }
+  /// Aggregated time spent in each phase (indexed by SprintPhase) — the
+  /// T1..T4 structure of the paper's Fig. 4.
+  [[nodiscard]] Duration phase_time(SprintPhase phase) const noexcept {
+    return phase_time_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] bool shutdown() const noexcept { return shutdown_; }
+  [[nodiscard]] Duration trip_time() const noexcept { return trip_time_; }
+  /// Remaining / total additional-energy budget (drives the Heuristic).
+  [[nodiscard]] double remaining_energy_fraction() const;
+  /// Total additional-energy budget in degree-seconds (for HeuristicStrategy).
+  [[nodiscard]] double total_budget_degree_seconds() const noexcept {
+    return budget_total_ds_;
+  }
+
+ private:
+  struct Feasible {
+    std::size_t cores;
+    Power ups_per_pdu;
+    Power tes_relief;  ///< chiller electrical displaced to relieve the DC CB
+    bool tes_active;
+  };
+
+  [[nodiscard]] bool burst_active(double demand) const noexcept {
+    return demand > 1.0 + 1e-9;
+  }
+  [[nodiscard]] SprintContext make_context(double demand) const;
+  [[nodiscard]] bool should_activate_tes() const;
+  [[nodiscard]] Feasible find_feasible(double demand, double bound, Duration dt) const;
+  [[nodiscard]] bool check_cores(std::size_t cores, double demand, bool tes_active,
+                                 Duration dt, Power* ups_per_pdu,
+                                 Power* tes_relief) const;
+  StepResult step_controlled(Duration now, double demand, Duration dt);
+  StepResult step_uncontrolled(double demand, Duration dt);
+  StepResult step_capped(double demand, Duration dt);
+  StepResult step_dvfs(double demand, Duration dt);
+  void account(const StepResult& result, Duration dt);
+  [[nodiscard]] Energy cb_budget_estimate() const;
+  [[nodiscard]] Power power_per_degree() const;
+
+  DataCenterConfig config_;
+  Deps deps_;
+  Strategy* strategy_;
+  Mode mode_;
+  compute::DvfsModel dvfs_{};
+  const TimeSeries* supply_fraction_ = nullptr;
+  power::DieselGenerator* generator_ = nullptr;
+  /// Utility + generator power available this step (set in step_controlled,
+  /// consumed by check_cores).
+  Power grid_cap_;
+  bool grid_limited_ = false;
+
+  // burst / sprint state
+  bool in_burst_ = false;
+  bool sprint_terminated_ = false;
+  Duration burst_elapsed_ = Duration::zero();   // aggregated demand>1 time
+  Duration sprint_elapsed_ = Duration::zero();  // aggregated degree>1 time
+  double degree_time_integral_ = 0.0;           // for SDe_avg
+  double max_demand_in_burst_ = 1.0;
+
+  // accounting
+  Energy ups_energy_ = Energy::zero();
+  Energy tes_saved_ = Energy::zero();
+  Energy pdu_overload_ = Energy::zero();
+  Energy dc_overload_ = Energy::zero();
+  Duration sprint_time_ = Duration::zero();
+  Duration phase_time_[5] = {};
+  bool shutdown_ = false;
+  Duration trip_time_ = Duration::infinity();
+  double budget_total_ds_ = 0.0;
+  Energy cb_budget_initial_ = Energy::zero();
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,163 @@
+#include "core/datacenter.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/engine.h"
+#include "util/check.h"
+#include "workload/admission.h"
+
+namespace dcs::core {
+namespace {
+
+/// Adapts the per-tick run body to the simulation engine's Component
+/// interface, so experiment runs share the engine's clock/event machinery.
+class RunDriver final : public sim::Component {
+ public:
+  explicit RunDriver(std::function<void(Duration, Duration)> body)
+      : body_(std::move(body)) {}
+  void tick(Duration now, Duration dt) override { body_(now, dt); }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "run-driver";
+  }
+
+ private:
+  std::function<void(Duration, Duration)> body_;
+};
+
+}  // namespace
+
+struct DataCenter::Plant {
+  power::PowerTopology topology;
+  std::unique_ptr<thermal::TesTank> tes;  // null when has_tes is false
+  thermal::CoolingPlant cooling;
+  thermal::RoomModel room;
+  compute::PcmHeatSink pcm;  // representative chip package (uniform fleet)
+
+  Plant(const DataCenterConfig& config)
+      : topology(config.topology_params()),
+        tes(config.has_tes
+                ? std::make_unique<thermal::TesTank>("dc/tes", config.tes_params())
+                : nullptr),
+        cooling(config.cooling_params(tes.get())),
+        room(config.room_params()),
+        pcm(config.chip_pcm) {}
+};
+
+DataCenter::DataCenter(DataCenterConfig config)
+    : config_(std::move(config)), fleet_(config_.fleet) {
+  config_.validate();
+}
+
+std::unique_ptr<DataCenter::Plant> DataCenter::make_plant() const {
+  return std::make_unique<Plant>(config_);
+}
+
+double DataCenter::budget_degree_seconds() const {
+  auto plant = make_plant();
+  compute::Fleet fleet(config_.fleet);
+  SprintingController::Deps deps{&fleet, &plant->topology, &plant->cooling,
+                                 plant->tes.get(), &plant->room, &plant->pcm};
+  const SprintingController controller(config_, deps, nullptr, Mode::kNoSprint);
+  return controller.total_budget_degree_seconds();
+}
+
+RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
+                          const RunOptions& options) {
+  DCS_REQUIRE(!demand.empty(), "demand trace is empty");
+  auto plant = make_plant();
+  SprintingController::Deps deps{&fleet_, &plant->topology, &plant->cooling,
+                                 plant->tes.get(), &plant->room, &plant->pcm};
+  SprintingController controller(config_, deps, strategy, options.mode);
+  controller.set_supply_fraction(options.supply_fraction);
+  if (options.generator != nullptr) {
+    controller.attach_generator(options.generator);
+  }
+
+  RunResult result;
+  workload::AdmissionController sprint_admission;
+  workload::AdmissionController baseline_admission;
+  const Duration dt = config_.control_period;
+  const Duration end = demand.end_time();
+
+  double achieved_integral = 0.0;
+  double baseline_integral = 0.0;
+  double burst_degree_integral = 0.0;
+  double burst_seconds = 0.0;
+  sim::Engine engine(dt);
+  RunDriver driver([&](Duration now, Duration tick_dt) {
+    const double d = demand.at(now);
+    const StepResult step = controller.step(now, d, tick_dt);
+
+    achieved_integral += step.achieved * dt.sec();
+    baseline_integral += std::min(d, 1.0) * dt.sec();
+    if (d > 1.0) {
+      burst_degree_integral += step.degree * dt.sec();
+      burst_seconds += dt.sec();
+    }
+    sprint_admission.admit(d, step.achieved, dt);
+    baseline_admission.admit(d, 1.0, dt);
+
+    result.min_ups_soc = std::min(
+        result.min_ups_soc, plant->topology.pdus().front().ups().soc());
+    if (plant->tes != nullptr) {
+      result.min_tes_soc =
+          std::min(result.min_tes_soc, plant->tes->state_of_charge());
+    }
+
+    if (options.record) {
+      auto& rec = result.recorder;
+      rec.record("demand", now, d);
+      rec.record("achieved", now, step.achieved);
+      rec.record("achieved_nosprint", now, std::min(d, 1.0));
+      rec.record("degree", now, step.degree);
+      rec.record("bound", now, step.upper_bound);
+      rec.record("cores", now, static_cast<double>(step.active_cores));
+      rec.record("phase", now, static_cast<double>(step.phase));
+      rec.record("server_mw", now, step.server_power.mw());
+      rec.record("cooling_mw", now, step.cooling_power.mw());
+      rec.record("ups_mw", now, step.ups_power.mw());
+      rec.record("dc_load_mw", now, step.dc_load.mw());
+      rec.record("room_c", now, step.room.c());
+      rec.record("ups_soc", now, plant->topology.pdus().front().ups().soc());
+      rec.record("tes_soc", now,
+                 plant->tes != nullptr ? plant->tes->state_of_charge() : 0.0);
+      rec.record("dc_cb_heat", now,
+                 plant->topology.dc_breaker().thermal_state());
+      rec.record("pdu_cb_heat", now,
+                 plant->topology.pdus().front().breaker().thermal_state());
+      rec.record("supply", now, step.supply_fraction);
+    }
+  });
+  engine.add(&driver);
+  engine.run_until(end);
+
+  const double total_sec = (end - Duration::zero()).sec();
+  result.avg_achieved = achieved_integral / total_sec;
+  result.avg_achieved_nosprint = baseline_integral / total_sec;
+  result.performance_factor =
+      result.avg_achieved_nosprint > 0.0
+          ? result.avg_achieved / result.avg_achieved_nosprint
+          : 0.0;
+  result.drop_fraction = sprint_admission.drop_fraction();
+  result.avg_sprint_degree =
+      burst_seconds > 0.0 ? burst_degree_integral / burst_seconds : 1.0;
+  result.sprint_time = controller.sprint_time();
+  for (std::size_t i = 0; i < result.phase_time.size(); ++i) {
+    result.phase_time[i] = controller.phase_time(static_cast<SprintPhase>(i));
+  }
+  result.tripped = controller.shutdown();
+  result.trip_time = controller.trip_time();
+  result.ups_energy = controller.ups_energy();
+  result.tes_saved_energy = controller.tes_saved_energy();
+  result.pdu_overload_energy = controller.pdu_overload_energy();
+  result.dc_overload_energy = controller.dc_overload_energy();
+  result.peak_room_temperature = plant->room.peak_temperature();
+  const power::Battery& bank = plant->topology.pdus().front().ups();
+  result.ups_discharge_events = bank.discharge_events();
+  result.ups_equivalent_cycles = bank.equivalent_full_cycles();
+  result.ups_max_depth = 1.0 - result.min_ups_soc;
+  return result;
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,103 @@
+// The DataCenter facade: wires every substrate from a DataCenterConfig and
+// runs a demand trace through the sprinting controller, producing the
+// metrics the paper's figures report.
+//
+// Each run() builds fresh subsystem state (breakers cold, batteries and TES
+// full, room at setpoint), so a DataCenter is a reusable experiment factory.
+//
+// Scale note: the fleet is homogeneous and the workload uniform, so every
+// result is invariant to `fleet.pdu_count` (all per-PDU state evolves
+// identically and every rating scales linearly). Experiments may lower the
+// PDU count for speed without changing any normalized output; the default
+// stays at the paper's 909.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "compute/fleet.h"
+#include "core/config.h"
+#include "core/controller.h"
+#include "core/strategy.h"
+#include "sim/recorder.h"
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::core {
+
+struct RunOptions {
+  Mode mode = Mode::kControlled;
+  /// Record full per-tick channels into RunResult::recorder.
+  bool record = false;
+  /// Optional utility-feed health over time (fraction of the DC rating in
+  /// [0, 1]); must outlive the run. See
+  /// SprintingController::set_supply_fraction.
+  const TimeSeries* supply_fraction = nullptr;
+  /// Optional backup generator used during supply disturbances; its state
+  /// is the caller's (it is NOT reset between runs).
+  power::DieselGenerator* generator = nullptr;
+};
+
+struct RunResult {
+  /// Time-weighted mean achieved (normalized) throughput.
+  double avg_achieved = 0.0;
+  /// Same metric for the analytic no-sprint baseline min(demand, 1).
+  double avg_achieved_nosprint = 0.0;
+  /// avg_achieved / avg_achieved_nosprint — the paper's "average
+  /// performance normalized to the performance without sprinting".
+  double performance_factor = 0.0;
+  /// Fraction of offered demand dropped.
+  double drop_fraction = 0.0;
+  /// Time-average realized sprinting degree over the burst (demand > 1)
+  /// time — the Oracle run's value is the Heuristic's "real best average
+  /// sprinting degree". 1 when the trace has no burst.
+  double avg_sprint_degree = 1.0;
+  Duration sprint_time = Duration::zero();
+  /// Time spent in each SprintPhase (normal, cb-overload, ups-assist,
+  /// tes-cooling, shutdown) — the paper's Fig. 4 T1..T4 structure.
+  std::array<Duration, 5> phase_time{};
+  bool tripped = false;
+  Duration trip_time = Duration::infinity();
+  Energy ups_energy;
+  Energy tes_saved_energy;
+  Energy pdu_overload_energy;
+  Energy dc_overload_energy;
+  Temperature peak_room_temperature;
+  double min_ups_soc = 1.0;
+  double min_tes_soc = 1.0;
+  /// Battery wear counters of a representative per-PDU bank (uniform fleet):
+  /// discharge events, equivalent full cycles, and the deepest
+  /// depth-of-discharge reached — inputs to power::BatteryLifetimeModel.
+  std::size_t ups_discharge_events = 0;
+  double ups_equivalent_cycles = 0.0;
+  double ups_max_depth = 0.0;
+  /// Per-tick channels (only when RunOptions::record): demand, achieved,
+  /// achieved_nosprint, degree, bound, cores, phase, server_mw, cooling_mw,
+  /// ups_mw, dc_load_mw, room_c, ups_soc, tes_soc, dc_cb_heat, pdu_cb_heat.
+  sim::Recorder recorder;
+};
+
+class DataCenter {
+ public:
+  explicit DataCenter(DataCenterConfig config);
+
+  /// Runs `demand` (normalized trace) under `strategy`. The strategy may be
+  /// null for the baseline modes.
+  [[nodiscard]] RunResult run(const TimeSeries& demand, Strategy* strategy,
+                              const RunOptions& options = {});
+
+  /// EB_tot in degree-seconds with fresh subsystems — the Heuristic
+  /// strategy's budget input.
+  [[nodiscard]] double budget_degree_seconds() const;
+
+  [[nodiscard]] const DataCenterConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Plant;  // fresh-per-run subsystem bundle
+  [[nodiscard]] std::unique_ptr<Plant> make_plant() const;
+
+  DataCenterConfig config_;
+  compute::Fleet fleet_;
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,30 @@
+#include "core/heuristic_strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+HeuristicStrategy::HeuristicStrategy(double estimated_avg_degree,
+                                     double total_budget_degree_seconds,
+                                     double flexibility)
+    : estimated_avg_degree_(std::max(1.0, estimated_avg_degree)),
+      initial_bound_(estimated_avg_degree_ * (1.0 + flexibility)),
+      planned_duration_(
+          Duration::seconds(total_budget_degree_seconds / estimated_avg_degree_)) {
+  DCS_REQUIRE(total_budget_degree_seconds > 0.0, "energy budget must be positive");
+  DCS_REQUIRE(flexibility >= 0.0 && flexibility <= 1.0, "flexibility in [0, 1]");
+}
+
+double HeuristicStrategy::upper_bound(const SprintContext& ctx) {
+  // RT(t) = (SDu_p - t) / SDu_p, floored so a burst outlasting the plan
+  // does not divide by ~0 (the RE numerator is near 0 there anyway).
+  const double rt = std::max(
+      0.02, (planned_duration_ - ctx.elapsed_in_burst) / planned_duration_);
+  const double re = std::clamp(ctx.remaining_energy_fraction, 0.0, 1.0);
+  const double bound = initial_bound_ * (re / rt);
+  return std::clamp(bound, 1.0, ctx.max_degree);
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,42 @@
+// The Heuristic strategy (paper Section V-A, Eqs. (2)-(3)).
+//
+// Given an estimated best average sprinting degree SDe_p (possibly
+// errorful), the initial bound is SDe_ini = SDe_p * (1 + K%) with the
+// user-defined flexibility factor K% (10 % in the paper's experiments).
+// The bound is then scaled online by how fast the additional-energy budget
+// is actually draining:
+//   SDe_u(t) = SDe_ini * RE(t) / RT(t),
+//   RE(t) = EB(t) / EB_tot,   RT(t) = (SDu_p - t) / SDu_p,
+// where the planned sprinting duration SDu_p = EB_tot / SDe_p converts the
+// total budget (expressed in degree-seconds, see controller.h) into time.
+// Draining faster than planned (RE < RT) tightens the bound; slower
+// loosens it.
+#pragma once
+
+#include "core/strategy.h"
+#include "util/units.h"
+
+namespace dcs::core {
+
+class HeuristicStrategy final : public Strategy {
+ public:
+  /// `estimated_avg_degree` is SDe_p; `total_budget_degree_seconds` is
+  /// EB_tot expressed in sprint-degree-seconds; `flexibility` is K% (0.10
+  /// default).
+  HeuristicStrategy(double estimated_avg_degree,
+                    double total_budget_degree_seconds,
+                    double flexibility = 0.10);
+
+  [[nodiscard]] double upper_bound(const SprintContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "heuristic"; }
+
+  [[nodiscard]] double initial_bound() const noexcept { return initial_bound_; }
+  [[nodiscard]] Duration planned_duration() const noexcept { return planned_duration_; }
+
+ private:
+  double estimated_avg_degree_;
+  double initial_bound_;
+  Duration planned_duration_;
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,31 @@
+#include "core/online_strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+OnlineAdaptiveStrategy::OnlineAdaptiveStrategy(
+    const UpperBoundTable* table,
+    const workload::OnlineBurstPredictor::Params& predictor_params)
+    : table_(table), predictor_(predictor_params) {
+  DCS_REQUIRE(table != nullptr, "online strategy needs the upper-bound table");
+}
+
+void OnlineAdaptiveStrategy::observe(const SprintContext& ctx) {
+  predictor_.observe(ctx.demand, ctx.period);
+}
+
+double OnlineAdaptiveStrategy::upper_bound(const SprintContext& ctx) {
+  // Same equivalent-duration trick as PredictionStrategy (Eq. (1)), with
+  // the learned duration forecast in place of BDu_p.
+  const double avg = std::max(1.0, ctx.avg_degree);
+  const Duration equivalent =
+      predictor_.predicted_duration() * (ctx.max_degree / avg);
+  const double bound =
+      table_->lookup(equivalent, predictor_.predicted_max_degree());
+  return std::clamp(bound, 1.0, ctx.max_degree);
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,36 @@
+// Fully-online sprinting strategy: the Prediction strategy's table lookup
+// driven by a self-learned burst forecast instead of an oracle-supplied
+// BDu_p — the practical deployment the paper's Section V-A sketches via the
+// workload-prediction literature. Needs nothing but the demand stream and
+// the (offline-built) upper-bound table.
+#pragma once
+
+#include "core/strategy.h"
+#include "core/upper_bound_table.h"
+#include "workload/online_predictor.h"
+
+namespace dcs::core {
+
+class OnlineAdaptiveStrategy final : public Strategy {
+ public:
+  /// The table is shared and must outlive the strategy.
+  explicit OnlineAdaptiveStrategy(
+      const UpperBoundTable* table,
+      const workload::OnlineBurstPredictor::Params& predictor_params = {});
+
+  void observe(const SprintContext& ctx) override;
+  [[nodiscard]] double upper_bound(const SprintContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "online-adaptive";
+  }
+
+  [[nodiscard]] const workload::OnlineBurstPredictor& predictor() const noexcept {
+    return predictor_;
+  }
+
+ private:
+  const UpperBoundTable* table_;
+  workload::OnlineBurstPredictor predictor_;
+};
+
+}  // namespace dcs::core

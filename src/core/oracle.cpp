@@ -1,0 +1,61 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+OracleResult oracle_search(DataCenter& dc, const TimeSeries& demand,
+                           std::size_t core_stride) {
+  DCS_REQUIRE(core_stride >= 1, "core stride must be at least 1");
+  const auto& chip = dc.config().fleet.server.chip;
+  const std::size_t normal = chip.normal_cores;
+  const std::size_t total = chip.total_cores;
+
+  OracleResult out;
+  for (std::size_t cores = normal; cores <= total;
+       cores = std::min(cores + core_stride, total + 1)) {
+    const double bound =
+        static_cast<double>(cores) / static_cast<double>(normal);
+    ConstantBoundStrategy strategy(bound, "oracle");
+    const RunResult run = dc.run(demand, &strategy);
+    out.sweep.emplace_back(bound, run.performance_factor);
+    if (run.performance_factor > out.best_performance) {
+      out.best_performance = run.performance_factor;
+      out.best_bound = bound;
+    }
+    if (cores == total) break;
+  }
+  return out;
+}
+
+UpperBoundTable build_upper_bound_table(DataCenter& dc,
+                                        std::span<const Duration> durations,
+                                        std::span<const double> degrees,
+                                        const workload::YahooTraceParams& base,
+                                        std::size_t core_stride) {
+  DCS_REQUIRE(durations.size() >= 2, "need at least two durations");
+  DCS_REQUIRE(degrees.size() >= 2, "need at least two degrees");
+  std::vector<double> bounds;
+  bounds.reserve(durations.size() * degrees.size());
+  for (const Duration d : durations) {
+    for (const double degree : degrees) {
+      workload::YahooTraceParams params = base;
+      params.burst_duration = d;
+      params.burst_degree = degree;
+      // Keep the burst inside the trace window.
+      if (params.burst_start + params.burst_duration > params.length) {
+        params.length = params.burst_start + params.burst_duration +
+                        Duration::minutes(5);
+      }
+      const TimeSeries trace = workload::generate_yahoo_trace(params);
+      bounds.push_back(oracle_search(dc, trace, core_stride).best_bound);
+    }
+  }
+  return UpperBoundTable(std::vector<Duration>(durations.begin(), durations.end()),
+                         std::vector<double>(degrees.begin(), degrees.end()),
+                         std::move(bounds));
+}
+
+}  // namespace dcs::core

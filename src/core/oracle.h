@@ -1,0 +1,39 @@
+// The Oracle strategy (paper Section V-A): with perfect knowledge of the
+// burst, exhaustively search the constant sprinting-degree upper bound that
+// maximizes average performance. Impractical online, it serves as the
+// reference the other strategies are compared against, and it populates the
+// upper-bound table the Prediction strategy consults.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/datacenter.h"
+#include "core/strategy.h"
+#include "core/upper_bound_table.h"
+#include "util/time_series.h"
+#include "workload/yahoo_trace.h"
+
+namespace dcs::core {
+
+struct OracleResult {
+  double best_bound = 1.0;
+  double best_performance = 1.0;
+  /// Every (bound, performance) point evaluated.
+  std::vector<std::pair<double, double>> sweep;
+};
+
+/// Exhaustive search over constant upper bounds (one candidate per
+/// `core_stride` cores between the normal and total core count).
+[[nodiscard]] OracleResult oracle_search(DataCenter& dc, const TimeSeries& demand,
+                                         std::size_t core_stride = 2);
+
+/// Builds the (burst duration x max burst degree) -> optimal bound table by
+/// running the oracle search on synthetic Yahoo-style bursts (`base` sets
+/// everything but the burst duration/degree).
+[[nodiscard]] UpperBoundTable build_upper_bound_table(
+    DataCenter& dc, std::span<const Duration> durations,
+    std::span<const double> degrees, const workload::YahooTraceParams& base,
+    std::size_t core_stride = 2);
+
+}  // namespace dcs::core

@@ -1,0 +1,28 @@
+#include "core/prediction_strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+PredictionStrategy::PredictionStrategy(Duration predicted_duration,
+                                       const UpperBoundTable* table)
+    : predicted_duration_(predicted_duration), table_(table) {
+  DCS_REQUIRE(predicted_duration >= Duration::zero(),
+              "predicted duration must be non-negative");
+  DCS_REQUIRE(table != nullptr, "prediction strategy needs the upper-bound table");
+}
+
+double PredictionStrategy::upper_bound(const SprintContext& ctx) {
+  // Eq. (1): BDu_e(t) = BDu_p * (SDe_max / SDe_avg(t)). Early in the burst
+  // SDe_avg is ~1 which inflates the equivalent duration and keeps the bound
+  // conservative; as the fleet actually sprints, SDe_avg -> bound and the
+  // equivalent duration approaches the prediction.
+  const double avg = std::max(1.0, ctx.avg_degree);
+  last_equivalent_ = predicted_duration_ * (ctx.max_degree / avg);
+  const double bound = table_->lookup(last_equivalent_, ctx.max_demand_in_burst);
+  return std::clamp(bound, 1.0, ctx.max_degree);
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,38 @@
+// The Prediction strategy (paper Section V-A, Eq. (1)).
+//
+// Given a predicted burst duration BDu_p, it tracks the average sprinting
+// degree since the burst began and derives the *equivalent* burst duration
+//   BDu_e(t) = BDu_p * (SDe_max / SDe_avg(t)),
+// then selects the optimal upper bound for BDu_e from the Oracle-built
+// upper-bound table. Intuition: if the fleet has been sprinting below the
+// maximum degree, the energy budget stretches over a proportionally longer
+// equivalent burst, so a more generous bound is affordable.
+#pragma once
+
+#include "core/strategy.h"
+#include "core/upper_bound_table.h"
+#include "util/units.h"
+
+namespace dcs::core {
+
+class PredictionStrategy final : public Strategy {
+ public:
+  /// `predicted_duration` is BDu_p (possibly errorful). The table is shared
+  /// and must outlive the strategy.
+  PredictionStrategy(Duration predicted_duration, const UpperBoundTable* table);
+
+  [[nodiscard]] double upper_bound(const SprintContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "prediction"; }
+
+  /// Equivalent burst duration computed at the last upper_bound() call.
+  [[nodiscard]] Duration last_equivalent_duration() const noexcept {
+    return last_equivalent_;
+  }
+
+ private:
+  Duration predicted_duration_;
+  const UpperBoundTable* table_;
+  Duration last_equivalent_ = Duration::zero();
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,22 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+double GreedyStrategy::upper_bound(const SprintContext& ctx) {
+  return ctx.max_degree;
+}
+
+ConstantBoundStrategy::ConstantBoundStrategy(double bound, std::string_view name)
+    : bound_(bound), name_(name) {
+  DCS_REQUIRE(bound >= 1.0, "bound must be at least 1");
+}
+
+double ConstantBoundStrategy::upper_bound(const SprintContext& ctx) {
+  return std::min(bound_, ctx.max_degree);
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,81 @@
+// Sprinting-degree strategies (paper Section V-A).
+//
+// Each control period the strategy returns an *upper bound* on the
+// sprinting degree; the controller activates at most that many cores (and
+// fewer when the demand does not need them or the power/cooling plant
+// cannot feed them). Four strategies are provided across this and the
+// sibling headers:
+//   Greedy      - no bound beyond the hardware maximum;
+//   Oracle      - the best constant bound, found by exhaustive search with
+//                 perfect burst knowledge (core/oracle.h);
+//   Prediction  - Eq. (1): equivalent burst duration -> table lookup;
+//   Heuristic   - Eq. (2)-(3): remaining-energy / remaining-time scaling.
+#pragma once
+
+#include <string_view>
+
+#include "util/units.h"
+
+namespace dcs::core {
+
+/// Everything a strategy may observe at one control period.
+struct SprintContext {
+  /// Time since the current burst (demand > 1) began.
+  Duration elapsed_in_burst = Duration::zero();
+  /// Current normalized demand.
+  double demand = 0.0;
+  /// Hardware maximum sprinting degree (total / normal cores).
+  double max_degree = 1.0;
+  /// Maximum demand observed since the burst began.
+  double max_demand_in_burst = 1.0;
+  /// Time-average of the real sprinting degree since the burst began
+  /// (SDe_avg(t) in Eq. (1)); 1 before any sprinting happened.
+  double avg_degree = 1.0;
+  /// Remaining / total additional-energy budget (RE(t) in Eq. (3)).
+  double remaining_energy_fraction = 1.0;
+  /// Width of this control period.
+  Duration period = Duration::seconds(1);
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Upper bound of the sprinting degree for this control period (>= 1).
+  [[nodiscard]] virtual double upper_bound(const SprintContext& ctx) = 0;
+
+  /// Notifies the strategy that a new burst began (demand crossed 1).
+  virtual void on_burst_start() {}
+
+  /// Called every control period, in and out of bursts, so adaptive
+  /// strategies can learn the workload (upper_bound() is only consulted
+  /// while a burst is being sprinted).
+  virtual void observe(const SprintContext& ctx) { (void)ctx; }
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Greedy: activate just enough cores for the demand, with no bound other
+/// than the hardware maximum.
+class GreedyStrategy final : public Strategy {
+ public:
+  [[nodiscard]] double upper_bound(const SprintContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "greedy"; }
+};
+
+/// A fixed upper bound. The Oracle strategy is a ConstantBoundStrategy whose
+/// bound came from exhaustive search (see core/oracle.h).
+class ConstantBoundStrategy final : public Strategy {
+ public:
+  explicit ConstantBoundStrategy(double bound, std::string_view name = "constant");
+
+  [[nodiscard]] double upper_bound(const SprintContext& ctx) override;
+  [[nodiscard]] double bound() const noexcept { return bound_; }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+ private:
+  double bound_;
+  std::string_view name_;
+};
+
+}  // namespace dcs::core

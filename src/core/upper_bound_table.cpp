@@ -1,0 +1,65 @@
+#include "core/upper_bound_table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/interpolate.h"
+
+namespace dcs::core {
+namespace {
+
+/// Index of the interval containing x (clamped), plus the within-interval
+/// fraction for interpolation.
+template <class T, class ToDouble>
+std::pair<std::size_t, double> locate(const std::vector<T>& axis, double x,
+                                      ToDouble to_double) {
+  if (x <= to_double(axis.front())) return {0, 0.0};
+  if (x >= to_double(axis.back())) return {axis.size() - 2, 1.0};
+  std::size_t i = 0;
+  while (i + 2 < axis.size() && to_double(axis[i + 1]) <= x) ++i;
+  const double lo = to_double(axis[i]);
+  const double hi = to_double(axis[i + 1]);
+  return {i, (x - lo) / (hi - lo)};
+}
+
+}  // namespace
+
+UpperBoundTable::UpperBoundTable(std::vector<Duration> durations,
+                                 std::vector<double> degrees,
+                                 std::vector<double> bounds)
+    : durations_(std::move(durations)),
+      degrees_(std::move(degrees)),
+      bounds_(std::move(bounds)) {
+  DCS_REQUIRE(durations_.size() >= 2, "need at least two durations");
+  DCS_REQUIRE(degrees_.size() >= 2, "need at least two degrees");
+  DCS_REQUIRE(bounds_.size() == durations_.size() * degrees_.size(),
+              "bounds grid size mismatch");
+  for (std::size_t i = 1; i < durations_.size(); ++i) {
+    DCS_REQUIRE(durations_[i - 1] < durations_[i], "durations must increase");
+  }
+  for (std::size_t i = 1; i < degrees_.size(); ++i) {
+    DCS_REQUIRE(degrees_[i - 1] < degrees_[i], "degrees must increase");
+  }
+  for (double b : bounds_) DCS_REQUIRE(b >= 1.0, "bounds must be at least 1");
+}
+
+double UpperBoundTable::bound_at(std::size_t duration_idx,
+                                 std::size_t degree_idx) const {
+  DCS_REQUIRE(duration_idx < durations_.size(), "duration index out of range");
+  DCS_REQUIRE(degree_idx < degrees_.size(), "degree index out of range");
+  return bounds_[duration_idx * degrees_.size() + degree_idx];
+}
+
+double UpperBoundTable::lookup(Duration burst_duration, double max_degree) const {
+  const auto [i, fi] =
+      locate(durations_, burst_duration.sec(),
+             [](Duration d) { return d.sec(); });
+  const auto [j, fj] = locate(degrees_, max_degree, [](double d) { return d; });
+  const double v00 = bound_at(i, j);
+  const double v01 = bound_at(i, j + 1);
+  const double v10 = bound_at(i + 1, j);
+  const double v11 = bound_at(i + 1, j + 1);
+  return lerp(lerp(v00, v01, fj), lerp(v10, v11, fj), fi);
+}
+
+}  // namespace dcs::core

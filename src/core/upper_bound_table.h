@@ -1,0 +1,41 @@
+// The Oracle-built table of optimal sprinting-degree upper bounds, indexed
+// by (burst duration, maximum burst degree) — paper Section V-A: "We can
+// also use the Oracle strategy to make an upper bound table, listing the
+// optimal upper bounds for different burst durations and maximum burst
+// degree." The Prediction strategy looks its bound up here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dcs::core {
+
+class UpperBoundTable {
+ public:
+  /// `durations` and `degrees` are the grid axes (strictly increasing);
+  /// `bounds[i * degrees.size() + j]` is the optimal bound for
+  /// (durations[i], degrees[j]).
+  UpperBoundTable(std::vector<Duration> durations, std::vector<double> degrees,
+                  std::vector<double> bounds);
+
+  /// Bilinear interpolation, clamped to the grid edges.
+  [[nodiscard]] double lookup(Duration burst_duration, double max_degree) const;
+
+  [[nodiscard]] const std::vector<Duration>& durations() const noexcept {
+    return durations_;
+  }
+  [[nodiscard]] const std::vector<double>& degrees() const noexcept {
+    return degrees_;
+  }
+  [[nodiscard]] double bound_at(std::size_t duration_idx,
+                                std::size_t degree_idx) const;
+
+ private:
+  std::vector<Duration> durations_;
+  std::vector<double> degrees_;
+  std::vector<double> bounds_;
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,244 @@
+#include "core/zonal_controller.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+namespace {
+const Power kPowerEps = Power::watts(1e-6);
+}
+
+ZonalController::ZonalController(const DataCenterConfig& config,
+                                 std::vector<ZoneSpec> zones)
+    : config_(config),
+      fleet_(config.fleet),
+      topology_(config.topology_params()),
+      tes_(config.has_tes
+               ? std::make_unique<thermal::TesTank>("dc/tes", config.tes_params())
+               : nullptr),
+      cooling_(config.cooling_params(tes_.get())),
+      room_(config.room_params()) {
+  config_.validate();
+  DCS_REQUIRE(!zones.empty(), "need at least one zone");
+  std::size_t first = 0;
+  for (const ZoneSpec& spec : zones) {
+    DCS_REQUIRE(spec.pdu_count > 0, "zone must own at least one PDU");
+    DCS_REQUIRE(spec.demand != nullptr && !spec.demand->empty(),
+                "zone needs a demand trace");
+    ZoneRuntime rt;
+    rt.spec = spec;
+    rt.first_pdu = first;
+    first += spec.pdu_count;
+    zones_.push_back(rt);
+  }
+  DCS_REQUIRE(first == topology_.pdu_count(),
+              "zones must tile the topology exactly");
+}
+
+std::size_t ZonalController::shed_to_grant(double demand, Power grant,
+                                           Power ups_max, Duration dt,
+                                           std::size_t first_pdu) const {
+  (void)dt;
+  const compute::Chip& chip = fleet_.server().chip();
+  const std::size_t normal = chip.params().normal_cores;
+  const double max_degree = chip.max_sprint_degree();
+  const std::size_t desired = fleet_.operate(demand, max_degree).active_cores;
+  const Power pdu_allow =
+      topology_.pdus()[first_pdu].breaker().max_load_for(config_.cb_reserve);
+  for (std::size_t cores = desired; cores > normal; --cores) {
+    const auto op = fleet_.operate_with_cores(demand, cores);
+    const Power over =
+        op.per_pdu > pdu_allow ? op.per_pdu - pdu_allow : Power::zero();
+    const Power ups_use = std::min(over, ups_max);
+    const Power grid = op.per_pdu - ups_use;
+    if (grid <= pdu_allow + kPowerEps && grid <= grant + kPowerEps) {
+      return cores;
+    }
+  }
+  return normal;
+}
+
+ZonalStepResult ZonalController::step(Duration now, Duration dt) {
+  const compute::Chip& chip = fleet_.server().chip();
+  const double max_degree = chip.max_sprint_degree();
+
+  // Facility-wide burst clock drives the TES activation rule.
+  bool any_burst = false;
+  std::vector<double> demand(zones_.size());
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    demand[z] = zones_[z].spec.demand->at(now);
+    any_burst = any_burst || demand[z] > 1.0;
+  }
+  if (any_burst) {
+    first_burst_elapsed_ += dt;
+    any_burst_seen_ = true;
+  }
+  const bool tes_active = tes_ != nullptr && !tes_->empty() && any_burst &&
+                          first_burst_elapsed_ >= config_.tes_activation_time();
+
+  // Desired operating point per zone (greedy within the zone).
+  struct ZoneWant {
+    compute::Fleet::Operation op;
+    Power ups_max;        // per PDU
+    Power pdu_allow;      // per PDU
+  };
+  std::vector<ZoneWant> wants(zones_.size());
+  Power fleet_power = Power::zero();
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    const ZoneRuntime& rt = zones_[z];
+    const power::Pdu& rep = topology_.pdus()[rt.first_pdu];
+    ZoneWant w;
+    w.op = fleet_.operate(demand[z], max_degree);
+    w.ups_max = std::min(rep.ups().max_discharge(), rep.ups().available() / dt);
+    w.pdu_allow = rep.breaker().max_load_for(config_.cb_reserve);
+    wants[z] = w;
+    fleet_power += w.op.per_pdu * static_cast<double>(rt.spec.pdu_count);
+  }
+
+  // Substation budget after cooling, shared max-min fairly (Section V-B).
+  Power cooling_elec =
+      cooling_.electrical_projection(fleet_power, tes_active, Power::zero());
+  const Power dc_allow =
+      topology_.dc_breaker().max_load_for(config_.cb_reserve);
+  Power parent = dc_allow > cooling_elec ? dc_allow - cooling_elec : Power::zero();
+
+  std::vector<CbBudgetRequest> requests(zones_.size());
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    const auto n = static_cast<double>(zones_[z].spec.pdu_count);
+    const Power over = wants[z].op.per_pdu > wants[z].pdu_allow
+                           ? wants[z].op.per_pdu - wants[z].pdu_allow
+                           : Power::zero();
+    const Power ups_use = std::min(over, wants[z].ups_max);
+    requests[z].demand = (wants[z].op.per_pdu - ups_use) * n;
+    requests[z].child_allow = wants[z].pdu_allow * n;
+  }
+  // TES chiller relief raises the parent budget when the zones ask for more
+  // than the substation may carry (phase 3's "reduce the chiller power").
+  {
+    Power total_ask = Power::zero();
+    for (const auto& r : requests) total_ask += std::min(r.demand, r.child_allow);
+    if (total_ask > parent && tes_active) {
+      const Power chiller = cooling_.chiller_electrical(
+          std::min(fleet_power, cooling_.thermal_capacity()));
+      Power tes_rate_left = tes_->stored() / dt;
+      const Power excess = fleet_power > cooling_.thermal_capacity()
+                               ? fleet_power - cooling_.thermal_capacity()
+                               : Power::zero();
+      tes_rate_left = tes_rate_left > excess ? tes_rate_left - excess
+                                             : Power::zero();
+      const Power relief =
+          std::min({total_ask - parent, chiller,
+                    tes_rate_left * cooling_.chiller_elec_per_heat()});
+      parent += relief;
+      cooling_elec -= relief;  // projection of the relieved plant
+    }
+  }
+  const std::vector<Power> grants = allocate_cb_budget(parent, requests);
+
+  // Shed each zone to its grant, then commit.
+  ZonalStepResult result;
+  result.zones.resize(zones_.size());
+  std::vector<Power> server_power(topology_.pdu_count());
+  std::vector<Power> ups_request(topology_.pdu_count());
+  Power committed_fleet = Power::zero();
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    ZoneRuntime& rt = zones_[z];
+    const auto n = static_cast<double>(rt.spec.pdu_count);
+    const Power grant_per_pdu = grants[z] / n;
+    const std::size_t cores = shed_to_grant(demand[z], grant_per_pdu,
+                                            wants[z].ups_max, dt, rt.first_pdu);
+    const auto op = fleet_.operate_with_cores(demand[z], cores);
+    const Power over = op.per_pdu > wants[z].pdu_allow
+                           ? op.per_pdu - wants[z].pdu_allow
+                           : Power::zero();
+    const Power ups_use = std::min(over, wants[z].ups_max);
+    for (std::size_t i = 0; i < rt.spec.pdu_count; ++i) {
+      server_power[rt.first_pdu + i] = op.per_pdu;
+      ups_request[rt.first_pdu + i] = ups_use;
+    }
+    committed_fleet += op.per_pdu * n;
+
+    ZoneState& state = result.zones[z];
+    state.demand = demand[z];
+    state.achieved = op.achieved;
+    state.degree = op.degree;
+    state.active_cores = op.active_cores;
+    state.grid_power = (op.per_pdu - ups_use) * n;
+    state.ups_power = ups_use * n;
+    if (op.degree > 1.0 + 1e-9) {
+      sprint_time_ += dt / static_cast<double>(zones_.size());
+    }
+    if (demand[z] > 1.0) {
+      rt.in_burst = true;
+      rt.burst_elapsed += dt;
+    } else {
+      rt.in_burst = false;
+    }
+  }
+
+  // Physical commit: cooling (with the relief it can actually deliver),
+  // then the power topology, then the room.
+  Power relief_commit = Power::zero();
+  {
+    Power grid_total = Power::zero();
+    for (std::size_t z = 0; z < zones_.size(); ++z) {
+      grid_total += result.zones[z].grid_power;
+    }
+    const Power no_relief_cooling =
+        cooling_.electrical_projection(committed_fleet, tes_active, Power::zero());
+    const Power dc_load = grid_total + no_relief_cooling;
+    if (dc_load > dc_allow && tes_active) {
+      relief_commit = dc_load - dc_allow;
+    }
+  }
+  const thermal::CoolingStep cstep =
+      cooling_.step(committed_fleet, tes_active, relief_commit, dt);
+  const power::Flows flows =
+      topology_.step(server_power, ups_request, cstep.electrical, dt);
+  room_.step(committed_fleet, cstep.heat_absorbed, dt);
+
+  ups_energy_ += flows.ups_total * dt;
+  result.dc_load = flows.dc_load;
+  result.cooling_power = cstep.electrical;
+  result.tes_active = cstep.tes_active;
+  result.tripped = flows.dc_tripped || flows.any_pdu_tripped;
+  DCS_ENSURE(!result.tripped, "zonal sprinting must never trip a breaker");
+  return result;
+}
+
+ZonalRunResult ZonalController::run() {
+  const Duration end = zones_.front().spec.demand->end_time();
+  for (const ZoneRuntime& rt : zones_) {
+    DCS_REQUIRE(rt.spec.demand->end_time() == end,
+                "all zones must share the trace horizon");
+  }
+  const Duration dt = config_.control_period;
+  std::vector<double> achieved(zones_.size(), 0.0);
+  std::vector<double> baseline(zones_.size(), 0.0);
+  ZonalRunResult out;
+  for (Duration now = Duration::zero(); now < end; now += dt) {
+    const ZonalStepResult step_result = step(now, dt);
+    for (std::size_t z = 0; z < zones_.size(); ++z) {
+      achieved[z] += step_result.zones[z].achieved * dt.sec();
+      baseline[z] += std::min(step_result.zones[z].demand, 1.0) * dt.sec();
+    }
+    out.tripped = out.tripped || step_result.tripped;
+  }
+  double total_achieved = 0.0, total_baseline = 0.0;
+  out.performance_factor.resize(zones_.size());
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    out.performance_factor[z] =
+        baseline[z] > 0.0 ? achieved[z] / baseline[z] : 1.0;
+    const auto weight = static_cast<double>(zones_[z].spec.pdu_count);
+    total_achieved += achieved[z] * weight;
+    total_baseline += baseline[z] * weight;
+  }
+  out.total_performance_factor =
+      total_baseline > 0.0 ? total_achieved / total_baseline : 1.0;
+  out.sprint_time = sprint_time_;
+  out.ups_energy = ups_energy_;
+  return out;
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,100 @@
+// Zonal sprinting: non-uniform bursts across PDU groups.
+//
+// The paper's experiments spread load evenly, but its Section V-B breaker
+// rule is written for the general case: "if the power overload of a parent
+// CB has already reached its upper bound, then a power increase on any of
+// its child CBs demands a power decrease on some other child CBs". This
+// controller implements that case — the fleet is partitioned into zones
+// (contiguous runs of PDUs) with independent demand streams (each
+// normalized to its own zone's sprint-free capacity), and each control
+// period the substation budget left after cooling is divided across zones
+// max-min fairly (core/cb_budget.h). A zone whose grant cannot feed its
+// desired cores sheds cores; UPS banks cover each zone's gap above its own
+// breaker bound. The TES phase stays facility-wide.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "compute/fleet.h"
+#include "core/cb_budget.h"
+#include "core/config.h"
+#include "power/topology.h"
+#include "thermal/cooling_plant.h"
+#include "thermal/room_model.h"
+#include "thermal/tes_tank.h"
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::core {
+
+struct ZoneSpec {
+  std::size_t pdu_count = 0;        ///< PDUs in this zone (contiguous)
+  const TimeSeries* demand = nullptr;  ///< normalized to the zone's capacity
+};
+
+struct ZoneState {
+  double demand = 0.0;
+  double achieved = 0.0;
+  double degree = 1.0;
+  std::size_t active_cores = 0;
+  Power grid_power;  ///< zone total grid draw
+  Power ups_power;   ///< zone total UPS discharge
+};
+
+struct ZonalStepResult {
+  std::vector<ZoneState> zones;
+  Power dc_load;
+  Power cooling_power;
+  bool tes_active = false;
+  bool tripped = false;
+};
+
+struct ZonalRunResult {
+  /// Per-zone time-weighted mean achieved / no-sprint baseline.
+  std::vector<double> performance_factor;
+  /// Aggregate performance over all zones (capacity-weighted).
+  double total_performance_factor = 0.0;
+  bool tripped = false;
+  Duration sprint_time = Duration::zero();
+  Energy ups_energy;
+};
+
+class ZonalController {
+ public:
+  /// The zones must tile the topology exactly (sum of pdu_count == PDUs).
+  ZonalController(const DataCenterConfig& config, std::vector<ZoneSpec> zones);
+
+  /// Runs the zones' demand traces (all must share the same end time).
+  [[nodiscard]] ZonalRunResult run();
+
+  /// One control period (exposed for tests).
+  [[nodiscard]] ZonalStepResult step(Duration now, Duration dt);
+
+ private:
+  struct ZoneRuntime {
+    ZoneSpec spec;
+    std::size_t first_pdu = 0;
+    bool in_burst = false;
+    Duration burst_elapsed = Duration::zero();
+  };
+
+  [[nodiscard]] std::size_t shed_to_grant(double demand, Power grant,
+                                          Power ups_max, Duration dt,
+                                          std::size_t first_pdu) const;
+
+  DataCenterConfig config_;
+  compute::Fleet fleet_;
+  power::PowerTopology topology_;
+  std::unique_ptr<thermal::TesTank> tes_;
+  thermal::CoolingPlant cooling_;
+  thermal::RoomModel room_;
+  std::vector<ZoneRuntime> zones_;
+  Duration sprint_time_ = Duration::zero();
+  Energy ups_energy_ = Energy::zero();
+  bool any_burst_seen_ = false;
+  Duration first_burst_elapsed_ = Duration::zero();
+};
+
+}  // namespace dcs::core

@@ -1,0 +1,28 @@
+#include "econ/cost_model.h"
+
+#include "util/check.h"
+
+namespace dcs::econ {
+
+CostModel::CostModel(const Params& params) : params_(params) {
+  DCS_REQUIRE(params_.core_cost_usd >= 0.0, "core cost must be non-negative");
+  DCS_REQUIRE(params_.amortization_months > 0, "amortization must be positive");
+  DCS_REQUIRE(params_.normal_cores_per_server > 0, "need normally-active cores");
+  DCS_REQUIRE(params_.servers > 0, "need at least one server");
+}
+
+double CostModel::monthly_per_server_usd(double max_sprint_degree) const {
+  DCS_REQUIRE(max_sprint_degree >= 1.0, "sprint degree must be at least 1");
+  const double extra_cores =
+      static_cast<double>(params_.normal_cores_per_server) *
+      (max_sprint_degree - 1.0);
+  return params_.core_cost_usd * extra_cores /
+         static_cast<double>(params_.amortization_months);
+}
+
+double CostModel::monthly_total_usd(double max_sprint_degree) const {
+  return monthly_per_server_usd(max_sprint_degree) *
+         static_cast<double>(params_.servers);
+}
+
+}  // namespace dcs::econ

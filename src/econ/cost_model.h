@@ -1,0 +1,39 @@
+// Cost side of the paper's Section V-D analysis: provisioning cores that
+// are normally dark.
+//
+// Defaults follow the paper: $40 per additional core [37], amortized over
+// 48 months, 10 normally-active cores per server (Intel Xeon 10-core, as in
+// Amazon EC2 [1]), and an average-scale data center of 18,750 servers
+// ((25,000 + 12,500) / 2, after [26], [27], [28], [40]).
+#pragma once
+
+#include <cstddef>
+
+namespace dcs::econ {
+
+class CostModel {
+ public:
+  struct Params {
+    double core_cost_usd = 40.0;
+    int amortization_months = 48;
+    std::size_t normal_cores_per_server = 10;
+    std::size_t servers = 18750;
+  };
+
+  CostModel() : CostModel(Params{}) {}
+  explicit CostModel(const Params& params);
+
+  /// Monthly per-server cost of the dark cores for a maximum sprinting
+  /// degree N (total cores / normal cores): $40 * 10(N-1) / 48 = $8.3(N-1).
+  [[nodiscard]] double monthly_per_server_usd(double max_sprint_degree) const;
+
+  /// Monthly data-center-wide cost: $156,250 (N-1) with the defaults.
+  [[nodiscard]] double monthly_total_usd(double max_sprint_degree) const;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace dcs::econ

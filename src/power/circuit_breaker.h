@@ -1,0 +1,66 @@
+// Circuit breaker with a thermal-accumulator trip model.
+//
+// A bimetal trip element integrates heating: under a time-varying load the
+// breaker trips when the accumulated "trip fraction" sum(dt / t_trip(r(t)))
+// reaches 1. For a constant load this reduces exactly to the published trip
+// curve; for the controller it yields the quantity the paper monitors — the
+// *remaining time before the CB trips if the current overload continues*.
+// When the load drops back to or below rating the element cools with an
+// exponential time constant.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "power/trip_curve.h"
+#include "util/units.h"
+
+namespace dcs::power {
+
+class CircuitBreaker {
+ public:
+  struct Params {
+    Power rated;
+    TripCurve curve{};
+    /// Exponential cooling time constant of the thermal element when the
+    /// load is at or below the no-trip ratio.
+    Duration cooling_tau = Duration::minutes(10);
+  };
+
+  CircuitBreaker(std::string name, const Params& params);
+
+  /// Advances the thermal state under `load` for `dt`. Once the trip
+  /// fraction reaches 1 the breaker opens and stays open until reset().
+  void apply_load(Power load, Duration dt);
+
+  [[nodiscard]] bool tripped() const noexcept { return tripped_; }
+  /// Trip fraction in [0, 1]; 1 means tripped.
+  [[nodiscard]] double thermal_state() const noexcept { return heat_; }
+
+  [[nodiscard]] double load_ratio(Power load) const;
+
+  /// Time until trip if `load` were held constant from the current thermal
+  /// state. Infinite when the load cannot trip the breaker.
+  [[nodiscard]] Duration time_to_trip_at(Power load) const;
+
+  /// Largest load sustainable for at least `hold` from the current thermal
+  /// state (the controller's overload upper bound). Never below rated power:
+  /// rated load is always sustainable.
+  [[nodiscard]] Power max_load_for(Duration hold) const;
+
+  /// Closes the breaker again and clears the thermal state (maintenance
+  /// action; in the uncontrolled-sprinting experiment a trip is terminal).
+  void reset() noexcept;
+
+  [[nodiscard]] Power rated() const noexcept { return params_.rated; }
+  [[nodiscard]] const TripCurve& curve() const noexcept { return params_.curve; }
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  Params params_;
+  double heat_ = 0.0;  // trip fraction in [0, 1]
+  bool tripped_ = false;
+};
+
+}  // namespace dcs::power

@@ -1,0 +1,39 @@
+#include "power/generator.h"
+
+#include "util/check.h"
+
+namespace dcs::power {
+
+DieselGenerator::DieselGenerator(std::string name, const Params& params)
+    : name_(std::move(name)), params_(params) {
+  DCS_REQUIRE(params_.rated > Power::zero(), "generator rating must be positive");
+  DCS_REQUIRE(params_.start_delay > Duration::zero(),
+              "start delay must be positive");
+}
+
+void DieselGenerator::request_start() noexcept {
+  if (running_ || starting_) return;
+  starting_ = true;
+  start_elapsed_ = Duration::zero();
+}
+
+void DieselGenerator::stop() noexcept {
+  running_ = false;
+  starting_ = false;
+  start_elapsed_ = Duration::zero();
+}
+
+void DieselGenerator::tick(Duration dt) noexcept {
+  if (!starting_) return;
+  start_elapsed_ += dt;
+  if (start_elapsed_ >= params_.start_delay) {
+    starting_ = false;
+    running_ = true;
+  }
+}
+
+Power DieselGenerator::available() const noexcept {
+  return running_ ? params_.rated : Power::zero();
+}
+
+}  // namespace dcs::power

@@ -1,0 +1,47 @@
+// Backup diesel generator (Section III-B background: the UPS bridges the
+// tens of seconds a generator needs to start). Used by the supply-disturbance
+// experiments: when the utility feed derates, the controller aborts the
+// sprint, requests a generator start, and the UPS carries the gap until the
+// generator is online.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace dcs::power {
+
+class DieselGenerator {
+ public:
+  struct Params {
+    Power rated;
+    /// Crank-to-synchronized delay (typically tens of seconds).
+    Duration start_delay = Duration::seconds(45);
+  };
+
+  DieselGenerator(std::string name, const Params& params);
+
+  /// Begins the start sequence (idempotent while starting or running).
+  void request_start() noexcept;
+  /// Shuts the generator down immediately.
+  void stop() noexcept;
+  /// Advances time; completes the start sequence when due.
+  void tick(Duration dt) noexcept;
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] bool starting() const noexcept { return starting_; }
+  /// Power available right now (rated when running, zero otherwise).
+  [[nodiscard]] Power available() const noexcept;
+  [[nodiscard]] Power rated() const noexcept { return params_.rated; }
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  Params params_;
+  bool starting_ = false;
+  bool running_ = false;
+  Duration start_elapsed_ = Duration::zero();
+};
+
+}  // namespace dcs::power

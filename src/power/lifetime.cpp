@@ -1,0 +1,74 @@
+#include "power/lifetime.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs::power {
+namespace {
+
+// Datasheet-shaped cycle-life knots (DoD -> cycles to failure). The LFP
+// figures satisfy the paper's two anchor claims: 10 full discharges/month
+// for 8 years = 960 cycles << 3000, and 200 events/month at 26 % DoD for
+// 8 years = 19,200 cycles < ~21,000.
+PiecewiseCurve make_curve(Chemistry chemistry) {
+  switch (chemistry) {
+    case Chemistry::kLfp:
+      return PiecewiseCurve({{0.10, 60000.0},
+                             {0.20, 28000.0},
+                             {0.30, 16000.0},
+                             {0.50, 8000.0},
+                             {0.80, 4200.0},
+                             {1.00, 3000.0}},
+                            PiecewiseCurve::Scale::kLogLog);
+    case Chemistry::kLeadAcid:
+      return PiecewiseCurve({{0.10, 5500.0},
+                             {0.20, 2800.0},
+                             {0.30, 1900.0},
+                             {0.50, 1100.0},
+                             {0.80, 650.0},
+                             {1.00, 500.0}},
+                            PiecewiseCurve::Scale::kLogLog);
+  }
+  throw std::logic_error("unknown chemistry");
+}
+
+}  // namespace
+
+BatteryLifetimeModel::BatteryLifetimeModel(Chemistry chemistry)
+    : chemistry_(chemistry), cycle_curve_(make_curve(chemistry)) {}
+
+double BatteryLifetimeModel::cycles_to_failure(double depth_of_discharge) const {
+  DCS_REQUIRE(depth_of_discharge > 0.0 && depth_of_discharge <= 1.0,
+              "depth of discharge in (0, 1]");
+  return cycle_curve_(depth_of_discharge);
+}
+
+double BatteryLifetimeModel::damage_per_event(double depth_of_discharge) const {
+  return 1.0 / cycles_to_failure(depth_of_discharge);
+}
+
+double BatteryLifetimeModel::wear_years(double events_per_month,
+                                        double depth_of_discharge) const {
+  DCS_REQUIRE(events_per_month >= 0.0, "events must be non-negative");
+  if (events_per_month == 0.0) return std::numeric_limits<double>::infinity();
+  const double damage_per_year =
+      12.0 * events_per_month * damage_per_event(depth_of_discharge);
+  return 1.0 / damage_per_year;
+}
+
+bool BatteryLifetimeModel::lifetime_neutral(double events_per_month,
+                                            double depth_of_discharge) const {
+  return wear_years(events_per_month, depth_of_discharge) >=
+         required_service_life().hrs() / (24.0 * 365.0);
+}
+
+Duration BatteryLifetimeModel::required_service_life() const {
+  // Paper Section III-B: "4 years for LA and 8 years for LFP".
+  const double years = chemistry_ == Chemistry::kLfp ? 8.0 : 4.0;
+  return Duration::hours(years * 365.0 * 24.0);
+}
+
+}  // namespace dcs::power

@@ -1,0 +1,26 @@
+#include "power/meter.h"
+
+#include "util/check.h"
+
+namespace dcs::power {
+
+PowerMeter::PowerMeter(std::string name, bool keep_series)
+    : name_(std::move(name)), keep_series_(keep_series) {}
+
+void PowerMeter::sample(Duration time, Power value) {
+  stats_.add(value.w());
+  if (keep_series_) series_.push_back(time, value.w());
+}
+
+Energy PowerMeter::energy() const {
+  DCS_REQUIRE(keep_series_, "energy() requires series retention");
+  if (series_.size() < 2) return Energy::zero();
+  return Energy::joules(series_.integral());
+}
+
+const TimeSeries& PowerMeter::series() const {
+  DCS_REQUIRE(keep_series_, "series retention disabled for this meter");
+  return series_;
+}
+
+}  // namespace dcs::power

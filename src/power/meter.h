@@ -1,0 +1,38 @@
+// Power meter: samples a power reading each step and keeps both the running
+// statistics and (optionally) the full series — the software analogue of the
+// Watts Up meters on the paper's testbed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/stats.h"
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::power {
+
+class PowerMeter {
+ public:
+  explicit PowerMeter(std::string name, bool keep_series = true);
+
+  void sample(Duration time, Power value);
+
+  [[nodiscard]] Power mean() const noexcept { return Power::watts(stats_.mean()); }
+  [[nodiscard]] Power peak() const noexcept { return Power::watts(stats_.max()); }
+  [[nodiscard]] Power minimum() const noexcept { return Power::watts(stats_.min()); }
+  [[nodiscard]] std::size_t count() const noexcept { return stats_.count(); }
+  /// Energy integral assuming the reading holds until the next sample.
+  [[nodiscard]] Energy energy() const;
+
+  [[nodiscard]] const TimeSeries& series() const;
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  bool keep_series_;
+  RunningStats stats_;
+  TimeSeries series_;
+};
+
+}  // namespace dcs::power

@@ -1,0 +1,45 @@
+#include "power/pdu.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::power {
+
+Battery::Params Pdu::aggregate(const Battery::Params& per_server,
+                               std::size_t count) {
+  DCS_REQUIRE(count > 0, "PDU needs at least one server");
+  Battery::Params bank = per_server;
+  const auto n = static_cast<double>(count);
+  bank.capacity = per_server.capacity * n;
+  bank.max_discharge = per_server.max_discharge * n;
+  bank.max_recharge = per_server.max_recharge * n;
+  return bank;
+}
+
+Pdu::Pdu(std::string name, const Params& params)
+    : name_(std::move(name)),
+      params_(params),
+      breaker_(name_ + "/cb", params.breaker),
+      ups_(name_ + "/ups", aggregate(params.battery_per_server, params.server_count)) {}
+
+Power Pdu::step(Power server_power, Power ups_request, Duration dt) {
+  DCS_REQUIRE(server_power >= Power::zero(), "server power must be non-negative");
+  DCS_REQUIRE(ups_request >= Power::zero(), "ups request must be non-negative");
+  const Power want = std::min(ups_request, server_power);
+  last_ups_power_ = ups_.discharge(want, dt);
+  last_grid_load_ = server_power - last_ups_power_;
+  breaker_.apply_load(last_grid_load_, dt);
+  return last_grid_load_;
+}
+
+Power Pdu::recharge_step(Power server_power, Power recharge_power, Duration dt) {
+  DCS_REQUIRE(server_power >= Power::zero(), "server power must be non-negative");
+  const Power drawn = ups_.recharge(recharge_power, dt);
+  last_ups_power_ = Power::zero();
+  last_grid_load_ = server_power + drawn;
+  breaker_.apply_load(last_grid_load_, dt);
+  return last_grid_load_;
+}
+
+}  // namespace dcs::power

@@ -1,0 +1,24 @@
+#include "power/relay.h"
+
+namespace dcs::power {
+
+Relay::Relay(Duration switch_delay, bool initially_closed)
+    : switch_delay_(switch_delay), closed_(initially_closed) {}
+
+void Relay::command(bool closed) noexcept {
+  if (closed == closed_ && !pending_) return;
+  target_ = closed;
+  pending_ = true;
+  elapsed_ = Duration::zero();
+}
+
+void Relay::tick(Duration dt) noexcept {
+  if (!pending_) return;
+  elapsed_ += dt;
+  if (elapsed_ >= switch_delay_) {
+    closed_ = target_;
+    pending_ = false;
+  }
+}
+
+}  // namespace dcs::power

@@ -1,0 +1,33 @@
+// AC-switch-controlled relay from the hardware testbed (Section VI-B): the
+// controller commands it open/closed; the contact state follows after a
+// short switching delay (< 10 ms on the real hardware, well under the
+// server's >30 ms ride-through, so the switch never disturbs the server).
+#pragma once
+
+#include "util/units.h"
+
+namespace dcs::power {
+
+class Relay {
+ public:
+  explicit Relay(Duration switch_delay = Duration::seconds(0.010),
+                 bool initially_closed = false);
+
+  /// Commands the target contact state; takes effect after the delay.
+  void command(bool closed) noexcept;
+
+  /// Advances time; settles the contact when the delay has elapsed.
+  void tick(Duration dt) noexcept;
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] bool switching() const noexcept { return pending_; }
+
+ private:
+  Duration switch_delay_;
+  bool closed_;
+  bool pending_ = false;
+  bool target_ = false;
+  Duration elapsed_ = Duration::zero();
+};
+
+}  // namespace dcs::power

@@ -1,0 +1,79 @@
+#include "power/topology.h"
+
+#include "util/check.h"
+
+namespace dcs::power {
+
+PowerTopology::PowerTopology(const Params& params)
+    : dc_breaker_("dc/cb", params.dc_breaker) {
+  DCS_REQUIRE(params.pdu_count > 0, "need at least one PDU");
+  pdus_.reserve(params.pdu_count);
+  for (std::size_t i = 0; i < params.pdu_count; ++i) {
+    pdus_.emplace_back("pdu" + std::to_string(i), params.pdu);
+  }
+}
+
+std::size_t PowerTopology::server_count() const noexcept {
+  std::size_t n = 0;
+  for (const Pdu& p : pdus_) n += p.server_count();
+  return n;
+}
+
+Flows PowerTopology::step_uniform(Power server_power_per_pdu,
+                                  Power ups_request_per_pdu,
+                                  Power cooling_power, Duration dt) {
+  for (Pdu& p : pdus_) p.step(server_power_per_pdu, ups_request_per_pdu, dt);
+  return finish_step(cooling_power, dt);
+}
+
+Flows PowerTopology::step(const std::vector<Power>& server_power,
+                          const std::vector<Power>& ups_request,
+                          Power cooling_power, Duration dt) {
+  DCS_REQUIRE(server_power.size() == pdus_.size(), "one server power per PDU");
+  DCS_REQUIRE(ups_request.size() == pdus_.size(), "one ups request per PDU");
+  for (std::size_t i = 0; i < pdus_.size(); ++i) {
+    pdus_[i].step(server_power[i], ups_request[i], dt);
+  }
+  return finish_step(cooling_power, dt);
+}
+
+Flows PowerTopology::recharge_uniform(Power server_power_per_pdu,
+                                      Power recharge_per_pdu,
+                                      Power cooling_power, Duration dt) {
+  for (Pdu& p : pdus_) p.recharge_step(server_power_per_pdu, recharge_per_pdu, dt);
+  return finish_step(cooling_power, dt);
+}
+
+Flows PowerTopology::finish_step(Power cooling_power, Duration dt) {
+  DCS_REQUIRE(cooling_power >= Power::zero(), "cooling power must be non-negative");
+  Flows flows{};
+  for (const Pdu& p : pdus_) {
+    flows.pdu_grid_total += p.last_grid_load();
+    flows.ups_total += p.last_ups_power();
+    flows.any_pdu_tripped = flows.any_pdu_tripped || p.breaker().tripped();
+  }
+  flows.cooling = cooling_power;
+  flows.dc_load = flows.pdu_grid_total + cooling_power;
+  dc_breaker_.apply_load(flows.dc_load, dt);
+  flows.dc_tripped = dc_breaker_.tripped();
+  return flows;
+}
+
+Energy PowerTopology::ups_available() const {
+  Energy total = Energy::zero();
+  for (const Pdu& p : pdus_) total += p.ups().available();
+  return total;
+}
+
+Energy PowerTopology::ups_capacity() const {
+  Energy total = Energy::zero();
+  for (const Pdu& p : pdus_) total += p.ups().capacity();
+  return total;
+}
+
+void PowerTopology::reset_breakers() {
+  dc_breaker_.reset();
+  for (Pdu& p : pdus_) p.breaker().reset();
+}
+
+}  // namespace dcs::power

@@ -1,0 +1,73 @@
+// Two-level data-center power topology: an on-site substation breaker
+// (DC level) feeding identical PDU groups, with the cooling plant hanging
+// off the DC level (paper Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "power/circuit_breaker.h"
+#include "power/pdu.h"
+#include "util/units.h"
+
+namespace dcs::power {
+
+/// The power flows of one control step.
+struct Flows {
+  Power dc_load;            ///< load on the substation (DC-level) breaker
+  Power pdu_grid_total;     ///< total grid power into PDUs
+  Power ups_total;          ///< total UPS discharge across PDUs
+  Power cooling;            ///< cooling plant power at the DC level
+  bool dc_tripped = false;  ///< substation breaker tripped this step or earlier
+  bool any_pdu_tripped = false;
+};
+
+class PowerTopology {
+ public:
+  struct Params {
+    std::size_t pdu_count = 909;
+    Pdu::Params pdu;
+    CircuitBreaker::Params dc_breaker;
+  };
+
+  explicit PowerTopology(const Params& params);
+
+  /// Advances one step with *uniform* per-PDU server power and UPS request
+  /// (the paper's fleet is homogeneous and the workload is spread evenly).
+  /// `cooling_power` is applied at the DC level only.
+  Flows step_uniform(Power server_power_per_pdu, Power ups_request_per_pdu,
+                     Power cooling_power, Duration dt);
+
+  /// Advances one step with per-PDU values (tests exercise skewed loads).
+  Flows step(const std::vector<Power>& server_power,
+             const std::vector<Power>& ups_request, Power cooling_power,
+             Duration dt);
+
+  /// Recharge variant of step_uniform: per-PDU banks absorb up to
+  /// `recharge_per_pdu` from the grid.
+  Flows recharge_uniform(Power server_power_per_pdu, Power recharge_per_pdu,
+                         Power cooling_power, Duration dt);
+
+  [[nodiscard]] CircuitBreaker& dc_breaker() noexcept { return dc_breaker_; }
+  [[nodiscard]] const CircuitBreaker& dc_breaker() const noexcept { return dc_breaker_; }
+  [[nodiscard]] std::vector<Pdu>& pdus() noexcept { return pdus_; }
+  [[nodiscard]] const std::vector<Pdu>& pdus() const noexcept { return pdus_; }
+  [[nodiscard]] std::size_t pdu_count() const noexcept { return pdus_.size(); }
+  [[nodiscard]] std::size_t server_count() const noexcept;
+
+  /// Total UPS energy still available across all PDU banks.
+  [[nodiscard]] Energy ups_available() const;
+  /// Total UPS energy capacity across all PDU banks.
+  [[nodiscard]] Energy ups_capacity() const;
+
+  void reset_breakers();
+
+ private:
+  Flows finish_step(Power cooling_power, Duration dt);
+
+  std::vector<Pdu> pdus_;
+  CircuitBreaker dc_breaker_;
+};
+
+}  // namespace dcs::power

@@ -1,0 +1,49 @@
+#include "power/trip_curve.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs::power {
+
+TripCurve::TripCurve(const TripCurveParams& params) : params_(params) {
+  DCS_REQUIRE(params_.no_trip_ratio >= 1.0, "no-trip ratio below rating");
+  DCS_REQUIRE(params_.magnetic_ratio > params_.no_trip_ratio,
+              "magnetic threshold must exceed no-trip ratio");
+  DCS_REQUIRE(params_.thermal_coeff_s > 0.0, "thermal coefficient must be positive");
+  DCS_REQUIRE(params_.magnetic_trip_time > Duration::zero(),
+              "magnetic trip time must be positive");
+}
+
+Duration TripCurve::time_to_trip(double load_ratio) const {
+  DCS_REQUIRE(load_ratio >= 0.0, "load ratio must be non-negative");
+  // Relative tolerance so a load computed as rated * no_trip_ratio compares
+  // as not-tripping even when the round trip through watts picks up an ulp
+  // (the controller pins the load exactly at this boundary for long spells).
+  if (load_ratio <= params_.no_trip_ratio * (1.0 + 1e-9)) {
+    return Duration::infinity();
+  }
+  if (load_ratio >= params_.magnetic_ratio) return params_.magnetic_trip_time;
+  const double overload = load_ratio - 1.0;
+  const Duration thermal =
+      Duration::seconds(params_.thermal_coeff_s / (overload * overload));
+  // The thermal element cannot act faster than the magnetic element.
+  return thermal < params_.magnetic_trip_time ? params_.magnetic_trip_time
+                                              : thermal;
+}
+
+double TripCurve::max_ratio_for(Duration hold) const {
+  DCS_REQUIRE(hold >= Duration::zero(), "hold time must be non-negative");
+  if (hold.is_infinite()) return params_.no_trip_ratio;
+  if (hold <= params_.magnetic_trip_time) {
+    // Anything below the magnetic threshold survives at least one cycle.
+    return params_.magnetic_ratio;
+  }
+  // Invert t = C / (r-1)^2  =>  r = 1 + sqrt(C / t).
+  const double r = 1.0 + std::sqrt(params_.thermal_coeff_s / hold.sec());
+  if (r <= params_.no_trip_ratio) return params_.no_trip_ratio;
+  if (r >= params_.magnetic_ratio) return params_.magnetic_ratio;
+  return r;
+}
+
+}  // namespace dcs::power

@@ -1,0 +1,37 @@
+#include "sim/engine.h"
+
+#include "util/check.h"
+
+namespace dcs::sim {
+
+Engine::Engine(Duration step) : step_(step) {
+  DCS_REQUIRE(step > Duration::zero(), "engine step must be positive");
+}
+
+void Engine::add(Component* component) {
+  DCS_REQUIRE(component != nullptr, "component must not be null");
+  components_.push_back(component);
+}
+
+void Engine::schedule(Duration at, std::function<void()> fn) {
+  DCS_REQUIRE(at >= now_, "cannot schedule events in the past");
+  events_.schedule(at, std::move(fn));
+}
+
+void Engine::step_once() {
+  events_.fire_due(now_);
+  for (Component* c : components_) c->tick(now_, step_);
+  now_ += step_;
+}
+
+std::size_t Engine::run_until(Duration end) {
+  std::size_t ticks = 0;
+  stop_requested_ = false;
+  while (now_ < end && !stop_requested_) {
+    step_once();
+    ++ticks;
+  }
+  return ticks;
+}
+
+}  // namespace dcs::sim

@@ -1,0 +1,53 @@
+// Fixed-step simulation engine.
+//
+// The paper's controller operates on a 1-second control period against
+// second-granularity traces, so a fixed-step loop (plus a one-shot event
+// queue for phase transitions) models the system exactly; a full
+// discrete-event core would add machinery without adding fidelity.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/component.h"
+#include "sim/event_queue.h"
+#include "util/units.h"
+
+namespace dcs::sim {
+
+class Engine {
+ public:
+  /// `step` is the tick width (default 1 s, the paper's control period).
+  explicit Engine(Duration step = Duration::seconds(1));
+
+  /// Registers a component; the engine does not take ownership. Components
+  /// tick in registration order.
+  void add(Component* component);
+
+  /// Schedules `fn` to run at simulated time `at` (before the components of
+  /// that tick).
+  void schedule(Duration at, std::function<void()> fn);
+
+  /// Runs until `end` (inclusive of the tick that starts at end - step).
+  /// Returns the number of ticks executed.
+  std::size_t run_until(Duration end);
+
+  /// Runs a single tick.
+  void step_once();
+
+  /// Requests the run loop to exit after the current tick.
+  void request_stop() noexcept { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
+
+  [[nodiscard]] Duration now() const noexcept { return now_; }
+  [[nodiscard]] Duration step() const noexcept { return step_; }
+
+ private:
+  Duration step_;
+  Duration now_ = Duration::zero();
+  bool stop_requested_ = false;
+  std::vector<Component*> components_;
+  EventQueue events_;
+};
+
+}  // namespace dcs::sim

@@ -1,0 +1,30 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace dcs::sim {
+
+void EventQueue::schedule(Duration at, std::function<void()> fn) {
+  DCS_REQUIRE(fn != nullptr, "event callback must be set");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::fire_due(Duration now) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().at <= now) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callable (events are rare relative to ticks).
+    auto fn = heap_.top().fn;
+    heap_.pop();
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+Duration EventQueue::next_time() const {
+  DCS_REQUIRE(!heap_.empty(), "no pending events");
+  return heap_.top().at;
+}
+
+}  // namespace dcs::sim

@@ -1,0 +1,42 @@
+// One-shot timed callbacks (phase transitions, burst arrival, faults).
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dcs::sim {
+
+class EventQueue {
+ public:
+  void schedule(Duration at, std::function<void()> fn);
+
+  /// Runs (and removes) every event with time <= now, in time order.
+  /// Returns the number of events fired.
+  std::size_t fire_due(Duration now);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event; requires non-empty queue.
+  [[nodiscard]] Duration next_time() const;
+
+ private:
+  struct Event {
+    Duration at;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dcs::sim

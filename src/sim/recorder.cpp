@@ -1,0 +1,43 @@
+#include "sim/recorder.h"
+
+#include "util/check.h"
+
+namespace dcs::sim {
+
+void Recorder::record(std::string_view channel, Duration time, double value) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    it = channels_.emplace(std::string{channel}, Channel{}).first;
+  }
+  TimeSeries& ts = it->second.series;
+  if (!ts.empty() && ts.end_time() == time) {
+    // Same-tick overwrite: rebuild the last sample.
+    std::vector<Sample> samples = ts.samples();
+    samples.back().value = value;
+    ts = TimeSeries{std::move(samples)};
+    return;
+  }
+  ts.push_back(time, value);
+}
+
+bool Recorder::has(std::string_view channel) const {
+  return channels_.find(channel) != channels_.end();
+}
+
+const TimeSeries& Recorder::series(std::string_view channel) const {
+  const auto it = channels_.find(channel);
+  DCS_REQUIRE(it != channels_.end(),
+              "unknown recorder channel: " + std::string{channel});
+  return it->second.series;
+}
+
+std::vector<std::string> Recorder::channels() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, _] : channels_) names.push_back(name);
+  return names;
+}
+
+void Recorder::clear() { channels_.clear(); }
+
+}  // namespace dcs::sim

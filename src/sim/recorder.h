@@ -1,0 +1,37 @@
+// Named metric channels captured during a run. Each channel becomes a
+// TimeSeries that benches print / export and tests assert on.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::sim {
+
+class Recorder {
+ public:
+  /// Appends a sample to `channel` (created on first use). Times within a
+  /// channel must be non-decreasing; equal-time samples overwrite.
+  void record(std::string_view channel, Duration time, double value);
+
+  [[nodiscard]] bool has(std::string_view channel) const;
+  /// Throws std::invalid_argument for unknown channels.
+  [[nodiscard]] const TimeSeries& series(std::string_view channel) const;
+  [[nodiscard]] std::vector<std::string> channels() const;
+
+  void clear();
+
+ private:
+  // Channels are appended strictly in time order during simulation, so store
+  // raw samples and expose them as TimeSeries (built lazily).
+  struct Channel {
+    TimeSeries series;
+  };
+  std::map<std::string, Channel, std::less<>> channels_;
+};
+
+}  // namespace dcs::sim

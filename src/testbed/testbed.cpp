@@ -1,0 +1,110 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/interpolate.h"
+#include "util/rng.h"
+
+namespace dcs::testbed {
+
+TimeSeries reference_utilization(Duration length, std::uint64_t seed) {
+  DCS_REQUIRE(length > Duration::zero(), "length must be positive");
+  Rng rng(seed);
+  TimeSeries ts;
+  for (Duration t = Duration::zero(); t <= length; t += Duration::seconds(1)) {
+    const double m = t.min();
+    double v = 0.60 + 0.40 * std::sin(m * 1.1) +
+               0.20 * std::sin(m * 0.23 + 1.0);
+    v *= 1.0 + rng.normal(0.0, 0.03);
+    ts.push_back(t, clamp(v, 0.0, 1.0));
+  }
+  return ts;
+}
+
+Testbed::Testbed(const TestbedParams& params) : params_(params) {
+  DCS_REQUIRE(params_.peak > params_.idle, "peak power must exceed idle");
+  DCS_REQUIRE(params_.cb_rated > Power::zero(), "breaker rating must be positive");
+  DCS_REQUIRE(params_.ups_capacity > Energy::zero(), "UPS capacity must be positive");
+  DCS_REQUIRE(params_.ups_share > 0.0 && params_.ups_share < 1.0,
+              "UPS share in (0, 1)");
+  DCS_REQUIRE(params_.step > Duration::zero(), "step must be positive");
+}
+
+TestbedOutcome Testbed::run(const TimeSeries& utilization, Policy policy,
+                            Duration reserved_trip_time) {
+  DCS_REQUIRE(!utilization.empty(), "utilization trace is empty");
+  DCS_REQUIRE(reserved_trip_time > Duration::zero(),
+              "reserved trip time must be positive");
+
+  power::CircuitBreaker cb(
+      "testbed/cb",
+      {.rated = params_.cb_rated, .curve = power::TripCurve{params_.trip_curve}});
+  power::Battery ups("testbed/ups",
+                     {// Express the usable energy as charge at 12 V.
+                      .capacity = Charge::amp_hours(params_.ups_capacity.wh() / 12.0),
+                      .bus_voltage = 12.0,
+                      .max_discharge = params_.peak,
+                      .max_recharge = Power::zero()});
+  power::Relay relay(params_.relay_delay, /*initially_closed=*/false);
+  bool cb_first_switched = false;
+
+  TestbedOutcome out;
+  const Duration dt = params_.step;
+  const Duration end = utilization.end_time();
+  for (Duration now = Duration::zero(); now < end; now += dt) {
+    const double util = clamp(utilization.at(now), 0.0, 1.0);
+    const Power server = params_.idle + (params_.peak - params_.idle) * util;
+
+    // Policy: decide the relay command for this second.
+    bool want_ups = false;
+    switch (policy) {
+      case Policy::kCbOnly:
+        want_ups = false;
+        break;
+      case Policy::kReservedTripTime:
+        // Overload the breaker only while it can hold this load for more
+        // than the reserved trip time.
+        want_ups = cb.time_to_trip_at(server) <= reserved_trip_time;
+        break;
+      case Policy::kCbFirst:
+        // Stay on the breaker until it is about to trip, then lean on the
+        // UPS for good.
+        if (!cb_first_switched && cb.time_to_trip_at(server) <= dt * 2.0) {
+          cb_first_switched = true;
+        }
+        want_ups = cb_first_switched;
+        break;
+    }
+    if (ups.available() <= Energy::zero()) want_ups = false;
+    relay.command(want_ups);
+    relay.tick(dt);  // settles within the same 1 s step (10 ms delay)
+
+    Power ups_power = Power::zero();
+    if (relay.closed()) {
+      ups_power = ups.discharge(server * params_.ups_share, dt);
+      if (ups_power <= Power::zero()) out.ups_exhausted = true;
+    }
+    const Power cb_power = server - ups_power;
+    cb.apply_load(cb_power, dt);
+
+    out.total_power_w.push_back(now, server.w());
+    out.cb_power_w.push_back(now, cb_power.w());
+    out.ups_power_w.push_back(now, ups_power.w());
+    if (cb_power > params_.cb_rated) out.cb_overload_time += dt;
+
+    if (cb.tripped()) {
+      out.cb_tripped = true;
+      out.sustained = now;
+      out.ups_energy_used = params_.ups_capacity - ups.available();
+      return out;
+    }
+  }
+  out.sustained = end;
+  out.ups_energy_used = params_.ups_capacity - ups.available();
+  return out;
+}
+
+}  // namespace dcs::testbed

@@ -1,0 +1,86 @@
+// Software emulation of the paper's prototype hardware testbed
+// (Section VI-B, Fig. 6): a server with two power sockets — one behind a
+// circuit breaker on a power strip, one behind a relay to a UPS. When the
+// relay closes, the UPS carries about half the server power (the two
+// supplies split the load); otherwise the breaker carries everything.
+//
+// Published constants: the breaker sustains at most 232 W without being
+// overloaded; the server idles at 273 W and peaks at 428 W (so the breaker
+// is *always* overloaded when alone — the experiment starts sprinting at
+// second one); the relay switches in under 10 ms, well inside the server's
+// >30 ms ride-through.
+//
+// Policies (Section VII-D):
+//  * ReservedTripTime(R) — "ours": overload the breaker only while it can
+//    sustain the present load for more than R seconds; otherwise close the
+//    relay so the UPS cancels the overload.
+//  * CbFirst — overload the breaker until it is about to trip, then lean on
+//    the UPS until it runs dry.
+//  * CbOnly — no UPS at all (the paper's 65 s reference).
+#pragma once
+
+#include <cstdint>
+
+#include "power/battery.h"
+#include "power/circuit_breaker.h"
+#include "power/relay.h"
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::testbed {
+
+enum class Policy { kReservedTripTime, kCbFirst, kCbOnly };
+
+/// The reference CPU-utilization trace for testbed experiments — the
+/// synthetic stand-in for the paper's "Yahoo trace with burst degree 1"
+/// driving the server. Spans low and near-peak utilization so that breaker
+/// trip times straddle the reserved-trip-time sweep (10-90 s), which is what
+/// makes the Fig. 11b comparison meaningful.
+[[nodiscard]] TimeSeries reference_utilization(
+    Duration length = Duration::minutes(30), std::uint64_t seed = 77);
+
+struct TestbedParams {
+  Power idle = Power::watts(273.0);
+  Power peak = Power::watts(428.0);
+  /// Breaker rating ("sustains at most 232 W without being overloaded").
+  Power cb_rated = Power::watts(232.0);
+  power::TripCurveParams trip_curve{};
+  /// Usable UPS energy. Small — the testbed UPS is a consumer unit.
+  Energy ups_capacity = Energy::watt_hours(10.0);
+  /// Fraction of server power the UPS carries while the relay is closed.
+  double ups_share = 0.5;
+  Duration relay_delay = Duration::seconds(0.010);
+  Duration step = Duration::seconds(1);
+};
+
+struct TestbedOutcome {
+  /// Time until the breaker tripped (or the trace ended, censored).
+  Duration sustained = Duration::zero();
+  bool cb_tripped = false;
+  bool ups_exhausted = false;
+  /// Aggregated time the breaker spent above its rating.
+  Duration cb_overload_time = Duration::zero();
+  Energy ups_energy_used;
+  TimeSeries total_power_w;  ///< server draw
+  TimeSeries cb_power_w;     ///< share through the breaker
+  TimeSeries ups_power_w;    ///< share from the UPS
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedParams& params);
+
+  /// Drives the testbed with a CPU-utilization trace (values clamped to
+  /// [0, 1]; the paper uses the Yahoo trace at burst degree 1).
+  /// `reserved_trip_time` applies to the ReservedTripTime policy only.
+  [[nodiscard]] TestbedOutcome run(const TimeSeries& utilization, Policy policy,
+                                   Duration reserved_trip_time =
+                                       Duration::seconds(30));
+
+  [[nodiscard]] const TestbedParams& params() const noexcept { return params_; }
+
+ private:
+  TestbedParams params_;
+};
+
+}  // namespace dcs::testbed

@@ -1,0 +1,99 @@
+#include "thermal/cooling_plant.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::thermal {
+
+CoolingPlant::CoolingPlant(const Params& params) : params_(params) {
+  DCS_REQUIRE(params_.pue > 1.0, "PUE must exceed 1");
+  DCS_REQUIRE(params_.chiller_fraction > 0.0 && params_.chiller_fraction < 1.0,
+              "chiller fraction in (0, 1)");
+  DCS_REQUIRE(params_.nominal_it_load > Power::zero(),
+              "nominal IT load must be positive");
+}
+
+Power CoolingPlant::electrical_for(Power it_power) const noexcept {
+  return it_power * (params_.pue - 1.0);
+}
+
+Power CoolingPlant::nominal_electrical() const noexcept {
+  return electrical_for(params_.nominal_it_load);
+}
+
+Power CoolingPlant::thermal_capacity() const noexcept {
+  // The plant is provisioned to remove the nominal IT load's heat.
+  return params_.nominal_it_load;
+}
+
+double CoolingPlant::chiller_elec_per_heat() const noexcept {
+  return (params_.pue - 1.0) * params_.chiller_fraction;
+}
+
+Power CoolingPlant::chiller_electrical(Power chiller_heat) const noexcept {
+  return chiller_heat * chiller_elec_per_heat();
+}
+
+Power CoolingPlant::electrical_projection(Power it_power, bool tes_enabled,
+                                          Power relief_elec) const noexcept {
+  const Power aux = nominal_electrical() * (1.0 - params_.chiller_fraction);
+  const Power chiller_heat = std::min(it_power, thermal_capacity());
+  Power chiller = chiller_electrical(chiller_heat);
+  if (tes_enabled && params_.tes != nullptr) {
+    chiller -= std::min(relief_elec, chiller);
+  }
+  return aux + chiller;
+}
+
+CoolingStep CoolingPlant::step(Power it_power, bool tes_enabled,
+                               Power relief_elec, Duration dt) {
+  DCS_REQUIRE(it_power >= Power::zero(), "IT power must be non-negative");
+  DCS_REQUIRE(relief_elec >= Power::zero(), "relief must be non-negative");
+  CoolingStep out{};
+  const Power aux = nominal_electrical() * (1.0 - params_.chiller_fraction);
+  // The chiller holds its nominal operating point during a sprint (the
+  // paper does not raise chiller power in phases 1-2), so its absorption
+  // caps at the nominal thermal capacity.
+  const Power chiller_heat = std::min(it_power, thermal_capacity());
+
+  if (tes_enabled && params_.tes != nullptr && !params_.tes->empty()) {
+    const Power excess = it_power - chiller_heat;  // heat the chiller cannot take
+    const Power relief_heat =
+        std::min(relief_elec, chiller_electrical(chiller_heat)) /
+        chiller_elec_per_heat();
+    out.tes_heat = params_.tes->discharge(excess + relief_heat, dt);
+    // The tank covers the excess first; only what remains displaces the
+    // chiller (shorting the relief just loses breaker slack, while shorting
+    // the excess would overheat the room).
+    const Power excess_covered = std::min(out.tes_heat, excess);
+    const Power relief_covered = out.tes_heat - excess_covered;
+    const Power chiller_out = chiller_heat - relief_covered;
+    out.relief = chiller_electrical(relief_covered);
+    out.electrical = aux + chiller_electrical(chiller_out);
+    out.heat_absorbed = chiller_out + out.tes_heat;
+    out.tes_active = out.tes_heat > Power::zero();
+    return out;
+  }
+
+  out.heat_absorbed = chiller_heat;
+  out.electrical = aux + chiller_electrical(chiller_heat);
+  return out;
+}
+
+CoolingStep CoolingPlant::recharge_tes_step(Power it_power, Power rate,
+                                            Duration dt) {
+  DCS_REQUIRE(rate >= Power::zero(), "recharge rate must be non-negative");
+  CoolingStep out = step(it_power, /*tes_enabled=*/false, Power::zero(), dt);
+  if (params_.tes == nullptr) return out;
+  // Surplus chiller output charges the tank; the chiller draws extra
+  // electrical power proportional to the extra heat moved.
+  const Power spare_thermal = thermal_capacity() > it_power
+                                  ? thermal_capacity() - it_power
+                                  : Power::zero();
+  const Power stored = params_.tes->recharge(std::min(rate, spare_thermal), dt);
+  out.electrical += chiller_electrical(stored);
+  return out;
+}
+
+}  // namespace dcs::thermal

@@ -1,0 +1,45 @@
+#include "thermal/tes_tank.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::thermal {
+
+TesTank::TesTank(std::string name, const Params& params)
+    : name_(std::move(name)), params_(params), stored_(params.capacity) {
+  DCS_REQUIRE(params_.capacity > Energy::zero(), "TES capacity must be positive");
+  DCS_REQUIRE(params_.max_discharge_rate > Power::zero(),
+              "TES discharge rate must be positive");
+  DCS_REQUIRE(params_.max_recharge_rate > Power::zero(),
+              "TES recharge rate must be positive");
+}
+
+Power TesTank::discharge(Power heat, Duration dt) {
+  DCS_REQUIRE(heat >= Power::zero(), "heat must be non-negative");
+  DCS_REQUIRE(dt > Duration::zero(), "dt must be positive");
+  const Power rate = std::min(heat, params_.max_discharge_rate);
+  const Energy want = rate * dt;
+  const Energy give = std::min(want, stored_);
+  if (give <= Energy::zero()) return Power::zero();
+  stored_ -= give;
+  total_discharged_ += give;
+  return give / dt;
+}
+
+Power TesTank::recharge(Power rate, Duration dt) {
+  DCS_REQUIRE(rate >= Power::zero(), "rate must be non-negative");
+  DCS_REQUIRE(dt > Duration::zero(), "dt must be positive");
+  const Power offered = std::min(rate, params_.max_recharge_rate);
+  const Energy room = params_.capacity - stored_;
+  const Energy accept = std::min(offered * dt, room);
+  if (accept <= Energy::zero()) return Power::zero();
+  stored_ += accept;
+  return accept / dt;
+}
+
+double TesTank::state_of_charge() const noexcept {
+  return stored_ / params_.capacity;
+}
+
+}  // namespace dcs::thermal

@@ -1,0 +1,53 @@
+// Thermal energy storage (TES) tank: stored cold coolant that can absorb
+// data-center heat in place of the chiller (paper Section III-C / Fig. 3).
+//
+// Capacity follows the paper's Section VI-A setting: the tank can carry the
+// cooling load for 12 minutes while the servers draw peak-normal power.
+// While discharging, the chiller can be shut down, saving up to 2/3 of the
+// cooling power (the remaining 1/3 runs pumps, valves and CRAC fans) [16].
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace dcs::thermal {
+
+class TesTank {
+ public:
+  struct Params {
+    /// Heat the tank can absorb when full.
+    Energy capacity;
+    /// Maximum heat-absorption rate (coolant flow limit). Defaults to
+    /// "unlimited" relative to data-center loads; the flow path, not the
+    /// tank, is usually the binding constraint if set.
+    Power max_discharge_rate = Power::megawatts(1e6);
+    /// Maximum recharge (chiller surplus) rate.
+    Power max_recharge_rate = Power::megawatts(1e6);
+  };
+
+  TesTank(std::string name, const Params& params);
+
+  /// Absorbs up to `heat` for `dt`; returns the heat rate actually absorbed.
+  Power discharge(Power heat, Duration dt);
+
+  /// Stores surplus chiller output; returns the rate actually stored.
+  Power recharge(Power rate, Duration dt);
+
+  [[nodiscard]] Energy stored() const noexcept { return stored_; }
+  [[nodiscard]] Energy capacity() const noexcept { return params_.capacity; }
+  [[nodiscard]] double state_of_charge() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return stored_ <= Energy::zero(); }
+  [[nodiscard]] Energy total_discharged() const noexcept { return total_discharged_; }
+
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  Params params_;
+  Energy stored_;
+  Energy total_discharged_ = Energy::zero();
+};
+
+}  // namespace dcs::thermal

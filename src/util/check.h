@@ -1,0 +1,39 @@
+// Contract-checking helpers used across the library.
+//
+// DCS_REQUIRE is for precondition violations that indicate a programming or
+// configuration error; it throws std::invalid_argument so that misuse is
+// detected deterministically in release builds as well (the simulator is a
+// research instrument — silent corruption is worse than an exception).
+// DCS_ENSURE is for internal invariants; it throws std::logic_error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dcs {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : ": " + msg));
+}
+
+[[noreturn]] inline void ensure_failed(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  throw std::logic_error(std::string("invariant violated: ") + cond + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace dcs
+
+#define DCS_REQUIRE(cond, msg)                                \
+  do {                                                        \
+    if (!(cond)) ::dcs::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define DCS_ENSURE(cond, msg)                                \
+  do {                                                       \
+    if (!(cond)) ::dcs::ensure_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

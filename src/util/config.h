@@ -1,0 +1,44 @@
+// A tiny key=value configuration store so examples and benches can override
+// simulation parameters from the command line ("key=value" arguments) or a
+// config file, without pulling in an external dependency.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace dcs {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" lines; '#' starts a comment; blank lines ignored.
+  /// Throws std::invalid_argument on malformed lines.
+  [[nodiscard]] static Config from_string(std::string_view text);
+
+  /// Parses argv-style "key=value" tokens (tokens without '=' are rejected).
+  [[nodiscard]] static Config from_args(std::span<const char* const> args);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Typed getters: return the parsed value, or `fallback` when the key is
+  /// absent. Throw std::invalid_argument when present but unparsable.
+  [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace dcs

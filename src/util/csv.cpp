@@ -1,0 +1,39 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace dcs {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    fields.emplace_back(buf);
+  }
+  write_row(fields);
+}
+
+}  // namespace dcs

@@ -1,0 +1,31 @@
+// Minimal CSV writer for exporting experiment series (one file per figure).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+/// Writes RFC-4180-style CSV rows to a stream. Fields containing commas,
+/// quotes or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(std::initializer_list<std::string> fields) {
+    write_row(std::vector<std::string>(fields));
+  }
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.10g.
+  void write_numeric_row(const std::vector<double>& values);
+
+ private:
+  std::ostream* out_;
+};
+
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace dcs

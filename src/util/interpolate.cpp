@@ -1,0 +1,46 @@
+#include "util/interpolate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs {
+
+PiecewiseCurve::PiecewiseCurve(std::vector<Knot> knots, Scale scale)
+    : knots_(std::move(knots)), scale_(scale) {
+  DCS_REQUIRE(knots_.size() >= 2, "curve needs at least two knots");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    DCS_REQUIRE(knots_[i - 1].x < knots_[i].x, "knot x must strictly increase");
+  }
+  if (scale_ == Scale::kLogLog) {
+    for (const Knot& k : knots_) {
+      DCS_REQUIRE(k.x > 0.0 && k.y > 0.0, "log-log knots must be positive");
+    }
+  }
+}
+
+double PiecewiseCurve::operator()(double x) const {
+  if (x <= knots_.front().x) return knots_.front().y;
+  if (x >= knots_.back().x) return knots_.back().y;
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double lhs, const Knot& k) { return lhs < k.x; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  if (scale_ == Scale::kLinear) {
+    const double t = (x - lo.x) / (hi.x - lo.x);
+    return lerp(lo.y, hi.y, t);
+  }
+  const double t = (std::log(x) - std::log(lo.x)) / (std::log(hi.x) - std::log(lo.x));
+  return std::exp(lerp(std::log(lo.y), std::log(hi.y), t));
+}
+
+double clamp(double x, double lo, double hi) {
+  DCS_REQUIRE(lo <= hi, "clamp bounds inverted");
+  return std::min(std::max(x, lo), hi);
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace dcs

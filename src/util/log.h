@@ -1,0 +1,55 @@
+// Leveled logging with a process-wide sink. The simulator core never prints
+// directly; benches and examples choose verbosity.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dcs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Sets the minimum level that reaches the sink. Default: kWarn.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Replaces the sink (default writes "[LEVEL] message" to stderr).
+/// Passing nullptr restores the default sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dcs
+
+#define DCS_LOG(level)                         \
+  if (::dcs::log_level() <= ::dcs::LogLevel::level) \
+  ::dcs::detail::LogLine(::dcs::LogLevel::level)
+
+#define DCS_LOG_DEBUG DCS_LOG(kDebug)
+#define DCS_LOG_INFO DCS_LOG(kInfo)
+#define DCS_LOG_WARN DCS_LOG(kWarn)
+#define DCS_LOG_ERROR DCS_LOG(kError)

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random generator for synthetic trace generation.
+//
+// Experiments must be exactly reproducible across machines, so we use our
+// own SplitMix64/xoshiro256** implementation instead of std::mt19937 with
+// distribution objects (whose outputs are implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+namespace dcs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with given rate (lambda > 0).
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcs

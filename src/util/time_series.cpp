@@ -1,0 +1,137 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs {
+
+TimeSeries::TimeSeries(std::vector<Sample> samples) : samples_(std::move(samples)) {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    DCS_REQUIRE(samples_[i - 1].time < samples_[i].time,
+                "sample times must be strictly increasing");
+  }
+}
+
+void TimeSeries::push_back(Duration time, double value) {
+  DCS_REQUIRE(samples_.empty() || samples_.back().time < time,
+              "sample times must be strictly increasing");
+  samples_.push_back(Sample{time, value});
+}
+
+Duration TimeSeries::start_time() const {
+  DCS_REQUIRE(!samples_.empty(), "empty series has no start time");
+  return samples_.front().time;
+}
+
+Duration TimeSeries::end_time() const {
+  DCS_REQUIRE(!samples_.empty(), "empty series has no end time");
+  return samples_.back().time;
+}
+
+double TimeSeries::at(Duration t, Interpolation mode) const {
+  DCS_REQUIRE(!samples_.empty(), "cannot sample an empty series");
+  if (t <= samples_.front().time) return samples_.front().value;
+  if (t >= samples_.back().time) return samples_.back().value;
+  // First sample strictly after t.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](Duration lhs, const Sample& s) { return lhs < s.time; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  if (mode == Interpolation::kStep) return lo.value;
+  const double frac = (t - lo.time) / (hi.time - lo.time);
+  return lo.value + frac * (hi.value - lo.value);
+}
+
+TimeSeries TimeSeries::slice(Duration from, Duration to, Interpolation mode) const {
+  DCS_REQUIRE(from < to, "slice requires from < to");
+  TimeSeries out;
+  out.push_back(Duration::zero(), at(from, mode));
+  for (const Sample& s : samples_) {
+    if (s.time > from && s.time < to) out.push_back(s.time - from, s.value);
+  }
+  out.push_back(to - from, at(to, mode));
+  return out;
+}
+
+TimeSeries TimeSeries::resample(Duration step, Interpolation mode) const {
+  DCS_REQUIRE(step > Duration::zero(), "resample step must be positive");
+  DCS_REQUIRE(!samples_.empty(), "cannot resample an empty series");
+  TimeSeries out;
+  for (Duration t = start_time(); t <= end_time(); t += step) {
+    out.push_back(t, at(t, mode));
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::map(const std::function<double(double)>& fn) const {
+  TimeSeries out;
+  for (const Sample& s : samples_) out.push_back(s.time, fn(s.value));
+  return out;
+}
+
+TimeSeries TimeSeries::scaled(double k) const {
+  return map([k](double v) { return v * k; });
+}
+
+TimeSeries TimeSeries::normalized_to_peak() const {
+  const double peak = max_value();
+  DCS_REQUIRE(peak > 0.0, "normalized_to_peak requires a positive peak");
+  return scaled(1.0 / peak);
+}
+
+double TimeSeries::min_value() const {
+  DCS_REQUIRE(!samples_.empty(), "empty series has no min");
+  double m = samples_.front().value;
+  for (const Sample& s : samples_) m = std::min(m, s.value);
+  return m;
+}
+
+double TimeSeries::max_value() const {
+  DCS_REQUIRE(!samples_.empty(), "empty series has no max");
+  double m = samples_.front().value;
+  for (const Sample& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+double TimeSeries::time_weighted_mean() const {
+  const Duration total = span();
+  if (total <= Duration::zero()) return samples_.empty() ? 0.0 : samples_.front().value;
+  return integral() / total.sec();
+}
+
+double TimeSeries::integral() const {
+  DCS_REQUIRE(!samples_.empty(), "empty series has no integral");
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    sum += samples_[i].value * (samples_[i + 1].time - samples_[i].time).sec();
+  }
+  return sum;
+}
+
+Duration TimeSeries::time_above(double threshold) const {
+  Duration total = Duration::zero();
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    if (samples_[i].value > threshold) {
+      total += samples_[i + 1].time - samples_[i].time;
+    }
+  }
+  return total;
+}
+
+TimeSeries TimeSeries::sum(const TimeSeries& a, const TimeSeries& b, Interpolation mode) {
+  DCS_REQUIRE(!a.empty() && !b.empty(), "sum requires non-empty series");
+  std::vector<Duration> times;
+  times.reserve(a.size() + b.size());
+  for (const Sample& s : a.samples()) times.push_back(s.time);
+  for (const Sample& s : b.samples()) times.push_back(s.time);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  TimeSeries out;
+  for (Duration t : times) out.push_back(t, a.at(t, mode) + b.at(t, mode));
+  return out;
+}
+
+}  // namespace dcs

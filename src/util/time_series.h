@@ -1,0 +1,94 @@
+// A time-indexed sequence of samples with the transforms the experiment
+// harness needs: interpolation, resampling, slicing, scaling, aggregation
+// and summary statistics. Used both for workload traces (demand over time)
+// and for simulation outputs (power / performance over time).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dcs {
+
+/// One (time, value) sample. The meaning of `value` is up to the owner
+/// (normalized demand, watts, a performance factor, ...).
+struct Sample {
+  Duration time;
+  double value = 0.0;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// How TimeSeries::at() fills in values between samples.
+enum class Interpolation {
+  kStep,    ///< value holds until the next sample (piecewise constant)
+  kLinear,  ///< straight line between neighbouring samples
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<Sample> samples);
+
+  /// Appends a sample; time must be strictly increasing.
+  void push_back(Duration time, double value);
+
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  [[nodiscard]] Duration start_time() const;
+  [[nodiscard]] Duration end_time() const;
+  [[nodiscard]] Duration span() const { return end_time() - start_time(); }
+
+  /// Value at `t`. Before the first sample returns the first value; after
+  /// the last returns the last value.
+  [[nodiscard]] double at(Duration t, Interpolation mode = Interpolation::kStep) const;
+
+  /// Sub-series covering [from, to] (endpoints sampled via `mode` so the
+  /// slice is well-defined even when they fall between samples), shifted so
+  /// the slice starts at t = 0.
+  [[nodiscard]] TimeSeries slice(Duration from, Duration to,
+                                 Interpolation mode = Interpolation::kStep) const;
+
+  /// Re-samples onto a fixed step over [start, end].
+  [[nodiscard]] TimeSeries resample(Duration step,
+                                    Interpolation mode = Interpolation::kStep) const;
+
+  /// Applies `fn` to each value, keeping timestamps.
+  [[nodiscard]] TimeSeries map(const std::function<double(double)>& fn) const;
+
+  /// Multiplies every value by `k`.
+  [[nodiscard]] TimeSeries scaled(double k) const;
+
+  /// Divides every value by the peak value so the maximum becomes 1.
+  /// Requires a strictly positive peak.
+  [[nodiscard]] TimeSeries normalized_to_peak() const;
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+  /// Time-weighted mean over the series span (step interpretation).
+  [[nodiscard]] double time_weighted_mean() const;
+
+  /// Time-weighted integral of value * dt (step interpretation). For a
+  /// series of watts this yields joules.
+  [[nodiscard]] double integral() const;
+
+  /// Total time during which value > threshold (step interpretation).
+  [[nodiscard]] Duration time_above(double threshold) const;
+
+  /// Pointwise sum of two series; both are resampled onto the union of
+  /// their timestamps using `mode`.
+  [[nodiscard]] static TimeSeries sum(const TimeSeries& a, const TimeSeries& b,
+                                      Interpolation mode = Interpolation::kStep);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,58 @@
+#include "workload/burst.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::workload {
+
+BurstStats analyze_bursts(const TimeSeries& demand, double threshold) {
+  DCS_REQUIRE(!demand.empty(), "cannot analyze an empty trace");
+  BurstStats stats;
+  stats.peak_demand = demand.max_value();
+  stats.mean_demand = demand.time_weighted_mean();
+
+  Duration current_run = Duration::zero();
+  bool in_burst = false;
+  double burst_weighted_sum = 0.0;
+  const auto& samples = demand.samples();
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    const Duration dt = samples[i + 1].time - samples[i].time;
+    if (samples[i].value > threshold) {
+      if (!in_burst) {
+        in_burst = true;
+        ++stats.burst_count;
+        current_run = Duration::zero();
+      }
+      current_run += dt;
+      stats.over_capacity_time += dt;
+      burst_weighted_sum += samples[i].value * dt.sec();
+      stats.longest_burst = std::max(stats.longest_burst, current_run);
+    } else {
+      in_burst = false;
+    }
+  }
+  if (stats.over_capacity_time > Duration::zero()) {
+    stats.mean_burst_demand = burst_weighted_sum / stats.over_capacity_time.sec();
+  }
+  return stats;
+}
+
+TimeSeries inject_burst(const TimeSeries& demand, Duration start,
+                        Duration duration, double degree, double blend) {
+  DCS_REQUIRE(degree > 0.0, "burst degree must be positive");
+  DCS_REQUIRE(duration > Duration::zero(), "burst duration must be positive");
+  DCS_REQUIRE(blend >= 0.0 && blend <= 1.0, "blend in [0, 1]");
+  const Duration end = start + duration;
+  TimeSeries out;
+  for (const Sample& s : demand.samples()) {
+    if (s.time >= start && s.time < end) {
+      out.push_back(s.time, degree + blend * (s.value - 1.0));
+    } else {
+      out.push_back(s.time, s.value);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcs::workload

@@ -1,0 +1,41 @@
+// Burst analysis and injection on normalized demand traces.
+//
+// Convention: demand is normalized to the fleet's peak-normal capacity, so
+// demand > 1 means the normally-active cores are insufficient — the paper's
+// definition of a burst (its "real burst duration" is the aggregated time
+// above capacity).
+#pragma once
+
+#include <cstddef>
+
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::workload {
+
+struct BurstStats {
+  /// Aggregated time with demand above the threshold.
+  Duration over_capacity_time = Duration::zero();
+  /// Number of contiguous runs above the threshold.
+  std::size_t burst_count = 0;
+  /// Longest contiguous run above the threshold.
+  Duration longest_burst = Duration::zero();
+  double peak_demand = 0.0;
+  double mean_demand = 0.0;
+  /// Mean demand during over-capacity time (the burst magnitude).
+  double mean_burst_demand = 0.0;
+};
+
+/// Scans a demand trace (step interpretation) for bursts above `threshold`.
+[[nodiscard]] BurstStats analyze_bursts(const TimeSeries& demand,
+                                        double threshold = 1.0);
+
+/// Returns a copy of `demand` whose values in [start, start + duration) are
+/// replaced by `degree` (plus the original sub-threshold variation scaled by
+/// `blend`, default 0 = flat top), reproducing the paper's Yahoo-trace burst
+/// injection.
+[[nodiscard]] TimeSeries inject_burst(const TimeSeries& demand, Duration start,
+                                      Duration duration, double degree,
+                                      double blend = 0.0);
+
+}  // namespace dcs::workload

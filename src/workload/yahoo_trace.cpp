@@ -1,0 +1,38 @@
+#include "workload/yahoo_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/burst.h"
+
+namespace dcs::workload {
+
+TimeSeries generate_yahoo_trace(const YahooTraceParams& params) {
+  DCS_REQUIRE(params.length > Duration::zero(), "trace length must be positive");
+  DCS_REQUIRE(params.step > Duration::zero(), "trace step must be positive");
+  DCS_REQUIRE(params.burst_degree >= 1.0, "burst degree >= 1");
+  DCS_REQUIRE(params.burst_start >= Duration::zero(), "burst start must be non-negative");
+  DCS_REQUIRE(params.burst_duration > Duration::zero(), "burst duration must be positive");
+  DCS_REQUIRE(params.burst_start + params.burst_duration <= params.length,
+              "burst must fit inside the trace");
+  DCS_REQUIRE(params.base_level > 0.0 && params.base_level + params.base_swing < 1.0,
+              "baseline must stay below capacity");
+  DCS_REQUIRE(params.noise >= 0.0 && params.noise < 0.2, "noise sigma in [0, 0.2)");
+
+  Rng rng(params.seed);
+  TimeSeries base;
+  for (Duration t = Duration::zero(); t <= params.length; t += params.step) {
+    const double t_min = t.min();
+    double v = params.base_level +
+               params.base_swing * std::sin(t_min * 0.21 + 0.6) +
+               0.3 * params.base_swing * std::sin(t_min * 0.047);
+    v *= 1.0 + rng.normal(0.0, params.noise);
+    base.push_back(t, std::max(0.05, v));
+  }
+  return inject_burst(base, params.burst_start, params.burst_duration,
+                      params.burst_degree);
+}
+
+}  // namespace dcs::workload

@@ -1,0 +1,38 @@
+// Synthetic stand-in for the Yahoo! inter-data-center request trace
+// (Chen et al., INFOCOM 2011 [6]) used by the paper (Fig. 7b).
+//
+// The paper aggregates 70 per-server request traces into a smooth 30-minute
+// baseline, then injects a burst from minute 5 for a configurable duration
+// by scaling one server's trace — yielding a family of traces parameterized
+// by (burst degree, burst duration), which Fig. 10 sweeps (degree 2.6-3.6,
+// duration 1-15 min). We reproduce exactly that parameterization: a smooth
+// sub-capacity baseline with a flat-topped burst of the requested degree.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::workload {
+
+struct YahooTraceParams {
+  Duration length = Duration::minutes(30);
+  Duration step = Duration::seconds(1);
+  /// Demand during the burst, normalized to peak-normal capacity.
+  double burst_degree = 3.2;
+  Duration burst_start = Duration::minutes(5);
+  Duration burst_duration = Duration::minutes(15);
+  /// Mean of the smooth baseline (normalized). The aggregated Yahoo trace
+  /// "does not change so severely", so variation about this level is small.
+  double base_level = 0.22;
+  /// Peak-to-mean swing of the baseline's slow component.
+  double base_swing = 0.06;
+  /// Multiplicative noise sigma.
+  double noise = 0.02;
+  std::uint64_t seed = 0x5EED0003;
+};
+
+[[nodiscard]] TimeSeries generate_yahoo_trace(const YahooTraceParams& params = {});
+
+}  // namespace dcs::workload

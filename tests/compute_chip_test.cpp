@@ -1,0 +1,77 @@
+#include "compute/chip.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs::compute {
+namespace {
+
+TEST(Chip, PaperPowerNumbers) {
+  // Intel SCC configuration (Section VI-A): 5 W idle chip, 2.5 W per core,
+  // 48 cores -> 125 W fully utilized; 12 cores normal -> 35 W chip.
+  const Chip chip;
+  EXPECT_DOUBLE_EQ(chip.power(0, 0.0).w(), 5.0);
+  EXPECT_DOUBLE_EQ(chip.peak_power().w(), 125.0);
+  EXPECT_DOUBLE_EQ(chip.normal_peak_power().w(), 35.0);
+}
+
+TEST(Chip, PowerScalesWithUtilization) {
+  const Chip chip;
+  EXPECT_DOUBLE_EQ(chip.power(12, 0.5).w(), 5.0 + 2.5 * 6.0);
+  EXPECT_DOUBLE_EQ(chip.power(12, 0.0).w(), 5.0);
+}
+
+TEST(Chip, ActiveIdleFraction) {
+  Chip::Params p;
+  p.active_idle_fraction = 0.4;
+  const Chip chip(p);
+  // Idle active core draws 40 % of 2.5 W.
+  EXPECT_DOUBLE_EQ(chip.power(10, 0.0).w(), 5.0 + 2.5 * 10 * 0.4);
+  // Full utilization unchanged.
+  EXPECT_DOUBLE_EQ(chip.power(10, 1.0).w(), 5.0 + 2.5 * 10);
+}
+
+TEST(Chip, MaxSprintDegreeIsFour) {
+  const Chip chip;
+  EXPECT_DOUBLE_EQ(chip.max_sprint_degree(), 4.0);
+}
+
+TEST(Chip, CoresForDegreeRoundsUpAndClamps) {
+  const Chip chip;
+  EXPECT_EQ(chip.cores_for_degree(1.0), 12u);
+  EXPECT_EQ(chip.cores_for_degree(1.01), 13u);
+  EXPECT_EQ(chip.cores_for_degree(2.5), 30u);
+  EXPECT_EQ(chip.cores_for_degree(4.0), 48u);
+  EXPECT_EQ(chip.cores_for_degree(10.0), 48u);
+  EXPECT_EQ(chip.cores_for_degree(0.0), 0u);
+}
+
+TEST(Chip, DegreeForCoresRoundTrips) {
+  const Chip chip;
+  EXPECT_DOUBLE_EQ(chip.degree_for_cores(12), 1.0);
+  EXPECT_DOUBLE_EQ(chip.degree_for_cores(48), 4.0);
+  EXPECT_DOUBLE_EQ(chip.degree_for_cores(30), 2.5);
+  for (std::size_t n = 12; n <= 48; ++n) {
+    EXPECT_EQ(chip.cores_for_degree(chip.degree_for_cores(n)), n);
+  }
+}
+
+TEST(Chip, Validation) {
+  Chip::Params p;
+  p.normal_cores = 0;
+  EXPECT_THROW((void)Chip{p}, std::invalid_argument);
+  p = {};
+  p.normal_cores = 49;
+  EXPECT_THROW((void)Chip{p}, std::invalid_argument);
+  p = {};
+  p.active_idle_fraction = 1.5;
+  EXPECT_THROW((void)Chip{p}, std::invalid_argument);
+  const Chip chip;
+  EXPECT_THROW((void)chip.power(49, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)chip.power(10, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)chip.degree_for_cores(49), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::compute

@@ -1,0 +1,113 @@
+#include "compute/pcm_heatsink.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/datacenter.h"
+#include "workload/yahoo_trace.h"
+
+namespace dcs::compute {
+namespace {
+
+PcmHeatSink small_pcm(double watts_minutes = 90.0 * 2.0) {
+  PcmHeatSink::Params p;
+  p.latent_capacity = Energy::joules(watts_minutes * 60.0);
+  return PcmHeatSink(p);
+}
+
+TEST(PcmHeatSink, StartsSolid) {
+  const PcmHeatSink pcm;
+  EXPECT_DOUBLE_EQ(pcm.melted_fraction(), 0.0);
+  EXPECT_FALSE(pcm.exhausted());
+}
+
+TEST(PcmHeatSink, SustainablePowerNeverMelts) {
+  PcmHeatSink pcm;
+  for (int i = 0; i < 100000; ++i) {
+    pcm.step(Power::watts(35.0), Duration::seconds(1));
+  }
+  EXPECT_DOUBLE_EQ(pcm.melted_fraction(), 0.0);
+}
+
+TEST(PcmHeatSink, MeltsAtExcessRate) {
+  // 2 "full-sprint minutes" of capacity at 90 W excess.
+  PcmHeatSink pcm = small_pcm();
+  // Full sprint: 125 W chip = 90 W over the 35 W sustainable level.
+  for (int i = 0; i < 60; ++i) pcm.step(Power::watts(125.0), Duration::seconds(1));
+  EXPECT_NEAR(pcm.melted_fraction(), 0.5, 1e-9);
+  for (int i = 0; i < 60; ++i) pcm.step(Power::watts(125.0), Duration::seconds(1));
+  EXPECT_TRUE(pcm.exhausted());
+}
+
+TEST(PcmHeatSink, ResolidifiesWithSpareCapacity) {
+  PcmHeatSink pcm = small_pcm();
+  for (int i = 0; i < 60; ++i) pcm.step(Power::watts(125.0), Duration::seconds(1));
+  const double melted = pcm.melted_fraction();
+  // Idle chip (5 W): 30 W of spare removal re-freezes.
+  for (int i = 0; i < 60; ++i) pcm.step(Power::watts(5.0), Duration::seconds(1));
+  EXPECT_LT(pcm.melted_fraction(), melted);
+  // 90 W x 60 s melted, 30 W x 60 s frozen: 2/3 of the melt remains.
+  EXPECT_NEAR(pcm.melted_fraction(), melted * 2.0 / 3.0, 1e-9);
+}
+
+TEST(PcmHeatSink, NeverOverMeltsOrUnderFreezes) {
+  PcmHeatSink pcm = small_pcm(10.0);
+  for (int i = 0; i < 1000; ++i) pcm.step(Power::watts(200.0), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(pcm.melted_fraction(), 1.0);
+  for (int i = 0; i < 100000; ++i) pcm.step(Power::zero(), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(pcm.melted_fraction(), 0.0);
+}
+
+TEST(PcmHeatSink, TimeToExhaustion) {
+  PcmHeatSink pcm = small_pcm();
+  EXPECT_TRUE(pcm.time_to_exhaustion(Power::watts(35.0)).is_infinite());
+  EXPECT_NEAR(pcm.time_to_exhaustion(Power::watts(125.0)).min(), 2.0, 1e-9);
+  for (int i = 0; i < 60; ++i) pcm.step(Power::watts(125.0), Duration::seconds(1));
+  EXPECT_NEAR(pcm.time_to_exhaustion(Power::watts(125.0)).min(), 1.0, 1e-9);
+}
+
+TEST(PcmHeatSink, ResetRestoresSolid) {
+  PcmHeatSink pcm = small_pcm();
+  pcm.step(Power::watts(125.0), Duration::minutes(1));
+  pcm.reset();
+  EXPECT_DOUBLE_EQ(pcm.melted_fraction(), 0.0);
+}
+
+TEST(PcmHeatSink, Validation) {
+  PcmHeatSink::Params p;
+  p.latent_capacity = Energy::zero();
+  EXPECT_THROW((void)PcmHeatSink{p}, std::invalid_argument);
+  p = {};
+  p.sustainable = Power::zero();
+  EXPECT_THROW((void)PcmHeatSink{p}, std::invalid_argument);
+  PcmHeatSink pcm;
+  EXPECT_THROW((void)pcm.step(Power::watts(-1), Duration::seconds(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)pcm.step(Power::watts(1), Duration::zero()),
+               std::invalid_argument);
+}
+
+TEST(PcmIntegration, DefaultPackageDoesNotBindBeforeDcLevel) {
+  // The paper assumes chip sprinting is "already safely enabled"; the
+  // default PCM must not change any data-center result.
+  core::DataCenterConfig big = {};
+  big.fleet.pdu_count = 2;
+  core::DataCenterConfig tiny = big;
+  tiny.chip_pcm.latent_capacity = Energy::joules(90.0 * 45.0);  // ~45 s
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(10);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  core::GreedyStrategy greedy;
+  const core::RunResult with_default = core::DataCenter(big).run(trace, &greedy);
+  const core::RunResult with_tiny = core::DataCenter(tiny).run(trace, &greedy);
+  // Default: the DC level limits first, same as before the PCM existed.
+  EXPECT_GT(with_default.performance_factor, 1.5);
+  // Tiny PCM: the chip level ends the sprint within about a minute.
+  EXPECT_LT(with_tiny.performance_factor, with_default.performance_factor);
+  EXPECT_LT(with_tiny.sprint_time.min(), 2.0);
+}
+
+}  // namespace
+}  // namespace dcs::compute

@@ -1,0 +1,92 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs::core {
+namespace {
+
+TEST(DataCenterConfig, PaperDerivedValues) {
+  const DataCenterConfig c;
+  EXPECT_DOUBLE_EQ(c.server_peak_normal().w(), 55.0);
+  EXPECT_NEAR(c.fleet_peak_normal().mw(), 10.0, 0.01);
+  // PDU breaker: 55 W x 200 x 1.25 = 13.75 kW (Section VI-A).
+  EXPECT_NEAR(c.pdu_rated().kw(), 13.75, 1e-9);
+  // DC breaker: 10 MW x 1.53 x 1.10 with the default 10 % headroom.
+  EXPECT_NEAR(c.dc_rated().mw(), 10.0 * 1.53 * 1.10, 0.02);
+}
+
+TEST(DataCenterConfig, TesActivationRule) {
+  // Section V-C: 5 min x (peak normal / max additional) =
+  // 5 x 55/90 = 3.06 minutes for the default chip.
+  const DataCenterConfig c;
+  EXPECT_NEAR(c.tes_activation_time().min(), 5.0 * 55.0 / 90.0, 0.01);
+}
+
+TEST(DataCenterConfig, HeadroomScalesDcRating) {
+  DataCenterConfig c;
+  c.dc_headroom = 0.0;
+  const Power base = c.dc_rated();
+  c.dc_headroom = 0.20;
+  EXPECT_NEAR(c.dc_rated() / base, 1.20, 1e-9);
+}
+
+TEST(DataCenterConfig, TopologyParamsConsistent) {
+  const DataCenterConfig c;
+  const auto t = c.topology_params();
+  EXPECT_EQ(t.pdu_count, 909u);
+  EXPECT_EQ(t.pdu.server_count, 200u);
+  EXPECT_DOUBLE_EQ(t.pdu.breaker.rated.w(), c.pdu_rated().w());
+  EXPECT_DOUBLE_EQ(t.dc_breaker.rated.w(), c.dc_rated().w());
+}
+
+TEST(DataCenterConfig, TesParamsTwelveMinutes) {
+  const DataCenterConfig c;
+  const auto tes = c.tes_params();
+  EXPECT_NEAR(tes.capacity.j(), c.fleet_peak_normal().w() * 720.0, 1.0);
+}
+
+TEST(DataCenterConfig, RoomCalibratedToFleet) {
+  const DataCenterConfig c;
+  const auto room = c.room_params();
+  EXPECT_DOUBLE_EQ(room.calibration_power.w(), c.fleet_peak_normal().w());
+}
+
+TEST(DataCenterConfig, ValidateAcceptsDefaults) {
+  const DataCenterConfig c;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(DataCenterConfig, ValidateRejectsBadValues) {
+  DataCenterConfig c;
+  c.pue = 0.9;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.dc_headroom = -0.1;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.tes_capacity_minutes = 0.0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.cb_reserve = Duration::zero();
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.chiller_fraction = 1.0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.recharge_demand_threshold = 0.0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+}
+
+TEST(DataCenterConfig, CoolingParamsCarryTes) {
+  const DataCenterConfig c;
+  thermal::TesTank tank("t", c.tes_params());
+  const auto p = c.cooling_params(&tank);
+  EXPECT_EQ(p.tes, &tank);
+  EXPECT_DOUBLE_EQ(p.pue, 1.53);
+  EXPECT_DOUBLE_EQ(p.nominal_it_load.w(), c.fleet_peak_normal().w());
+}
+
+}  // namespace
+}  // namespace dcs::core

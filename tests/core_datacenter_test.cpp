@@ -1,0 +1,186 @@
+#include "core/datacenter.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/ms_trace.h"
+#include "workload/yahoo_trace.h"
+
+namespace dcs::core {
+namespace {
+
+DataCenterConfig small_config() {
+  DataCenterConfig c;
+  c.fleet.pdu_count = 4;
+  return c;
+}
+
+TEST(DataCenter, NoSprintBaselineIsUnity) {
+  DataCenter dc(small_config());
+  const RunResult r = dc.run(workload::generate_ms_trace(), nullptr,
+                             {.mode = Mode::kNoSprint});
+  EXPECT_NEAR(r.performance_factor, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.sprint_time.sec(), 0.0);
+  EXPECT_FALSE(r.tripped);
+}
+
+TEST(DataCenter, GreedySprintBeatsNoSprint) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_ms_trace(), &greedy);
+  EXPECT_GT(r.performance_factor, 1.4);
+  EXPECT_GT(r.sprint_time.min(), 3.0);
+  EXPECT_FALSE(r.tripped);
+}
+
+TEST(DataCenter, RunsAreIndependent) {
+  // Fresh subsystem state per run: repeating a run gives identical results.
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const TimeSeries trace = workload::generate_ms_trace();
+  const RunResult a = dc.run(trace, &greedy);
+  const RunResult b = dc.run(trace, &greedy);
+  EXPECT_DOUBLE_EQ(a.performance_factor, b.performance_factor);
+  EXPECT_DOUBLE_EQ(a.ups_energy.j(), b.ups_energy.j());
+}
+
+TEST(DataCenter, ResultsInvariantToPduCount) {
+  // The documented scale invariance: 2 PDUs and 16 PDUs give the same
+  // normalized results.
+  DataCenterConfig c2 = small_config();
+  c2.fleet.pdu_count = 2;
+  DataCenterConfig c16 = small_config();
+  c16.fleet.pdu_count = 16;
+  GreedyStrategy greedy;
+  const TimeSeries trace = workload::generate_yahoo_trace();
+  const RunResult a = DataCenter(c2).run(trace, &greedy);
+  const RunResult b = DataCenter(c16).run(trace, &greedy);
+  EXPECT_NEAR(a.performance_factor, b.performance_factor, 1e-6);
+  EXPECT_NEAR(a.sprint_time.sec(), b.sprint_time.sec(), 1.5);
+}
+
+TEST(DataCenter, RecorderChannelsPresent) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_yahoo_trace(), &greedy,
+                             {.record = true});
+  for (const char* channel :
+       {"demand", "achieved", "achieved_nosprint", "degree", "bound", "cores",
+        "phase", "server_mw", "cooling_mw", "ups_mw", "dc_load_mw", "room_c",
+        "ups_soc", "tes_soc", "dc_cb_heat", "pdu_cb_heat"}) {
+    EXPECT_TRUE(r.recorder.has(channel)) << channel;
+  }
+  EXPECT_EQ(r.recorder.series("demand").size(), 1800u);
+}
+
+TEST(DataCenter, RecorderEmptyWithoutOptIn) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_yahoo_trace(), &greedy);
+  EXPECT_TRUE(r.recorder.channels().empty());
+}
+
+TEST(DataCenter, AchievedNeverExceedsDemand) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_ms_trace(), &greedy,
+                             {.record = true});
+  const TimeSeries& demand = r.recorder.series("demand");
+  const TimeSeries& achieved = r.recorder.series("achieved");
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    ASSERT_LE(achieved[i].value, demand[i].value + 1e-9);
+  }
+}
+
+TEST(DataCenter, UncontrolledTripsOnMsTrace) {
+  DataCenter dc(small_config());
+  const RunResult r = dc.run(workload::generate_ms_trace(), nullptr,
+                             {.mode = Mode::kUncontrolled});
+  EXPECT_TRUE(r.tripped);
+  EXPECT_FALSE(r.trip_time.is_infinite());
+  EXPECT_LT(r.performance_factor, 0.6);  // the shutdown is disastrous
+}
+
+TEST(DataCenter, SocExtremaTracked) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_ms_trace(), &greedy);
+  EXPECT_LT(r.min_ups_soc, 0.5);
+  EXPECT_GE(r.min_ups_soc, 0.0);
+  EXPECT_LE(r.min_tes_soc, 1.0);
+  EXPECT_GE(r.min_tes_soc, 0.0);
+}
+
+TEST(DataCenter, DropFractionConsistentWithPerformance) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult nosprint = dc.run(workload::generate_yahoo_trace(), nullptr,
+                                    {.mode = Mode::kNoSprint});
+  const RunResult sprint = dc.run(workload::generate_yahoo_trace(), &greedy);
+  EXPECT_LT(sprint.drop_fraction, nosprint.drop_fraction);
+}
+
+TEST(DataCenter, AvgSprintDegreeReported) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_yahoo_trace(), &greedy);
+  EXPECT_GT(r.avg_sprint_degree, 1.2);
+  EXPECT_LE(r.avg_sprint_degree, 4.0);
+  const RunResult flat = dc.run(
+      TimeSeries{{{Duration::zero(), 0.5}, {Duration::minutes(5), 0.5}}},
+      &greedy);
+  EXPECT_DOUBLE_EQ(flat.avg_sprint_degree, 1.0);
+}
+
+TEST(DataCenter, BudgetDegreeSecondsPositiveAndStable) {
+  DataCenter dc(small_config());
+  const double a = dc.budget_degree_seconds();
+  const double b = dc.budget_degree_seconds();
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(DataCenter, NoTesShortensSprint) {
+  // Section V: "For some data centers without TES ... we can still enable
+  // sprinting (though the duration is shorter)". The effect shows when the
+  // thermal budget binds before the stored electrical energy does, so use a
+  // generous battery and a long moderate burst.
+  DataCenterConfig with = small_config();
+  with.battery_per_server.capacity = Charge::amp_hours(2.0);
+  DataCenterConfig without = with;
+  without.has_tes = false;
+  workload::YahooTraceParams p;
+  p.length = Duration::minutes(32);
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(24);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  ConstantBoundStrategy bound(2.4);
+  const RunResult rw = DataCenter(with).run(trace, &bound);
+  const RunResult ro = DataCenter(without).run(trace, &bound);
+  EXPECT_GT(rw.performance_factor, ro.performance_factor);
+  EXPECT_GT(rw.sprint_time, ro.sprint_time);
+  EXPECT_GT(ro.performance_factor, 1.0);  // still better than nothing
+}
+
+TEST(DataCenter, EmptyTraceRejected) {
+  DataCenter dc(small_config());
+  EXPECT_THROW((void)dc.run(TimeSeries{}, nullptr, {.mode = Mode::kNoSprint}),
+               std::invalid_argument);
+}
+
+TEST(DataCenter, UpsEnergyWithinCapacity) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_ms_trace(), &greedy);
+  const DataCenterConfig& c = dc.config();
+  const Energy bank =
+      c.battery_per_server.capacity.at_volts(c.battery_per_server.bus_voltage) *
+      static_cast<double>(c.fleet.servers_per_pdu * c.fleet.pdu_count);
+  // Slow recharge can top the banks up a little between bursts, so allow a
+  // modest margin above one full capacity.
+  EXPECT_LE(r.ups_energy.j(), bank.j() * 1.2);
+}
+
+}  // namespace
+}  // namespace dcs::core

@@ -1,0 +1,119 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+#include "core/prediction_strategy.h"
+#include "workload/yahoo_trace.h"
+
+namespace dcs::core {
+namespace {
+
+DataCenterConfig small_config() {
+  DataCenterConfig c;
+  c.fleet.pdu_count = 2;
+  return c;
+}
+
+TEST(OracleSearch, BeatsOrMatchesEveryConstantBound) {
+  DataCenter dc(small_config());
+  workload::YahooTraceParams p;
+  p.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  const OracleResult oracle = oracle_search(dc, trace, 4);
+  for (const auto& [bound, perf] : oracle.sweep) {
+    EXPECT_GE(oracle.best_performance, perf - 1e-12) << "bound " << bound;
+  }
+  EXPECT_GE(oracle.best_bound, 1.0);
+  EXPECT_LE(oracle.best_bound, 4.0);
+}
+
+TEST(OracleSearch, SweepCoversCoreRange) {
+  DataCenter dc(small_config());
+  const TimeSeries trace = workload::generate_yahoo_trace();
+  const OracleResult r = oracle_search(dc, trace, 6);
+  // 12 -> 48 cores in strides of 6, final point forced: 12,18,...,48.
+  EXPECT_EQ(r.sweep.size(), 7u);
+  EXPECT_DOUBLE_EQ(r.sweep.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(r.sweep.back().first, 4.0);
+}
+
+TEST(OracleSearch, LongBurstPrefersConstrainedBound) {
+  // Fig. 10b: for long bursts the optimal bound is an interior point.
+  DataCenter dc(small_config());
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(15);
+  const OracleResult r = oracle_search(dc, workload::generate_yahoo_trace(p), 2);
+  EXPECT_LT(r.best_bound, 3.5);
+  EXPECT_GT(r.best_bound, 1.5);
+}
+
+TEST(OracleSearch, ShortBurstAllowsGreedyBound) {
+  // Fig. 10a: for short bursts an unconstrained bound is optimal (or tied).
+  DataCenter dc(small_config());
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(5);
+  const OracleResult r = oracle_search(dc, workload::generate_yahoo_trace(p), 2);
+  GreedyStrategy greedy;
+  const RunResult greedy_run = dc.run(workload::generate_yahoo_trace(p), &greedy);
+  EXPECT_NEAR(r.best_performance, greedy_run.performance_factor, 0.01);
+}
+
+TEST(OracleSearch, StrideValidation) {
+  DataCenter dc(small_config());
+  EXPECT_THROW((void)oracle_search(dc, workload::generate_yahoo_trace(), 0),
+               std::invalid_argument);
+}
+
+TEST(UpperBoundTableBuilder, ProducesUsableTable) {
+  DataCenter dc(small_config());
+  const std::array<Duration, 3> durations = {
+      Duration::minutes(1), Duration::minutes(8), Duration::minutes(15)};
+  const std::array<double, 2> degrees = {2.0, 3.2};
+  const UpperBoundTable table = build_upper_bound_table(
+      dc, durations, degrees, workload::YahooTraceParams{}, 6);
+  EXPECT_EQ(table.durations().size(), 3u);
+  EXPECT_EQ(table.degrees().size(), 2u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      const double b = table.bound_at(i, j);
+      EXPECT_GE(b, 1.0);
+      EXPECT_LE(b, 4.0);
+    }
+  }
+  // Short bursts get at least as generous a bound as long ones.
+  EXPECT_GE(table.bound_at(0, 1), table.bound_at(2, 1) - 1e-9);
+}
+
+TEST(UpperBoundTableBuilder, TableFeedsPredictionStrategy) {
+  DataCenter dc(small_config());
+  const std::array<Duration, 2> durations = {Duration::minutes(1),
+                                             Duration::minutes(15)};
+  const std::array<double, 2> degrees = {2.0, 3.2};
+  const UpperBoundTable table = build_upper_bound_table(
+      dc, durations, degrees, workload::YahooTraceParams{}, 9);
+  workload::YahooTraceParams p;
+  p.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  PredictionStrategy strategy(Duration::minutes(15), &table);
+  const RunResult r = dc.run(trace, &strategy);
+  GreedyStrategy greedy;
+  const RunResult g = dc.run(trace, &greedy);
+  EXPECT_GT(r.performance_factor, g.performance_factor);
+}
+
+TEST(UpperBoundTableBuilder, Validation) {
+  DataCenter dc(small_config());
+  const std::array<Duration, 1> one_duration = {Duration::minutes(1)};
+  const std::array<double, 2> degrees = {2.0, 3.0};
+  EXPECT_THROW((void)build_upper_bound_table(dc, one_duration, degrees,
+                                       workload::YahooTraceParams{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::core

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/heuristic_strategy.h"
+#include "core/prediction_strategy.h"
+#include "core/strategy.h"
+#include "core/upper_bound_table.h"
+
+namespace dcs::core {
+namespace {
+
+SprintContext ctx(double demand = 2.0, double max_degree = 4.0) {
+  SprintContext c;
+  c.demand = demand;
+  c.max_degree = max_degree;
+  c.max_demand_in_burst = demand;
+  return c;
+}
+
+TEST(GreedyStrategy, AlwaysHardwareMax) {
+  GreedyStrategy g;
+  EXPECT_DOUBLE_EQ(g.upper_bound(ctx(1.5)), 4.0);
+  EXPECT_DOUBLE_EQ(g.upper_bound(ctx(3.5, 3.0)), 3.0);
+  EXPECT_EQ(g.name(), "greedy");
+}
+
+TEST(ConstantBoundStrategy, ClampsToHardware) {
+  ConstantBoundStrategy s(2.5);
+  EXPECT_DOUBLE_EQ(s.upper_bound(ctx()), 2.5);
+  ConstantBoundStrategy high(5.0);
+  EXPECT_DOUBLE_EQ(high.upper_bound(ctx()), 4.0);
+  EXPECT_THROW((void)ConstantBoundStrategy(0.5), std::invalid_argument);
+}
+
+UpperBoundTable simple_table() {
+  // Short bursts -> bound 4; long bursts -> bound 2.
+  return UpperBoundTable(
+      {Duration::minutes(1), Duration::minutes(20)}, {2.0, 3.5},
+      {4.0, 4.0, 2.0, 2.0});
+}
+
+TEST(PredictionStrategy, LooksUpBoundForEquivalentDuration) {
+  const UpperBoundTable table = simple_table();
+  PredictionStrategy s(Duration::minutes(20), &table);
+  SprintContext c = ctx(3.0);
+  c.avg_degree = 1.0;  // early: equivalent duration 20 x 4 = 80 min -> long
+  EXPECT_NEAR(s.upper_bound(c), 2.0, 1e-9);
+  EXPECT_NEAR(s.last_equivalent_duration().min(), 80.0, 1e-9);
+}
+
+TEST(PredictionStrategy, EquivalentDurationShrinksWithRealSprinting) {
+  const UpperBoundTable table = simple_table();
+  PredictionStrategy s(Duration::minutes(1), &table);
+  SprintContext c = ctx(3.0);
+  c.avg_degree = 4.0;  // sprinting flat out: equivalent = predicted
+  s.upper_bound(c);
+  EXPECT_NEAR(s.last_equivalent_duration().min(), 1.0, 1e-9);
+}
+
+TEST(PredictionStrategy, ZeroPredictionActsGreedy) {
+  // -100 % estimation error: predicted duration 0 -> shortest-burst column
+  // of the table -> the most generous bound.
+  const UpperBoundTable table = simple_table();
+  PredictionStrategy s(Duration::zero(), &table);
+  EXPECT_NEAR(s.upper_bound(ctx(3.0)), 4.0, 1e-9);
+}
+
+TEST(PredictionStrategy, RequiresTable) {
+  EXPECT_THROW((void)PredictionStrategy(Duration::minutes(1), nullptr),
+               std::invalid_argument);
+}
+
+TEST(HeuristicStrategy, InitialBoundUsesFlexibility) {
+  HeuristicStrategy s(2.0, 1000.0, 0.10);
+  EXPECT_NEAR(s.initial_bound(), 2.2, 1e-9);
+  EXPECT_NEAR(s.planned_duration().sec(), 500.0, 1e-9);
+}
+
+TEST(HeuristicStrategy, BoundScalesWithEnergyVsTime) {
+  HeuristicStrategy s(2.0, 1000.0, 0.10);
+  SprintContext c = ctx(3.0);
+  // On plan: RE == RT -> the initial bound.
+  c.elapsed_in_burst = Duration::seconds(250);  // RT = 0.5
+  c.remaining_energy_fraction = 0.5;
+  EXPECT_NEAR(s.upper_bound(c), 2.2, 1e-9);
+  // Draining faster than planned -> tighter.
+  c.remaining_energy_fraction = 0.25;
+  EXPECT_NEAR(s.upper_bound(c), 1.1, 1e-9);
+  // Draining slower -> looser.
+  c.remaining_energy_fraction = 1.0;
+  EXPECT_NEAR(s.upper_bound(c), 4.0, 1e-9);  // clamped at hardware max
+}
+
+TEST(HeuristicStrategy, NeverBelowOne) {
+  HeuristicStrategy s(2.0, 1000.0, 0.10);
+  SprintContext c = ctx(3.0);
+  c.elapsed_in_burst = Duration::zero();
+  c.remaining_energy_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(s.upper_bound(c), 1.0);
+}
+
+TEST(HeuristicStrategy, OutlastedPlanStaysFinite) {
+  HeuristicStrategy s(2.0, 1000.0, 0.10);
+  SprintContext c = ctx(3.0);
+  c.elapsed_in_burst = Duration::seconds(2000);  // past the plan
+  c.remaining_energy_fraction = 0.1;
+  const double bound = s.upper_bound(c);
+  EXPECT_GE(bound, 1.0);
+  EXPECT_LE(bound, 4.0);
+}
+
+TEST(HeuristicStrategy, DegenerateEstimateFloorsAtOne) {
+  HeuristicStrategy s(0.5, 1000.0, 0.10);
+  EXPECT_NEAR(s.initial_bound(), 1.1, 1e-9);
+  EXPECT_THROW((void)HeuristicStrategy(2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)HeuristicStrategy(2.0, 100.0, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::core

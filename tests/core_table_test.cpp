@@ -1,0 +1,68 @@
+#include "core/upper_bound_table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs::core {
+namespace {
+
+UpperBoundTable grid() {
+  // durations {1, 10, 20} min x degrees {2, 3}:
+  //   1 min: 4.0 4.0
+  //  10 min: 3.0 2.5
+  //  20 min: 2.0 1.5
+  return UpperBoundTable(
+      {Duration::minutes(1), Duration::minutes(10), Duration::minutes(20)},
+      {2.0, 3.0}, {4.0, 4.0, 3.0, 2.5, 2.0, 1.5});
+}
+
+TEST(UpperBoundTable, ExactGridPoints) {
+  const UpperBoundTable t = grid();
+  EXPECT_DOUBLE_EQ(t.lookup(Duration::minutes(1), 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.lookup(Duration::minutes(10), 3.0), 2.5);
+  EXPECT_DOUBLE_EQ(t.lookup(Duration::minutes(20), 2.0), 2.0);
+}
+
+TEST(UpperBoundTable, BilinearInterior) {
+  const UpperBoundTable t = grid();
+  // Midway between 10 and 20 min at degree 2.5:
+  // corners 3.0, 2.5, 2.0, 1.5 -> 2.25.
+  EXPECT_NEAR(t.lookup(Duration::minutes(15), 2.5), 2.25, 1e-12);
+}
+
+TEST(UpperBoundTable, ClampsOutsideGrid) {
+  const UpperBoundTable t = grid();
+  EXPECT_DOUBLE_EQ(t.lookup(Duration::zero(), 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.lookup(Duration::hours(5), 3.5), 1.5);
+  EXPECT_DOUBLE_EQ(t.lookup(Duration::minutes(10), 1.0), 3.0);
+}
+
+TEST(UpperBoundTable, BoundAtIndices) {
+  const UpperBoundTable t = grid();
+  EXPECT_DOUBLE_EQ(t.bound_at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t.bound_at(2, 1), 1.5);
+  EXPECT_THROW((void)t.bound_at(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)t.bound_at(0, 2), std::invalid_argument);
+}
+
+TEST(UpperBoundTable, Validation) {
+  EXPECT_THROW((void)UpperBoundTable({Duration::minutes(1)}, {2.0, 3.0},
+                               {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)UpperBoundTable({Duration::minutes(1), Duration::minutes(2)},
+                               {2.0}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)UpperBoundTable({Duration::minutes(2), Duration::minutes(1)},
+                               {2.0, 3.0}, {1.0, 1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)UpperBoundTable({Duration::minutes(1), Duration::minutes(2)},
+                               {2.0, 3.0}, {1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)UpperBoundTable({Duration::minutes(1), Duration::minutes(2)},
+                               {2.0, 3.0}, {1.0, 1.0, 1.0, 0.5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::core

@@ -1,0 +1,406 @@
+// End-to-end checks that the reproduction lands in the paper's reported
+// bands and reproduces the qualitative claims of Section VII. Also hosts
+// the parameterized safety-property sweeps (TEST_P) over burst shapes and
+// infrastructure headroom.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/datacenter.h"
+#include "core/heuristic_strategy.h"
+#include "core/oracle.h"
+#include "core/prediction_strategy.h"
+#include "workload/ms_trace.h"
+#include "workload/predictor.h"
+#include "workload/yahoo_trace.h"
+
+namespace dcs::core {
+namespace {
+
+DataCenterConfig small_config() {
+  DataCenterConfig c;
+  c.fleet.pdu_count = 2;  // results are invariant to the PDU count
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Section VII-A (Fig. 8): uncontrolled vs controlled sprinting.
+// ---------------------------------------------------------------------------
+
+TEST(PaperFig8, UncontrolledTripsMinutesIntoTheTrace) {
+  // The paper's uncontrolled run trips 5 min 20 s into the MS trace. Our
+  // synthetic trace trips in the same few-minutes band once its tall burst
+  // arrives.
+  DataCenter dc(small_config());
+  const RunResult r = dc.run(workload::generate_ms_trace(), nullptr,
+                             {.mode = Mode::kUncontrolled});
+  ASSERT_TRUE(r.tripped);
+  EXPECT_GT(r.trip_time.min(), 2.0);
+  EXPECT_LT(r.trip_time.min(), 9.0);
+}
+
+TEST(PaperFig8, ControlledSprintingOutlastsUncontrolled) {
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult controlled = dc.run(workload::generate_ms_trace(), &greedy);
+  const RunResult uncontrolled = dc.run(workload::generate_ms_trace(), nullptr,
+                                        {.mode = Mode::kUncontrolled});
+  EXPECT_FALSE(controlled.tripped);
+  EXPECT_GT(controlled.sprint_time, uncontrolled.sprint_time);
+  EXPECT_GT(controlled.performance_factor,
+            3.0 * uncontrolled.performance_factor);
+}
+
+TEST(PaperFig8, UpsCarriesMajorityOfPduLevelAdditionalEnergy) {
+  // Section VII-A: "the UPS and TES provide 54% and 13% of the additional
+  // energy on average at the PDU level and DC level". Check the ordering
+  // and rough magnitudes: the UPS is the dominant contributor at the PDU
+  // tier, the TES a smaller one at the DC tier.
+  DataCenter dc(small_config());
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(workload::generate_ms_trace(), &greedy);
+  const Energy pdu_additional = r.ups_energy + r.pdu_overload_energy;
+  ASSERT_GT(pdu_additional.j(), 0.0);
+  const double ups_share = r.ups_energy / pdu_additional;
+  EXPECT_GT(ups_share, 0.30);
+  EXPECT_LT(ups_share, 0.85);
+  EXPECT_GT(r.tes_saved_energy.j(), 0.0);
+  EXPECT_LT(r.tes_saved_energy.j(), r.ups_energy.j());
+}
+
+// ---------------------------------------------------------------------------
+// Section VII-B (Fig. 9): strategies on the MS trace.
+// ---------------------------------------------------------------------------
+
+class MsStrategies : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dc_ = new DataCenter(small_config());
+    trace_ = new TimeSeries(workload::generate_ms_trace());
+    const std::vector<Duration> durations = {
+        Duration::minutes(1), Duration::minutes(5), Duration::minutes(10),
+        Duration::minutes(15), Duration::minutes(25)};
+    const std::vector<double> degrees = {1.5, 2.0, 2.6, 3.0, 3.6};
+    table_ = new UpperBoundTable(build_upper_bound_table(
+        *dc_, durations, degrees, workload::YahooTraceParams{}, 4));
+    oracle_ = new OracleResult(oracle_search(*dc_, *trace_, 2));
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete table_;
+    delete trace_;
+    delete dc_;
+  }
+
+  static DataCenter* dc_;
+  static TimeSeries* trace_;
+  static UpperBoundTable* table_;
+  static OracleResult* oracle_;
+};
+
+DataCenter* MsStrategies::dc_ = nullptr;
+TimeSeries* MsStrategies::trace_ = nullptr;
+UpperBoundTable* MsStrategies::table_ = nullptr;
+OracleResult* MsStrategies::oracle_ = nullptr;
+
+TEST_F(MsStrategies, OverallBandMatchesPaper) {
+  // Paper: "Data Center Sprinting can improve the average performance by a
+  // factor of 1.62 to 1.76 with the MS trace."
+  GreedyStrategy greedy;
+  const double g = dc_->run(*trace_, &greedy).performance_factor;
+  EXPECT_GT(g, 1.5);
+  EXPECT_LT(g, 1.8);
+  EXPECT_GT(oracle_->best_performance, g);
+  EXPECT_LT(oracle_->best_performance, 1.9);
+}
+
+TEST_F(MsStrategies, PredictionAtZeroErrorNearOracle) {
+  const workload::BurstTruth truth = workload::measure_burst_truth(*trace_);
+  PredictionStrategy p(truth.duration, table_);
+  const double perf = dc_->run(*trace_, &p).performance_factor;
+  GreedyStrategy greedy;
+  const double g = dc_->run(*trace_, &greedy).performance_factor;
+  EXPECT_GT(perf, g);
+  EXPECT_LE(perf, oracle_->best_performance + 0.02);
+}
+
+TEST_F(MsStrategies, HeuristicAtZeroErrorNearOracle) {
+  ConstantBoundStrategy ob(oracle_->best_bound, "oracle");
+  const RunResult orun = dc_->run(*trace_, &ob);
+  HeuristicStrategy h(orun.avg_sprint_degree, dc_->budget_degree_seconds());
+  const double perf = dc_->run(*trace_, &h).performance_factor;
+  GreedyStrategy greedy;
+  const double g = dc_->run(*trace_, &greedy).performance_factor;
+  EXPECT_GT(perf, g);
+  EXPECT_LE(perf, oracle_->best_performance + 0.02);
+}
+
+TEST_F(MsStrategies, PredictionRobustToOverestimatedDuration) {
+  // Fig. 9: overestimating the burst duration keeps Prediction well above
+  // Greedy (the bound starts low and adapts).
+  const workload::BurstTruth truth = workload::measure_burst_truth(*trace_);
+  GreedyStrategy greedy;
+  const double g = dc_->run(*trace_, &greedy).performance_factor;
+  for (double err : {0.2, 0.6, 1.0}) {
+    const workload::ErrorfulForecast f(truth, err);
+    PredictionStrategy p(f.predicted_duration(), table_);
+    EXPECT_GT(dc_->run(*trace_, &p).performance_factor, g) << "err " << err;
+  }
+}
+
+TEST_F(MsStrategies, PredictionDegradesToGreedyWhenDurationUnderestimated) {
+  // Fig. 9: at -100 % error the predicted duration is 0, the table returns
+  // its most generous bound, and Prediction behaves like Greedy.
+  const workload::BurstTruth truth = workload::measure_burst_truth(*trace_);
+  const workload::ErrorfulForecast f(truth, -1.0);
+  PredictionStrategy p(f.predicted_duration(), table_);
+  GreedyStrategy greedy;
+  const double g = dc_->run(*trace_, &greedy).performance_factor;
+  EXPECT_NEAR(dc_->run(*trace_, &p).performance_factor, g, 0.05);
+}
+
+TEST_F(MsStrategies, HeuristicDegradesToGreedyWhenDegreeOverestimated) {
+  // Fig. 9: overestimating SDe_p makes the initial bound too high — "the
+  // overall result can be still unsatisfactory (sometimes no better than
+  // Greedy)".
+  ConstantBoundStrategy ob(oracle_->best_bound, "oracle");
+  const RunResult orun = dc_->run(*trace_, &ob);
+  GreedyStrategy greedy;
+  const double g = dc_->run(*trace_, &greedy).performance_factor;
+  HeuristicStrategy h(orun.avg_sprint_degree * 1.6,
+                      dc_->budget_degree_seconds());
+  const double perf = dc_->run(*trace_, &h).performance_factor;
+  EXPECT_NEAR(perf, g, 0.08);
+}
+
+// ---------------------------------------------------------------------------
+// Section VII-C (Fig. 10): burst degree and duration sweeps (Yahoo trace).
+// ---------------------------------------------------------------------------
+
+TEST(PaperFig10, ShortBurstsGreedyMatchesOracle) {
+  // Fig. 10a: "the Greedy strategy can achieve the same performance as the
+  // Oracle strategy" for 5-minute bursts.
+  DataCenter dc(small_config());
+  for (double degree : {2.6, 3.0, 3.6}) {
+    workload::YahooTraceParams p;
+    p.burst_degree = degree;
+    p.burst_duration = Duration::minutes(5);
+    const TimeSeries trace = workload::generate_yahoo_trace(p);
+    GreedyStrategy greedy;
+    const double g = dc.run(trace, &greedy).performance_factor;
+    const OracleResult o = oracle_search(dc, trace, 4);
+    EXPECT_NEAR(g, o.best_performance, 0.01) << "degree " << degree;
+  }
+}
+
+TEST(PaperFig10, LongBurstsGreedySignificantlyDegraded) {
+  // Fig. 10b: for 15-minute bursts Greedy falls well behind the Oracle, and
+  // the gap grows with the burst degree.
+  DataCenter dc(small_config());
+  double prev_gap = 0.0;
+  for (double degree : {2.6, 3.2, 3.6}) {
+    workload::YahooTraceParams p;
+    p.burst_degree = degree;
+    p.burst_duration = Duration::minutes(15);
+    const TimeSeries trace = workload::generate_yahoo_trace(p);
+    GreedyStrategy greedy;
+    const double g = dc.run(trace, &greedy).performance_factor;
+    const OracleResult o = oracle_search(dc, trace, 4);
+    const double gap = o.best_performance - g;
+    EXPECT_GT(gap, 0.08) << "degree " << degree;
+    EXPECT_GE(gap, prev_gap - 0.02) << "degree " << degree;
+    prev_gap = gap;
+  }
+}
+
+TEST(PaperFig10, PredictionBeatsHeuristicOnLongBursts) {
+  // Fig. 10b: "The Prediction strategy also performs better than the
+  // Heuristic strategy" (with zero estimation error).
+  DataCenterConfig config = small_config();
+  DataCenter dc(config);
+  const std::vector<Duration> durations = {Duration::minutes(1),
+                                           Duration::minutes(8),
+                                           Duration::minutes(15),
+                                           Duration::minutes(25)};
+  const std::vector<double> degrees = {2.0, 2.6, 3.2, 3.6};
+  const UpperBoundTable table = build_upper_bound_table(
+      dc, durations, degrees, workload::YahooTraceParams{}, 4);
+
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  const workload::BurstTruth truth = workload::measure_burst_truth(trace);
+
+  const OracleResult o = oracle_search(dc, trace, 2);
+  ConstantBoundStrategy ob(o.best_bound, "oracle");
+  const RunResult orun = dc.run(trace, &ob);
+
+  PredictionStrategy pred(truth.duration, &table);
+  HeuristicStrategy heur(orun.avg_sprint_degree, dc.budget_degree_seconds());
+  GreedyStrategy greedy;
+
+  const double gp = dc.run(trace, &pred).performance_factor;
+  const double gh = dc.run(trace, &heur).performance_factor;
+  const double gg = dc.run(trace, &greedy).performance_factor;
+  EXPECT_GT(gp, gh - 1e-6);
+  EXPECT_GT(gh, gg);
+  EXPECT_LE(gp, o.best_performance + 0.02);
+}
+
+TEST(PaperFig10, YahooOverallBand) {
+  // Paper: "1.75 to 2.45 with the Yahoo trace". Our synthetic baseline
+  // lands the same ordering with a band of roughly 1.6-2.1 (see
+  // EXPERIMENTS.md for the calibration notes).
+  DataCenter dc(small_config());
+  double lo = 1e9, hi = 0.0;
+  for (double degree : {2.6, 3.6}) {
+    for (double minutes : {5.0, 15.0}) {
+      workload::YahooTraceParams p;
+      p.burst_degree = degree;
+      p.burst_duration = Duration::minutes(minutes);
+      const OracleResult o =
+          oracle_search(dc, workload::generate_yahoo_trace(p), 4);
+      lo = std::min(lo, o.best_performance);
+      hi = std::max(hi, o.best_performance);
+    }
+  }
+  EXPECT_GT(lo, 1.5);
+  EXPECT_GT(hi, 1.9);
+  EXPECT_LT(hi, 2.6);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized safety properties: across burst shapes and headroom the
+// controlled sprint never trips a breaker, never overheats the room, and
+// never performs worse than not sprinting.
+// ---------------------------------------------------------------------------
+
+using SafetyParams = std::tuple<double /*degree*/, double /*minutes*/,
+                                double /*headroom*/>;
+
+class ControlledSafety : public ::testing::TestWithParam<SafetyParams> {};
+
+TEST_P(ControlledSafety, NeverTripsNeverOverheatsNeverLoses) {
+  const auto [degree, minutes, headroom] = GetParam();
+  DataCenterConfig config = small_config();
+  config.dc_headroom = headroom;
+  DataCenter dc(config);
+  workload::YahooTraceParams p;
+  p.burst_degree = degree;
+  p.burst_duration = Duration::minutes(minutes);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(trace, &greedy, {.record = true});
+
+  EXPECT_FALSE(r.tripped);
+  EXPECT_GE(r.performance_factor, 1.0 - 1e-9);
+  EXPECT_LE(r.peak_room_temperature.c(), 35.0 + 1e-9);
+  EXPECT_GE(r.min_ups_soc, -1e-9);
+  EXPECT_GE(r.min_tes_soc, -1e-9);
+  // Breaker thermal state stays strictly below the trip point.
+  EXPECT_LT(r.recorder.series("dc_cb_heat").max_value(), 1.0);
+  EXPECT_LT(r.recorder.series("pdu_cb_heat").max_value(), 1.0);
+  // Achieved is capped by demand everywhere.
+  const TimeSeries& demand = r.recorder.series("demand");
+  const TimeSeries& achieved = r.recorder.series("achieved");
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    ASSERT_LE(achieved[i].value, demand[i].value + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BurstAndHeadroomSweep, ControlledSafety,
+    ::testing::Combine(::testing::Values(1.5, 2.6, 3.2, 4.0),
+                       ::testing::Values(1.0, 5.0, 15.0),
+                       ::testing::Values(0.0, 0.10, 0.20)),
+    [](const ::testing::TestParamInfo<SafetyParams>& info) {
+      return "deg" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_min" + std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "_hr" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+// More headroom can only help (monotonicity ablation).
+class HeadroomMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeadroomMonotonic, PerformanceNonDecreasingInHeadroom) {
+  const double degree = GetParam();
+  workload::YahooTraceParams p;
+  p.burst_degree = degree;
+  p.burst_duration = Duration::minutes(10);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  double prev = 0.0;
+  for (double headroom : {0.0, 0.05, 0.10, 0.15, 0.20}) {
+    DataCenterConfig config = small_config();
+    config.dc_headroom = headroom;
+    DataCenter dc(config);
+    GreedyStrategy greedy;
+    const double perf = dc.run(trace, &greedy).performance_factor;
+    EXPECT_GE(perf, prev - 0.02) << "headroom " << headroom;
+    prev = perf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreeSweep, HeadroomMonotonic,
+                         ::testing::Values(2.0, 2.8, 3.6));
+
+// PUE sensitivity: the DC rating is provisioned on the *total* (IT +
+// cooling) power, so PUE changes co-scale the rating and the cooling load
+// and the sprinting capability is only mildly affected — but every run
+// must remain safe and profitable.
+TEST(PaperAblation, PueSweepStaysSafeAndEffective) {
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(10);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  for (double pue : {1.2, 1.53, 1.8, 2.0}) {
+    DataCenterConfig config = small_config();
+    config.pue = pue;
+    DataCenter dc(config);
+    GreedyStrategy greedy;
+    const RunResult r = dc.run(trace, &greedy);
+    EXPECT_FALSE(r.tripped) << "PUE " << pue;
+    EXPECT_GT(r.performance_factor, 1.4) << "PUE " << pue;
+  }
+}
+
+// TES sizing: a bigger tank never hurts and a much bigger one helps on
+// thermally-bound workloads.
+TEST(PaperAblation, MoreTesNeverHurts) {
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  double prev = 0.0;
+  for (double minutes : {6.0, 12.0, 24.0}) {
+    DataCenterConfig config = small_config();
+    config.tes_capacity_minutes = minutes;
+    DataCenter dc(config);
+    GreedyStrategy greedy;
+    const double perf = dc.run(trace, &greedy).performance_factor;
+    EXPECT_GE(perf, prev - 0.02) << "TES minutes " << minutes;
+    prev = perf;
+  }
+}
+
+TEST(PaperAblation, BiggerBatteryNeverHurts) {
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.2;
+  p.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  double prev = 0.0;
+  for (double ah : {0.25, 0.5, 1.0}) {
+    DataCenterConfig config = small_config();
+    config.battery_per_server.capacity = Charge::amp_hours(ah);
+    DataCenter dc(config);
+    GreedyStrategy greedy;
+    const double perf = dc.run(trace, &greedy).performance_factor;
+    EXPECT_GE(perf, prev - 0.02) << "capacity " << ah;
+    prev = perf;
+  }
+}
+
+}  // namespace
+}  // namespace dcs::core

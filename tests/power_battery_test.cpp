@@ -1,0 +1,141 @@
+#include "power/battery.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs::power {
+namespace {
+
+Battery make_battery() {
+  // The paper's per-server UPS: 0.5 Ah on an 11 V bus = 5.5 Wh,
+  // ~6 minutes at the 55 W peak-normal server draw.
+  return Battery("ups", Battery::Params{});
+}
+
+TEST(Battery, PaperSizingSustainsSixMinutes) {
+  Battery b = make_battery();
+  EXPECT_DOUBLE_EQ(b.capacity().wh(), 5.5);
+  int seconds = 0;
+  while (b.discharge(Power::watts(55), Duration::seconds(1)) > Power::zero()) {
+    ++seconds;
+    ASSERT_LT(seconds, 100000);
+  }
+  EXPECT_NEAR(seconds, 360, 1);
+}
+
+TEST(Battery, StartsFull) {
+  Battery b = make_battery();
+  EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+  EXPECT_DOUBLE_EQ(b.available().j(), b.capacity().j());
+}
+
+TEST(Battery, DischargeRespectsInverterLimit) {
+  Battery b = make_battery();
+  const Power supplied = b.discharge(Power::watts(500), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(supplied.w(), 150.0);  // default max_discharge
+}
+
+TEST(Battery, PartialTickExhaustionDeliversAverage) {
+  Battery::Params p;
+  p.capacity = Charge::amp_hours(0.5);
+  p.bus_voltage = 11.0;
+  Battery b("ups", p);
+  // Ask for the whole 19800 J in one 180 s tick at 150 W = 27000 J wanted.
+  const Power got = b.discharge(Power::watts(150), Duration::seconds(180));
+  EXPECT_NEAR(got.w() * 180.0, 19800.0, 1e-6);
+  EXPECT_DOUBLE_EQ(b.available().j(), 0.0);
+}
+
+TEST(Battery, EnergyConservation) {
+  Battery b = make_battery();
+  Energy delivered = Energy::zero();
+  for (int i = 0; i < 100; ++i) {
+    delivered += b.discharge(Power::watts(40), Duration::seconds(1)) *
+                 Duration::seconds(1);
+  }
+  EXPECT_NEAR((b.capacity() - b.stored()).j(), delivered.j(), 1e-9);
+  EXPECT_NEAR(b.total_discharged().j(), delivered.j(), 1e-9);
+}
+
+TEST(Battery, SocNeverLeavesUnitInterval) {
+  Battery b = make_battery();
+  for (int i = 0; i < 1000; ++i) {
+    b.discharge(Power::watts(150), Duration::seconds(1));
+    EXPECT_GE(b.soc(), 0.0);
+    EXPECT_LE(b.soc(), 1.0);
+  }
+  for (int i = 0; i < 100000; ++i) {
+    b.recharge(Power::watts(100), Duration::seconds(1));
+    EXPECT_LE(b.soc(), 1.0);
+  }
+  EXPECT_NEAR(b.soc(), 1.0, 1e-9);
+}
+
+TEST(Battery, RechargeDrawsLossesFromGrid) {
+  Battery::Params p;
+  p.recharge_efficiency = 0.9;
+  p.max_recharge = Power::watts(10);
+  Battery b("ups", p);
+  b.discharge(Power::watts(150), Duration::seconds(60));  // drain 9000 J
+  const Energy before = b.stored();
+  const Power grid = b.recharge(Power::watts(10), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(grid.w(), 10.0);
+  EXPECT_NEAR((b.stored() - before).j(), 9.0, 1e-9);  // 90 % lands in the cell
+}
+
+TEST(Battery, RechargeStopsAtFull) {
+  Battery b = make_battery();
+  EXPECT_DOUBLE_EQ(b.recharge(Power::watts(10), Duration::seconds(1)).w(), 0.0);
+}
+
+TEST(Battery, ReserveFloorBlocksDeepDischarge) {
+  Battery::Params p;
+  p.reserve_floor = 0.2;
+  Battery b("ups", p);
+  while (b.discharge(Power::watts(150), Duration::seconds(1)) > Power::zero()) {
+  }
+  EXPECT_NEAR(b.soc(), 0.2, 1e-9);
+}
+
+TEST(Battery, DischargeEventCounting) {
+  Battery b = make_battery();
+  EXPECT_EQ(b.discharge_events(), 0u);
+  b.discharge(Power::watts(50), Duration::seconds(10));
+  b.discharge(Power::watts(50), Duration::seconds(10));
+  EXPECT_EQ(b.discharge_events(), 1u);  // continuous discharge = one event
+  b.recharge(Power::watts(1), Duration::seconds(1));
+  b.discharge(Power::watts(50), Duration::seconds(10));
+  EXPECT_EQ(b.discharge_events(), 2u);
+}
+
+TEST(Battery, EquivalentFullCycles) {
+  Battery b = make_battery();
+  // Drain completely once: one equivalent full cycle.
+  while (b.discharge(Power::watts(150), Duration::seconds(1)) > Power::zero()) {
+  }
+  EXPECT_NEAR(b.equivalent_full_cycles(), 1.0, 1e-9);
+}
+
+TEST(Battery, Validation) {
+  Battery::Params p;
+  p.capacity = Charge::zero();
+  EXPECT_THROW((void)Battery("b", p), std::invalid_argument);
+  p = {};
+  p.bus_voltage = 0.0;
+  EXPECT_THROW((void)Battery("b", p), std::invalid_argument);
+  p = {};
+  p.recharge_efficiency = 1.5;
+  EXPECT_THROW((void)Battery("b", p), std::invalid_argument);
+  p = {};
+  p.reserve_floor = 1.0;
+  EXPECT_THROW((void)Battery("b", p), std::invalid_argument);
+  Battery b = make_battery();
+  EXPECT_THROW((void)b.discharge(Power::watts(-1), Duration::seconds(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)b.discharge(Power::watts(1), Duration::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::power

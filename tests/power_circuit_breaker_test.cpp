@@ -1,0 +1,134 @@
+#include "power/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcs::power {
+namespace {
+
+CircuitBreaker make_cb(double rated_w = 1000.0) {
+  return CircuitBreaker("cb", {.rated = Power::watts(rated_w)});
+}
+
+TEST(CircuitBreaker, ConstantOverloadTripsAtCurveTime) {
+  // 60 % overload must trip at 60 s (within one 1 s step).
+  CircuitBreaker cb = make_cb();
+  int steps = 0;
+  while (!cb.tripped() && steps < 1000) {
+    cb.apply_load(Power::watts(1600), Duration::seconds(1));
+    ++steps;
+  }
+  EXPECT_TRUE(cb.tripped());
+  EXPECT_NEAR(steps, 60, 1);
+}
+
+TEST(CircuitBreaker, RatedLoadNeverTrips) {
+  CircuitBreaker cb = make_cb();
+  for (int i = 0; i < 100000; ++i) {
+    cb.apply_load(Power::watts(1000), Duration::seconds(1));
+  }
+  EXPECT_FALSE(cb.tripped());
+  EXPECT_DOUBLE_EQ(cb.thermal_state(), 0.0);
+}
+
+TEST(CircuitBreaker, VaryingOverloadAccumulates) {
+  CircuitBreaker cb = make_cb();
+  // 30 s at 60 % (half the trip budget), then 30 % should trip ~120 s later
+  // (half of its 240 s budget remaining).
+  for (int i = 0; i < 30; ++i) cb.apply_load(Power::watts(1600), Duration::seconds(1));
+  EXPECT_NEAR(cb.thermal_state(), 0.5, 0.01);
+  int steps = 0;
+  while (!cb.tripped() && steps < 1000) {
+    cb.apply_load(Power::watts(1300), Duration::seconds(1));
+    ++steps;
+  }
+  EXPECT_NEAR(steps, 120, 2);
+}
+
+TEST(CircuitBreaker, CoolsWhenUnderRated) {
+  CircuitBreaker cb = make_cb();
+  for (int i = 0; i < 30; ++i) cb.apply_load(Power::watts(1600), Duration::seconds(1));
+  const double hot = cb.thermal_state();
+  // Ten minutes at rated load: one cooling time constant.
+  for (int i = 0; i < 600; ++i) cb.apply_load(Power::watts(900), Duration::seconds(1));
+  EXPECT_NEAR(cb.thermal_state(), hot * std::exp(-1.0), 0.01);
+}
+
+TEST(CircuitBreaker, TimeToTripReflectsThermalState) {
+  CircuitBreaker cb = make_cb();
+  EXPECT_NEAR(cb.time_to_trip_at(Power::watts(1600)).sec(), 60.0, 1e-9);
+  for (int i = 0; i < 30; ++i) cb.apply_load(Power::watts(1600), Duration::seconds(1));
+  EXPECT_NEAR(cb.time_to_trip_at(Power::watts(1600)).sec(), 30.0, 0.6);
+  EXPECT_TRUE(cb.time_to_trip_at(Power::watts(1000)).is_infinite());
+}
+
+TEST(CircuitBreaker, MaxLoadForHoldsAtLeastThatLong) {
+  CircuitBreaker cb = make_cb();
+  const Power allowed = cb.max_load_for(Duration::minutes(1));
+  // Fresh breaker, 60 s hold: exactly the 60 % overload point.
+  EXPECT_NEAR(allowed.w(), 1600.0, 1e-6);
+  // Applying exactly that load for 59 s must not trip.
+  for (int i = 0; i < 59; ++i) cb.apply_load(allowed, Duration::seconds(1));
+  EXPECT_FALSE(cb.tripped());
+}
+
+TEST(CircuitBreaker, MaxLoadForShrinksAsItHeats) {
+  CircuitBreaker cb = make_cb();
+  const Power fresh = cb.max_load_for(Duration::minutes(1));
+  for (int i = 0; i < 30; ++i) cb.apply_load(Power::watts(1600), Duration::seconds(1));
+  const Power hot = cb.max_load_for(Duration::minutes(1));
+  EXPECT_LT(hot, fresh);
+  EXPECT_GE(hot, cb.rated());  // never below rated
+}
+
+TEST(CircuitBreaker, MaxLoadForInfiniteHoldIsNoTripRatio) {
+  CircuitBreaker cb = make_cb();
+  EXPECT_NEAR(cb.max_load_for(Duration::infinity()).w(), 1050.0, 1e-9);
+}
+
+TEST(CircuitBreaker, TrippedBreakerBehaviour) {
+  CircuitBreaker cb = make_cb();
+  for (int i = 0; i < 61; ++i) cb.apply_load(Power::watts(1600), Duration::seconds(1));
+  ASSERT_TRUE(cb.tripped());
+  EXPECT_DOUBLE_EQ(cb.time_to_trip_at(Power::watts(1600)).sec(), 0.0);
+  EXPECT_DOUBLE_EQ(cb.max_load_for(Duration::minutes(1)).w(), 0.0);
+  // Applying load to a tripped breaker is a no-op.
+  cb.apply_load(Power::watts(2000), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(cb.thermal_state(), 1.0);
+}
+
+TEST(CircuitBreaker, ResetRestoresService) {
+  CircuitBreaker cb = make_cb();
+  for (int i = 0; i < 61; ++i) cb.apply_load(Power::watts(1600), Duration::seconds(1));
+  ASSERT_TRUE(cb.tripped());
+  cb.reset();
+  EXPECT_FALSE(cb.tripped());
+  EXPECT_DOUBLE_EQ(cb.thermal_state(), 0.0);
+}
+
+TEST(CircuitBreaker, SubSecondStepsMatchCoarseSteps) {
+  CircuitBreaker fine = make_cb();
+  CircuitBreaker coarse = make_cb();
+  for (int i = 0; i < 300; ++i) fine.apply_load(Power::watts(1500), Duration::seconds(0.1));
+  for (int i = 0; i < 30; ++i) coarse.apply_load(Power::watts(1500), Duration::seconds(1));
+  EXPECT_NEAR(fine.thermal_state(), coarse.thermal_state(), 1e-9);
+}
+
+TEST(CircuitBreaker, LoadRatio) {
+  const CircuitBreaker cb = make_cb(2000.0);
+  EXPECT_DOUBLE_EQ(cb.load_ratio(Power::watts(3000)), 1.5);
+  EXPECT_THROW((void)cb.load_ratio(Power::watts(-1)), std::invalid_argument);
+}
+
+TEST(CircuitBreaker, Validation) {
+  EXPECT_THROW((void)CircuitBreaker("bad", {.rated = Power::zero()}),
+               std::invalid_argument);
+  CircuitBreaker cb = make_cb();
+  EXPECT_THROW((void)cb.apply_load(Power::watts(1), Duration::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::power

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "power/meter.h"
+#include "power/relay.h"
+
+namespace dcs::power {
+namespace {
+
+TEST(PowerMeter, TracksStatistics) {
+  PowerMeter m("m");
+  m.sample(Duration::seconds(0), Power::watts(100));
+  m.sample(Duration::seconds(1), Power::watts(300));
+  m.sample(Duration::seconds(2), Power::watts(200));
+  EXPECT_DOUBLE_EQ(m.mean().w(), 200.0);
+  EXPECT_DOUBLE_EQ(m.peak().w(), 300.0);
+  EXPECT_DOUBLE_EQ(m.minimum().w(), 100.0);
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(PowerMeter, EnergyIntegralStepSemantics) {
+  PowerMeter m("m");
+  m.sample(Duration::seconds(0), Power::watts(100));
+  m.sample(Duration::seconds(10), Power::watts(50));
+  m.sample(Duration::seconds(20), Power::watts(0));
+  EXPECT_DOUBLE_EQ(m.energy().j(), 100.0 * 10 + 50.0 * 10);
+}
+
+TEST(PowerMeter, EnergyOfShortSeriesIsZero) {
+  PowerMeter m("m");
+  m.sample(Duration::zero(), Power::watts(100));
+  EXPECT_DOUBLE_EQ(m.energy().j(), 0.0);
+}
+
+TEST(PowerMeter, SeriesRetentionOptional) {
+  PowerMeter m("m", /*keep_series=*/false);
+  m.sample(Duration::zero(), Power::watts(1));
+  EXPECT_THROW((void)m.series(), std::invalid_argument);
+  EXPECT_THROW((void)m.energy(), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(m.mean().w(), 1.0);  // stats still work
+}
+
+TEST(Relay, StartsOpenByDefault) {
+  const Relay r;
+  EXPECT_FALSE(r.closed());
+  EXPECT_FALSE(r.switching());
+}
+
+TEST(Relay, SwitchesAfterDelay) {
+  Relay r(Duration::seconds(0.010));
+  r.command(true);
+  EXPECT_TRUE(r.switching());
+  EXPECT_FALSE(r.closed());
+  r.tick(Duration::seconds(0.005));
+  EXPECT_FALSE(r.closed());  // still inside the delay
+  r.tick(Duration::seconds(0.005));
+  EXPECT_TRUE(r.closed());
+  EXPECT_FALSE(r.switching());
+}
+
+TEST(Relay, RedundantCommandIsNoOp) {
+  Relay r(Duration::seconds(0.010), /*initially_closed=*/true);
+  r.command(true);
+  EXPECT_FALSE(r.switching());
+}
+
+TEST(Relay, RetargetDuringSwitch) {
+  Relay r(Duration::seconds(0.010));
+  r.command(true);
+  r.tick(Duration::seconds(0.005));
+  r.command(false);  // change of mind restarts the delay
+  r.tick(Duration::seconds(0.010));
+  EXPECT_FALSE(r.closed());
+  EXPECT_FALSE(r.switching());
+}
+
+TEST(Relay, LargeTickSettlesImmediately) {
+  Relay r(Duration::seconds(0.010));
+  r.command(true);
+  r.tick(Duration::seconds(1));
+  EXPECT_TRUE(r.closed());
+}
+
+}  // namespace
+}  // namespace dcs::power

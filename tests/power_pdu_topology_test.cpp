@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "power/pdu.h"
+#include "power/topology.h"
+
+namespace dcs::power {
+namespace {
+
+Pdu::Params pdu_params() {
+  Pdu::Params p;
+  p.server_count = 200;
+  // Paper: 55 W x 200 x 1.25 = 13.75 kW rated.
+  p.breaker.rated = Power::kilowatts(13.75);
+  return p;
+}
+
+TEST(Pdu, AggregatesBatteryBank) {
+  const Pdu pdu("p", pdu_params());
+  // 200 x 5.5 Wh = 1.1 kWh bank.
+  EXPECT_NEAR(pdu.ups().capacity().kwh(), 1.1, 1e-9);
+  EXPECT_NEAR(pdu.ups().max_discharge().kw(), 30.0, 1e-9);  // 200 x 150 W
+}
+
+TEST(Pdu, StepWithoutUpsLoadsBreakerFully) {
+  Pdu pdu("p", pdu_params());
+  const Power grid = pdu.step(Power::kilowatts(11), Power::zero(), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(grid.kw(), 11.0);
+  EXPECT_DOUBLE_EQ(pdu.last_ups_power().w(), 0.0);
+  EXPECT_FALSE(pdu.breaker().tripped());
+}
+
+TEST(Pdu, UpsReducesGridLoad) {
+  Pdu pdu("p", pdu_params());
+  const Power grid = pdu.step(Power::kilowatts(20), Power::kilowatts(8),
+                              Duration::seconds(1));
+  EXPECT_NEAR(grid.kw(), 12.0, 1e-9);
+  EXPECT_NEAR(pdu.last_ups_power().kw(), 8.0, 1e-9);
+}
+
+TEST(Pdu, UpsRequestCappedAtServerPower) {
+  Pdu pdu("p", pdu_params());
+  const Power grid = pdu.step(Power::kilowatts(5), Power::kilowatts(30),
+                              Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(grid.w(), 0.0);
+  EXPECT_NEAR(pdu.last_ups_power().kw(), 5.0, 1e-9);
+}
+
+TEST(Pdu, RechargeAddsGridLoad) {
+  Pdu pdu("p", pdu_params());
+  // Drain a bit first so the bank accepts charge.
+  pdu.step(Power::kilowatts(20), Power::kilowatts(10), Duration::seconds(60));
+  const Power grid = pdu.recharge_step(Power::kilowatts(10), Power::kilowatts(0.5),
+                                       Duration::seconds(1));
+  EXPECT_GT(grid.kw(), 10.0);
+  EXPECT_DOUBLE_EQ(pdu.last_ups_power().w(), 0.0);
+}
+
+TEST(Pdu, RequiresServers) {
+  Pdu::Params p = pdu_params();
+  p.server_count = 0;
+  EXPECT_THROW((void)Pdu("p", p), std::invalid_argument);
+}
+
+PowerTopology::Params topo_params(std::size_t pdus = 4) {
+  PowerTopology::Params p;
+  p.pdu_count = pdus;
+  p.pdu = pdu_params();
+  p.dc_breaker.rated = Power::kilowatts(13.75 * static_cast<double>(pdus) * 1.2);
+  return p;
+}
+
+TEST(PowerTopology, CountsServers) {
+  const PowerTopology topo(topo_params(4));
+  EXPECT_EQ(topo.pdu_count(), 4u);
+  EXPECT_EQ(topo.server_count(), 800u);
+}
+
+TEST(PowerTopology, UniformStepAggregatesFlows) {
+  PowerTopology topo(topo_params(4));
+  const Flows flows = topo.step_uniform(Power::kilowatts(10), Power::zero(),
+                                        Power::kilowatts(5), Duration::seconds(1));
+  EXPECT_NEAR(flows.pdu_grid_total.kw(), 40.0, 1e-9);
+  EXPECT_NEAR(flows.dc_load.kw(), 45.0, 1e-9);
+  EXPECT_DOUBLE_EQ(flows.ups_total.w(), 0.0);
+  EXPECT_FALSE(flows.dc_tripped);
+  EXPECT_FALSE(flows.any_pdu_tripped);
+}
+
+TEST(PowerTopology, PerPduStepValidatesSizes) {
+  PowerTopology topo(topo_params(2));
+  EXPECT_THROW((void)topo.step({Power::kilowatts(1)}, {Power::zero(), Power::zero()},
+                         Power::zero(), Duration::seconds(1)),
+               std::invalid_argument);
+}
+
+TEST(PowerTopology, SkewedLoadTripsOnlyThatPdu) {
+  PowerTopology topo(topo_params(2));
+  // PDU 0 at 60 % overload trips after ~60 s; PDU 1 stays at rated.
+  for (int i = 0; i < 70; ++i) {
+    topo.step({Power::kilowatts(22), Power::kilowatts(10)},
+              {Power::zero(), Power::zero()}, Power::zero(), Duration::seconds(1));
+  }
+  EXPECT_TRUE(topo.pdus()[0].breaker().tripped());
+  EXPECT_FALSE(topo.pdus()[1].breaker().tripped());
+}
+
+TEST(PowerTopology, UpsDischargeRelievesDcBreaker) {
+  PowerTopology topo(topo_params(2));
+  const Flows without = topo.step_uniform(Power::kilowatts(20), Power::zero(),
+                                          Power::zero(), Duration::seconds(1));
+  PowerTopology topo2(topo_params(2));
+  const Flows with = topo2.step_uniform(Power::kilowatts(20), Power::kilowatts(8),
+                                        Power::zero(), Duration::seconds(1));
+  EXPECT_GT(without.dc_load, with.dc_load);
+  EXPECT_NEAR((without.dc_load - with.dc_load).kw(), 16.0, 1e-9);
+}
+
+TEST(PowerTopology, UpsEnergyAccounting) {
+  PowerTopology topo(topo_params(2));
+  const Energy cap = topo.ups_capacity();
+  EXPECT_NEAR(cap.kwh(), 2.2, 1e-9);
+  topo.step_uniform(Power::kilowatts(20), Power::kilowatts(10), Power::zero(),
+                    Duration::seconds(60));
+  EXPECT_NEAR((cap - topo.ups_available()).kwh(), 2.0 * 10.0 * 60.0 / 3600.0, 1e-6);
+}
+
+TEST(PowerTopology, RechargeUniformDrawsThroughBreakers) {
+  PowerTopology topo(topo_params(2));
+  topo.step_uniform(Power::kilowatts(20), Power::kilowatts(10), Power::zero(),
+                    Duration::seconds(60));
+  const Flows flows = topo.recharge_uniform(Power::kilowatts(5), Power::kilowatts(0.5),
+                                            Power::kilowatts(2), Duration::seconds(1));
+  EXPECT_GT(flows.pdu_grid_total.kw(), 10.0);
+  EXPECT_GT(flows.dc_load.kw(), 12.0);
+}
+
+TEST(PowerTopology, ResetBreakersRestoresAll) {
+  PowerTopology topo(topo_params(2));
+  for (int i = 0; i < 70; ++i) {
+    topo.step_uniform(Power::kilowatts(22), Power::zero(), Power::zero(),
+                      Duration::seconds(1));
+  }
+  EXPECT_TRUE(topo.pdus()[0].breaker().tripped());
+  topo.reset_breakers();
+  EXPECT_FALSE(topo.pdus()[0].breaker().tripped());
+  EXPECT_FALSE(topo.dc_breaker().tripped());
+}
+
+TEST(PowerTopology, RequiresAtLeastOnePdu) {
+  PowerTopology::Params p = topo_params();
+  p.pdu_count = 0;
+  EXPECT_THROW((void)PowerTopology{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::power

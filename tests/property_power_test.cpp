@@ -1,0 +1,156 @@
+// Parameterized property sweeps over the power substrate: conservation,
+// monotonicity and safety invariants that must hold for every parameter
+// combination, not just the paper's defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "power/battery.h"
+#include "power/circuit_breaker.h"
+#include "power/trip_curve.h"
+#include "util/rng.h"
+
+namespace dcs::power {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Battery: energy conservation and bounds across sizes/rates/efficiencies.
+// ---------------------------------------------------------------------------
+
+using BatteryParams = std::tuple<double /*Ah*/, double /*volts*/,
+                                 double /*discharge W*/, double /*eff*/>;
+
+class BatteryProperty : public ::testing::TestWithParam<BatteryParams> {};
+
+TEST_P(BatteryProperty, ConservationAndBoundsUnderRandomDutyCycle) {
+  const auto [ah, volts, max_w, eff] = GetParam();
+  Battery::Params params;
+  params.capacity = Charge::amp_hours(ah);
+  params.bus_voltage = volts;
+  params.max_discharge = Power::watts(max_w);
+  params.max_recharge = Power::watts(max_w / 4.0);
+  params.recharge_efficiency = eff;
+  Battery battery("b", params);
+
+  Rng rng(0xB177E5);
+  Energy delivered = Energy::zero();
+  Energy charged_into_cell = Energy::zero();
+  for (int i = 0; i < 2000; ++i) {
+    const Duration dt = Duration::seconds(1);
+    if (rng.uniform() < 0.5) {
+      const Energy before = battery.stored();
+      const Power got =
+          battery.discharge(Power::watts(rng.uniform(0.0, 2.0 * max_w)), dt);
+      delivered += got * dt;
+      ASSERT_NEAR((before - battery.stored()).j(), (got * dt).j(), 1e-6);
+      ASSERT_LE(got.w(), max_w + 1e-9);
+    } else {
+      const Energy before = battery.stored();
+      const Power grid =
+          battery.recharge(Power::watts(rng.uniform(0.0, max_w)), dt);
+      charged_into_cell += battery.stored() - before;
+      // Grid draw covers the stored energy plus conversion losses.
+      ASSERT_NEAR((battery.stored() - before).j(), (grid * dt).j() * eff, 1e-6);
+    }
+    ASSERT_GE(battery.soc(), -1e-12);
+    ASSERT_LE(battery.soc(), 1.0 + 1e-12);
+  }
+  // Global ledger: what went out + what remains == initial + what went in.
+  ASSERT_NEAR((delivered + battery.stored()).j(),
+              (battery.capacity() + charged_into_cell).j(), 1e-3);
+  ASSERT_NEAR(battery.total_discharged().j(), delivered.j(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatteryProperty,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 2.0),
+                       ::testing::Values(11.0, 48.0),
+                       ::testing::Values(50.0, 150.0),
+                       ::testing::Values(0.8, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Trip curve: the accumulator model must reproduce the closed-form curve
+// for every coefficient and overload level.
+// ---------------------------------------------------------------------------
+
+using CurveParams = std::tuple<double /*coeff*/, double /*ratio*/>;
+
+class TripCurveProperty : public ::testing::TestWithParam<CurveParams> {};
+
+TEST_P(TripCurveProperty, AccumulatorMatchesClosedForm) {
+  const auto [coeff, ratio] = GetParam();
+  TripCurveParams curve_params;
+  curve_params.thermal_coeff_s = coeff;
+  CircuitBreaker cb("cb", {.rated = Power::watts(1000),
+                           .curve = TripCurve{curve_params}});
+  const Duration expected = TripCurve{curve_params}.time_to_trip(ratio);
+  ASSERT_FALSE(expected.is_infinite());
+  int steps = 0;
+  while (!cb.tripped() && steps < 1000000) {
+    cb.apply_load(Power::watts(1000.0 * ratio), Duration::seconds(0.5));
+    ++steps;
+  }
+  EXPECT_NEAR(steps * 0.5, expected.sec(), 0.51 + expected.sec() * 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TripCurveProperty,
+    ::testing::Combine(::testing::Values(5.0, 21.6, 100.0),
+                       ::testing::Values(1.2, 1.6, 2.5, 4.0)));
+
+// ---------------------------------------------------------------------------
+// Breaker duty cycles: alternating overload/cool-down at or below the
+// governor's bound never trips; sustained violation of the bound does.
+// ---------------------------------------------------------------------------
+
+class DutyCycleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DutyCycleProperty, GovernorBoundIsSafeUnderAnyDuty) {
+  const double duty = GetParam();  // fraction of each minute spent loaded
+  CircuitBreaker cb("cb", {.rated = Power::watts(1000)});
+  for (int minute = 0; minute < 120; ++minute) {
+    for (int s = 0; s < 60; ++s) {
+      // Re-query the governor every second, exactly like the controller.
+      const Power allowed = cb.max_load_for(Duration::minutes(1));
+      const Power load = (s < duty * 60.0) ? allowed : Power::watts(500);
+      cb.apply_load(load, Duration::seconds(1));
+      ASSERT_FALSE(cb.tripped()) << "minute " << minute << " s " << s;
+      ASSERT_GE(cb.time_to_trip_at(allowed).sec(), 58.9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DutyCycleProperty,
+                         ::testing::Values(0.1, 0.5, 0.9, 1.0));
+
+TEST(DutyCycle, ExceedingTheGovernorBoundTrips) {
+  CircuitBreaker cb("cb", {.rated = Power::watts(1000)});
+  int steps = 0;
+  while (!cb.tripped() && steps < 100000) {
+    const Power allowed = cb.max_load_for(Duration::minutes(1));
+    cb.apply_load(allowed * 1.25, Duration::seconds(1));
+    ++steps;
+  }
+  EXPECT_TRUE(cb.tripped());
+}
+
+// ---------------------------------------------------------------------------
+// max_load_for is monotone: hotter element or longer hold -> lower bound.
+// ---------------------------------------------------------------------------
+
+TEST(MaxLoadFor, MonotoneInHoldAndHeat) {
+  CircuitBreaker cb("cb", {.rated = Power::watts(1000)});
+  Power prev = Power::watts(1e12);
+  for (double hold_s : {1.0, 10.0, 60.0, 600.0, 7200.0}) {
+    const Power p = cb.max_load_for(Duration::seconds(hold_s));
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+  const Power cold = cb.max_load_for(Duration::minutes(1));
+  for (int i = 0; i < 30; ++i) cb.apply_load(Power::watts(1600), Duration::seconds(1));
+  EXPECT_LT(cb.max_load_for(Duration::minutes(1)), cold);
+}
+
+}  // namespace
+}  // namespace dcs::power

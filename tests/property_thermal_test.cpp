@@ -1,0 +1,116 @@
+// Parameterized property sweeps over the thermal substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "thermal/cooling_plant.h"
+#include "thermal/room_model.h"
+#include "thermal/tes_tank.h"
+#include "util/rng.h"
+
+namespace dcs::thermal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TES: conservation under arbitrary discharge/recharge interleavings.
+// ---------------------------------------------------------------------------
+
+class TesProperty : public ::testing::TestWithParam<double /*capacity kWh*/> {};
+
+TEST_P(TesProperty, ConservationUnderRandomUse) {
+  const double kwh = GetParam();
+  TesTank tank("t", {.capacity = Energy::kilowatt_hours(kwh)});
+  Rng rng(0x7E5);
+  Energy out = Energy::zero();
+  Energy in = Energy::zero();
+  for (int i = 0; i < 5000; ++i) {
+    const Duration dt = Duration::seconds(1);
+    if (rng.uniform() < 0.6) {
+      out += tank.discharge(Power::kilowatts(rng.uniform(0.0, kwh)), dt) * dt;
+    } else {
+      in += tank.recharge(Power::kilowatts(rng.uniform(0.0, kwh / 2.0)), dt) * dt;
+    }
+    ASSERT_GE(tank.state_of_charge(), -1e-12);
+    ASSERT_LE(tank.state_of_charge(), 1.0 + 1e-12);
+  }
+  ASSERT_NEAR((out + tank.stored()).j(), (tank.capacity() + in).j(), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TesProperty, ::testing::Values(1.0, 50.0, 2000.0));
+
+// ---------------------------------------------------------------------------
+// Cooling plant: the electrical draw and heat flows respect their bounds
+// for every (IT load, TES mode, relief) combination.
+// ---------------------------------------------------------------------------
+
+using PlantParams = std::tuple<double /*pue*/, double /*it MW*/, bool /*tes*/,
+                               double /*relief MW*/>;
+
+class PlantProperty : public ::testing::TestWithParam<PlantParams> {};
+
+TEST_P(PlantProperty, FlowBounds) {
+  const auto [pue, it_mw, tes_on, relief_mw] = GetParam();
+  TesTank tank("t", {.capacity = Power::megawatts(10) * Duration::minutes(12)});
+  CoolingPlant plant({.pue = pue,
+                      .nominal_it_load = Power::megawatts(10),
+                      .tes = &tank});
+  const Power it = Power::megawatts(it_mw);
+  const CoolingStep s =
+      plant.step(it, tes_on, Power::megawatts(relief_mw), Duration::seconds(1));
+
+  const Power nominal = plant.nominal_electrical();
+  const Power aux = nominal * (1.0 / 3.0);
+  // Electrical draw is between the aux floor and the nominal plant draw.
+  EXPECT_GE(s.electrical, aux - Power::watts(1));
+  EXPECT_LE(s.electrical, nominal + Power::watts(1));
+  // Heat absorbed never exceeds the heat generated.
+  EXPECT_LE(s.heat_absorbed, it + Power::watts(1));
+  // Relief never exceeds the chiller's displaceable share.
+  EXPECT_LE(s.relief, nominal * (2.0 / 3.0) + Power::watts(1));
+  // TES absorption only in TES mode.
+  if (!tes_on) EXPECT_DOUBLE_EQ(s.tes_heat.w(), 0.0);
+  // With a charged tank and TES on, every watt of heat is absorbed.
+  if (tes_on) EXPECT_NEAR(s.heat_absorbed.w(), it.w(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlantProperty,
+    ::testing::Combine(::testing::Values(1.2, 1.53, 2.0),
+                       ::testing::Values(3.0, 10.0, 26.0),
+                       ::testing::Bool(),
+                       ::testing::Values(0.0, 1.0, 50.0)));
+
+// ---------------------------------------------------------------------------
+// Room: temperature is bounded by the gap integral and never undershoots
+// the setpoint, for every capacitance calibration.
+// ---------------------------------------------------------------------------
+
+class RoomProperty : public ::testing::TestWithParam<double /*cal minutes*/> {};
+
+TEST_P(RoomProperty, RiseBoundedByGapIntegral) {
+  RoomModel::Params params;
+  params.calibration_power = Power::megawatts(10);
+  params.calibration_time = Duration::minutes(GetParam());
+  RoomModel room(params);
+  Rng rng(0x400);
+  double gap_integral_j = 0.0;
+  for (int i = 0; i < 3600; ++i) {
+    const Power gen = Power::megawatts(rng.uniform(0.0, 26.0));
+    const Power abs = Power::megawatts(rng.uniform(0.0, 12.0));
+    room.step(gen, abs, Duration::seconds(1));
+    if (gen > abs) gap_integral_j += (gen - abs).w();
+    ASSERT_GE(room.rise().c(), 0.0);
+    // The rise can never exceed the pure heating bound (recovery only
+    // removes heat).
+    ASSERT_LE(room.rise().c(),
+              gap_integral_j / room.capacitance_j_per_c() + 1e-9);
+  }
+  EXPECT_TRUE(std::isfinite(room.peak_temperature().c()));
+  EXPECT_GE(room.peak_temperature().c(), 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoomProperty, ::testing::Values(5.0, 10.0, 20.0));
+
+}  // namespace
+}  // namespace dcs::thermal

@@ -1,0 +1,160 @@
+#include "thermal/cooling_plant.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace dcs::thermal {
+namespace {
+
+class CoolingTest : public ::testing::Test {
+ protected:
+  CoolingTest()
+      : tes_("tes", {.capacity = Power::megawatts(10) * Duration::minutes(12)}),
+        plant_({.nominal_it_load = Power::megawatts(10), .tes = &tes_}) {}
+
+  TesTank tes_;
+  CoolingPlant plant_;
+  const Duration dt_ = Duration::seconds(1);
+};
+
+TEST_F(CoolingTest, SteadyStateElectricalMatchesPue) {
+  // PUE 1.53: cooling power = 0.53 x IT power at nominal load.
+  EXPECT_NEAR(plant_.electrical_for(Power::megawatts(10)).mw(), 5.3, 1e-9);
+  EXPECT_NEAR(plant_.nominal_electrical().mw(), 5.3, 1e-9);
+}
+
+TEST_F(CoolingTest, NominalStepAbsorbsAllHeat) {
+  const CoolingStep s = plant_.step(Power::megawatts(10), false, Power::zero(), dt_);
+  EXPECT_NEAR(s.heat_absorbed.mw(), 10.0, 1e-9);
+  EXPECT_NEAR(s.electrical.mw(), 5.3, 1e-9);
+  EXPECT_FALSE(s.tes_active);
+  EXPECT_DOUBLE_EQ(s.tes_heat.w(), 0.0);
+}
+
+TEST_F(CoolingTest, SprintHeatCapsAtChillerCapacity) {
+  // 20 MW of IT heat but the chiller was sized for 10 MW.
+  const CoolingStep s = plant_.step(Power::megawatts(20), false, Power::zero(), dt_);
+  EXPECT_NEAR(s.heat_absorbed.mw(), 10.0, 1e-9);
+  // Chiller power does not rise above nominal either.
+  EXPECT_NEAR(s.electrical.mw(), 5.3, 1e-9);
+}
+
+TEST_F(CoolingTest, PartialLoadScalesChillerPower) {
+  const CoolingStep s = plant_.step(Power::megawatts(5), false, Power::zero(), dt_);
+  EXPECT_NEAR(s.heat_absorbed.mw(), 5.0, 1e-9);
+  // Aux third is fixed; chiller two-thirds scales with load.
+  const double aux = 5.3 / 3.0;
+  const double chiller = 5.3 * (2.0 / 3.0) * 0.5;
+  EXPECT_NEAR(s.electrical.mw(), aux + chiller, 1e-9);
+}
+
+TEST_F(CoolingTest, TesAbsorbsExcessHeat) {
+  const CoolingStep s = plant_.step(Power::megawatts(20), true, Power::zero(), dt_);
+  EXPECT_NEAR(s.heat_absorbed.mw(), 20.0, 1e-9);
+  EXPECT_NEAR(s.tes_heat.mw(), 10.0, 1e-9);
+  EXPECT_TRUE(s.tes_active);
+  // No relief requested: chiller keeps its nominal draw.
+  EXPECT_NEAR(s.electrical.mw(), 5.3, 1e-9);
+}
+
+TEST_F(CoolingTest, TesReliefDisplacesChillerPower) {
+  const Power relief = Power::megawatts(1);
+  const CoolingStep s = plant_.step(Power::megawatts(20), true, relief, dt_);
+  EXPECT_NEAR(s.relief.mw(), 1.0, 1e-9);
+  EXPECT_NEAR(s.electrical.mw(), 5.3 - 1.0, 1e-9);
+  // Displaced chiller heat moved to the TES on top of the excess.
+  EXPECT_GT(s.tes_heat.mw(), 10.0);
+  // Total heat absorbed is unchanged: the room does not care who cools it.
+  EXPECT_NEAR(s.heat_absorbed.mw(), 20.0, 1e-9);
+}
+
+TEST_F(CoolingTest, ReliefClampsAtFullChiller) {
+  // Request more relief than the chiller draws: saves at most 2/3 of
+  // cooling power (the paper's "up to 2/3" [16]).
+  const CoolingStep s =
+      plant_.step(Power::megawatts(10), true, Power::megawatts(100), dt_);
+  EXPECT_NEAR(s.relief.mw(), 5.3 * 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.electrical.mw(), 5.3 / 3.0, 1e-9);  // pumps/fans remain
+}
+
+TEST_F(CoolingTest, EmptyTankFallsBackToChiller) {
+  // Drain the tank.
+  while (tes_.discharge(Power::megawatts(100), Duration::seconds(10)) > Power::zero()) {
+  }
+  const CoolingStep s = plant_.step(Power::megawatts(20), true, Power::zero(), dt_);
+  EXPECT_FALSE(s.tes_active);
+  EXPECT_NEAR(s.heat_absorbed.mw(), 10.0, 1e-9);
+}
+
+TEST_F(CoolingTest, ShortTankCoversExcessBeforeRelief) {
+  // Leave just enough charge for half the excess of one step.
+  while (tes_.stored() > Energy::joules(5e6)) {
+    tes_.discharge(Power::megawatts(100), Duration::seconds(1));
+  }
+  const CoolingStep s =
+      plant_.step(Power::megawatts(20), true, Power::megawatts(2), dt_);
+  // Everything the tank had went to the excess, none to relief.
+  EXPECT_DOUBLE_EQ(s.relief.w(), 0.0);
+  EXPECT_LE(s.tes_heat.mw(), 10.0 + 1e-9);
+}
+
+TEST_F(CoolingTest, ProjectionMatchesStep) {
+  for (double it_mw : {4.0, 10.0, 18.0, 26.0}) {
+    for (bool tes : {false, true}) {
+      for (double relief_mw : {0.0, 0.5, 2.0}) {
+        TesTank tank("t", {.capacity = Power::megawatts(10) * Duration::minutes(12)});
+        CoolingPlant plant({.nominal_it_load = Power::megawatts(10), .tes = &tank});
+        const Power projected = plant.electrical_projection(
+            Power::megawatts(it_mw), tes, Power::megawatts(relief_mw));
+        const CoolingStep s = plant.step(Power::megawatts(it_mw), tes,
+                                         Power::megawatts(relief_mw), dt_);
+        EXPECT_NEAR(projected.w(), s.electrical.w(), 1.0)
+            << "it=" << it_mw << " tes=" << tes << " relief=" << relief_mw;
+      }
+    }
+  }
+}
+
+TEST_F(CoolingTest, RechargeStoresSpareThermalOutput) {
+  tes_.discharge(Power::megawatts(10), Duration::minutes(6));
+  const Energy before = tes_.stored();
+  const CoolingStep s =
+      plant_.recharge_tes_step(Power::megawatts(4), Power::megawatts(3), dt_);
+  EXPECT_NEAR((tes_.stored() - before).j(), 3e6, 1.0);
+  // Extra electrical beyond serving the 4 MW IT load.
+  const Power base = plant_.electrical_projection(Power::megawatts(4), false,
+                                                  Power::zero());
+  EXPECT_GT(s.electrical, base);
+}
+
+TEST_F(CoolingTest, RechargeLimitedBySpareCapacity) {
+  tes_.discharge(Power::megawatts(10), Duration::minutes(6));
+  const Energy before = tes_.stored();
+  // IT at capacity: no spare chiller output to store.
+  plant_.recharge_tes_step(Power::megawatts(10), Power::megawatts(5), dt_);
+  EXPECT_DOUBLE_EQ((tes_.stored() - before).j(), 0.0);
+}
+
+TEST(CoolingPlant, WorksWithoutTes) {
+  CoolingPlant plant({.nominal_it_load = Power::megawatts(10)});
+  EXPECT_FALSE(plant.has_tes());
+  const CoolingStep s = plant.step(Power::megawatts(20), true, Power::megawatts(1),
+                                   Duration::seconds(1));
+  EXPECT_FALSE(s.tes_active);
+  EXPECT_NEAR(s.heat_absorbed.mw(), 10.0, 1e-9);
+}
+
+TEST(CoolingPlant, Validation) {
+  EXPECT_THROW((void)CoolingPlant({.pue = 1.0, .nominal_it_load = Power::watts(1)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)CoolingPlant({.chiller_fraction = 1.0,
+                             .nominal_it_load = Power::watts(1)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)CoolingPlant({.nominal_it_load = Power::zero()}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::thermal

@@ -1,0 +1,88 @@
+#include "thermal/tes_tank.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs::thermal {
+namespace {
+
+TesTank make_tank() {
+  // Paper sizing: carries a 10 MW cooling load for 12 minutes.
+  return TesTank("tes", {.capacity = Power::megawatts(10) * Duration::minutes(12)});
+}
+
+TEST(TesTank, PaperSizingLastsTwelveMinutes) {
+  TesTank t = make_tank();
+  int seconds = 0;
+  while (t.discharge(Power::megawatts(10), Duration::seconds(1)) > Power::zero()) {
+    ++seconds;
+    ASSERT_LT(seconds, 100000);
+  }
+  EXPECT_NEAR(seconds, 720, 1);
+}
+
+TEST(TesTank, StartsFull) {
+  TesTank t = make_tank();
+  EXPECT_DOUBLE_EQ(t.state_of_charge(), 1.0);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(TesTank, DischargeLimitedByRate) {
+  TesTank t("tes", {.capacity = Energy::kilowatt_hours(100),
+                    .max_discharge_rate = Power::kilowatts(50)});
+  const Power got = t.discharge(Power::kilowatts(200), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(got.kw(), 50.0);
+}
+
+TEST(TesTank, DischargeLimitedByCharge) {
+  TesTank t("tes", {.capacity = Energy::joules(100)});
+  const Power got = t.discharge(Power::watts(1000), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(got.w(), 100.0);  // energy-limited average
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.discharge(Power::watts(1), Duration::seconds(1)).w(), 0.0);
+}
+
+TEST(TesTank, EnergyConservation) {
+  TesTank t = make_tank();
+  Energy out = Energy::zero();
+  for (int i = 0; i < 100; ++i) {
+    out += t.discharge(Power::megawatts(3), Duration::seconds(1)) *
+           Duration::seconds(1);
+  }
+  EXPECT_NEAR((t.capacity() - t.stored()).j(), out.j(), 1.0);
+  EXPECT_NEAR(t.total_discharged().j(), out.j(), 1.0);
+}
+
+TEST(TesTank, RechargeRefills) {
+  TesTank t = make_tank();
+  t.discharge(Power::megawatts(10), Duration::minutes(6));
+  EXPECT_NEAR(t.state_of_charge(), 0.5, 1e-9);
+  t.recharge(Power::megawatts(10), Duration::minutes(6));
+  EXPECT_NEAR(t.state_of_charge(), 1.0, 1e-9);
+  // Full tank accepts nothing more.
+  EXPECT_DOUBLE_EQ(t.recharge(Power::megawatts(1), Duration::seconds(1)).w(), 0.0);
+}
+
+TEST(TesTank, RechargeLimitedByRate) {
+  TesTank t("tes", {.capacity = Energy::kilowatt_hours(100),
+                    .max_discharge_rate = Power::megawatts(1),
+                    .max_recharge_rate = Power::kilowatts(10)});
+  t.discharge(Power::kilowatts(500), Duration::seconds(60));
+  EXPECT_DOUBLE_EQ(t.recharge(Power::kilowatts(100), Duration::seconds(1)).kw(),
+                   10.0);
+}
+
+TEST(TesTank, Validation) {
+  EXPECT_THROW((void)TesTank("t", {.capacity = Energy::zero()}), std::invalid_argument);
+  TesTank t = make_tank();
+  EXPECT_THROW((void)t.discharge(Power::watts(-1), Duration::seconds(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)t.discharge(Power::watts(1), Duration::zero()),
+               std::invalid_argument);
+  EXPECT_THROW((void)t.recharge(Power::watts(-1), Duration::seconds(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::thermal

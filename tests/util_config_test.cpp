@@ -1,0 +1,80 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace dcs {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const Config c = Config::from_string("a=1\nb = hello \n");
+  EXPECT_TRUE(c.contains("a"));
+  EXPECT_EQ(c.get_string("b", ""), "hello");
+}
+
+TEST(Config, SkipsCommentsAndBlankLines) {
+  const Config c = Config::from_string("# comment\n\n  \nx=2 # trailing\n");
+  EXPECT_EQ(c.get_int("x", 0), 2);
+  EXPECT_EQ(c.entries().size(), 1u);
+}
+
+TEST(Config, RejectsMalformedLines) {
+  EXPECT_THROW((void)Config::from_string("no equals sign"), std::invalid_argument);
+  EXPECT_THROW((void)Config::from_string("=value"), std::invalid_argument);
+}
+
+TEST(Config, FromArgs) {
+  const std::array<const char*, 2> args = {"k=v", "n=3"};
+  const Config c = Config::from_args(args);
+  EXPECT_EQ(c.get_string("k", ""), "v");
+  EXPECT_EQ(c.get_int("n", 0), 3);
+}
+
+TEST(Config, FromArgsRejectsBareTokens) {
+  const std::array<const char*, 1> args = {"novalue"};
+  EXPECT_THROW((void)Config::from_args(args), std::invalid_argument);
+}
+
+TEST(Config, TypedGettersFallBack) {
+  const Config c = Config::from_string("");
+  EXPECT_EQ(c.get_string("missing", "def"), "def");
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_TRUE(c.get_bool("missing", true));
+}
+
+TEST(Config, DoubleParsing) {
+  const Config c = Config::from_string("x=2.5\nbad=abc\npartial=1.5x");
+  EXPECT_DOUBLE_EQ(c.get_double("x", 0.0), 2.5);
+  EXPECT_THROW((void)c.get_double("bad", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_double("partial", 0.0), std::invalid_argument);
+}
+
+TEST(Config, IntParsing) {
+  const Config c = Config::from_string("x=-5\nbad=1.5");
+  EXPECT_EQ(c.get_int("x", 0), -5);
+  EXPECT_THROW((void)c.get_int("bad", 0), std::invalid_argument);
+}
+
+TEST(Config, BoolParsing) {
+  const Config c = Config::from_string(
+      "a=true\nb=FALSE\nc=1\nd=off\ne=Yes\nbad=maybe");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+  EXPECT_TRUE(c.get_bool("e", false));
+  EXPECT_THROW((void)c.get_bool("bad", false), std::invalid_argument);
+}
+
+TEST(Config, SetOverwrites) {
+  Config c;
+  c.set("k", "1");
+  c.set("k", "2");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace dcs

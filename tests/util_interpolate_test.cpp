@@ -1,0 +1,67 @@
+#include "util/interpolate.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs {
+namespace {
+
+TEST(PiecewiseCurve, RequiresTwoOrderedKnots) {
+  EXPECT_THROW((void)PiecewiseCurve({{1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW((void)PiecewiseCurve({{2.0, 1.0}, {1.0, 2.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(PiecewiseCurve({{1.0, 1.0}, {2.0, 2.0}}));
+}
+
+TEST(PiecewiseCurve, LinearInterpolation) {
+  const PiecewiseCurve c({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(c(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(c(2.5), 25.0);
+}
+
+TEST(PiecewiseCurve, ClampsOutsideRange) {
+  const PiecewiseCurve c({{1.0, 10.0}, {2.0, 20.0}});
+  EXPECT_DOUBLE_EQ(c(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(c(5.0), 20.0);
+}
+
+TEST(PiecewiseCurve, MultiSegment) {
+  const PiecewiseCurve c({{0.0, 0.0}, {1.0, 10.0}, {3.0, 10.0}, {4.0, 0.0}});
+  EXPECT_DOUBLE_EQ(c(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(c(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(c(3.5), 5.0);
+}
+
+TEST(PiecewiseCurve, LogLogStraightLineIsPowerLaw) {
+  // y = x^-2 through (1, 1) and (100, 1e-4); log-log interpolation must
+  // recover the power law exactly at interior points.
+  const PiecewiseCurve c({{1.0, 1.0}, {100.0, 1e-4}},
+                         PiecewiseCurve::Scale::kLogLog);
+  EXPECT_NEAR(c(10.0), 1e-2, 1e-9);
+  EXPECT_NEAR(c(31.622776601683793), 1e-3, 1e-9);
+}
+
+TEST(PiecewiseCurve, LogLogRejectsNonPositiveKnots) {
+  EXPECT_THROW((void)PiecewiseCurve({{0.0, 1.0}, {1.0, 2.0}},
+                              PiecewiseCurve::Scale::kLogLog),
+               std::invalid_argument);
+  EXPECT_THROW((void)PiecewiseCurve({{1.0, -1.0}, {2.0, 2.0}},
+                              PiecewiseCurve::Scale::kLogLog),
+               std::invalid_argument);
+}
+
+TEST(Clamp, Basics) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(11.0, 0.0, 10.0), 10.0);
+  EXPECT_THROW((void)clamp(0.0, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Lerp, Basics) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp(10.0, 0.0, 0.25), 7.5);
+  EXPECT_DOUBLE_EQ(lerp(3.0, 3.0, 0.9), 3.0);
+}
+
+}  // namespace
+}  // namespace dcs

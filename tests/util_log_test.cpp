@@ -1,0 +1,63 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, MacroFormatsAndRoutes) {
+  DCS_LOG_INFO << "value=" << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "value=42");
+}
+
+TEST_F(LogTest, LevelFilters) {
+  set_log_level(LogLevel::kError);
+  DCS_LOG_DEBUG << "dropped";
+  DCS_LOG_WARN << "dropped too";
+  DCS_LOG_ERROR << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  DCS_LOG_ERROR << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LogTest, DirectLogMessage) {
+  log_message(LogLevel::kWarn, "direct");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "direct");
+}
+
+}  // namespace
+}  // namespace dcs

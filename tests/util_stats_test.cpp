@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, HandlesNegatives) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 50.0);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_THROW((void)mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Correlation, Validation) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW((void)correlation(a, b), std::invalid_argument);
+  const std::vector<double> constant = {3.0, 3.0};
+  EXPECT_THROW((void)correlation(a, constant), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,133 @@
+#include "util/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs {
+namespace {
+
+TimeSeries ramp() {
+  TimeSeries ts;
+  ts.push_back(Duration::seconds(0), 0.0);
+  ts.push_back(Duration::seconds(10), 10.0);
+  ts.push_back(Duration::seconds(20), 0.0);
+  return ts;
+}
+
+TEST(TimeSeries, PushBackEnforcesMonotoneTime) {
+  TimeSeries ts;
+  ts.push_back(Duration::seconds(1), 1.0);
+  EXPECT_THROW((void)ts.push_back(Duration::seconds(1), 2.0), std::invalid_argument);
+  EXPECT_THROW((void)ts.push_back(Duration::seconds(0.5), 2.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, ConstructorValidatesOrder) {
+  EXPECT_THROW((void)TimeSeries({{Duration::seconds(2), 0.0}, {Duration::seconds(1), 0.0}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(TimeSeries({{Duration::seconds(1), 0.0}, {Duration::seconds(2), 0.0}}));
+}
+
+TEST(TimeSeries, EmptyQueriesThrow) {
+  const TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_THROW((void)ts.start_time(), std::invalid_argument);
+  EXPECT_THROW((void)ts.end_time(), std::invalid_argument);
+  EXPECT_THROW((void)ts.at(Duration::zero()), std::invalid_argument);
+  EXPECT_THROW((void)ts.min_value(), std::invalid_argument);
+  EXPECT_THROW((void)ts.integral(), std::invalid_argument);
+}
+
+TEST(TimeSeries, StepInterpolationHoldsValue) {
+  const TimeSeries ts = ramp();
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(10)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(15)), 10.0);
+}
+
+TEST(TimeSeries, LinearInterpolation) {
+  const TimeSeries ts = ramp();
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(5), Interpolation::kLinear), 5.0);
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(15), Interpolation::kLinear), 5.0);
+}
+
+TEST(TimeSeries, AtClampsOutsideRange) {
+  const TimeSeries ts = ramp();
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(-5)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(100)), 0.0);
+}
+
+TEST(TimeSeries, SliceShiftsToZero) {
+  const TimeSeries ts = ramp();
+  const TimeSeries s = ts.slice(Duration::seconds(5), Duration::seconds(15));
+  EXPECT_DOUBLE_EQ(s.start_time().sec(), 0.0);
+  EXPECT_DOUBLE_EQ(s.end_time().sec(), 10.0);
+  EXPECT_DOUBLE_EQ(s.at(Duration::seconds(6)), 10.0);  // original t=11
+}
+
+TEST(TimeSeries, SliceRejectsInvertedRange) {
+  EXPECT_THROW((void)ramp().slice(Duration::seconds(10), Duration::seconds(5)),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, ResampleFixedStep) {
+  const TimeSeries r = ramp().resample(Duration::seconds(5));
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(r[2].value, 10.0);
+}
+
+TEST(TimeSeries, MapAndScale) {
+  const TimeSeries doubled = ramp().scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.max_value(), 20.0);
+  const TimeSeries shifted = ramp().map([](double v) { return v + 1.0; });
+  EXPECT_DOUBLE_EQ(shifted.min_value(), 1.0);
+}
+
+TEST(TimeSeries, NormalizedToPeak) {
+  const TimeSeries n = ramp().normalized_to_peak();
+  EXPECT_DOUBLE_EQ(n.max_value(), 1.0);
+  TimeSeries zero;
+  zero.push_back(Duration::zero(), 0.0);
+  zero.push_back(Duration::seconds(1), 0.0);
+  EXPECT_THROW((void)zero.normalized_to_peak(), std::invalid_argument);
+}
+
+TEST(TimeSeries, IntegralStepSemantics) {
+  // 0 for 10 s then 10 for 10 s -> 100 units.
+  EXPECT_DOUBLE_EQ(ramp().integral(), 100.0);
+}
+
+TEST(TimeSeries, TimeWeightedMean) {
+  EXPECT_DOUBLE_EQ(ramp().time_weighted_mean(), 5.0);
+}
+
+TEST(TimeSeries, TimeAboveThreshold) {
+  EXPECT_DOUBLE_EQ(ramp().time_above(5.0).sec(), 10.0);
+  EXPECT_DOUBLE_EQ(ramp().time_above(100.0).sec(), 0.0);
+  // The final sample carries no width under step semantics.
+  EXPECT_DOUBLE_EQ(ramp().time_above(-1.0).sec(), 20.0);
+}
+
+TEST(TimeSeries, SumAlignsTimestamps) {
+  TimeSeries a;
+  a.push_back(Duration::seconds(0), 1.0);
+  a.push_back(Duration::seconds(10), 2.0);
+  TimeSeries b;
+  b.push_back(Duration::seconds(5), 10.0);
+  const TimeSeries s = TimeSeries::sum(a, b);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.at(Duration::seconds(0)), 11.0);  // b clamps to 10
+  EXPECT_DOUBLE_EQ(s.at(Duration::seconds(5)), 11.0);
+  EXPECT_DOUBLE_EQ(s.at(Duration::seconds(10)), 12.0);
+}
+
+TEST(TimeSeries, SpanOfSingleSampleIsZero) {
+  TimeSeries ts;
+  ts.push_back(Duration::seconds(3), 7.0);
+  EXPECT_DOUBLE_EQ(ts.span().sec(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 7.0);
+}
+
+}  // namespace
+}  // namespace dcs

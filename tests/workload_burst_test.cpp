@@ -1,0 +1,109 @@
+#include "workload/burst.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcs::workload {
+namespace {
+
+TimeSeries square_bursts() {
+  // 0..60 s at 0.5, 60..120 at 2.0, 120..180 at 0.8, 180..240 at 3.0,
+  // final sample at 240 (no width).
+  TimeSeries ts;
+  ts.push_back(Duration::seconds(0), 0.5);
+  ts.push_back(Duration::seconds(60), 2.0);
+  ts.push_back(Duration::seconds(120), 0.8);
+  ts.push_back(Duration::seconds(180), 3.0);
+  ts.push_back(Duration::seconds(240), 0.5);
+  return ts;
+}
+
+TEST(AnalyzeBursts, CountsAndDurations) {
+  const BurstStats s = analyze_bursts(square_bursts());
+  EXPECT_EQ(s.burst_count, 2u);
+  EXPECT_DOUBLE_EQ(s.over_capacity_time.sec(), 120.0);
+  EXPECT_DOUBLE_EQ(s.longest_burst.sec(), 60.0);
+  EXPECT_DOUBLE_EQ(s.peak_demand, 3.0);
+}
+
+TEST(AnalyzeBursts, MeanBurstDemand) {
+  const BurstStats s = analyze_bursts(square_bursts());
+  EXPECT_DOUBLE_EQ(s.mean_burst_demand, 2.5);  // (2.0 + 3.0) / 2 equal widths
+}
+
+TEST(AnalyzeBursts, NoBurstTrace) {
+  TimeSeries ts;
+  ts.push_back(Duration::seconds(0), 0.5);
+  ts.push_back(Duration::seconds(60), 0.9);
+  const BurstStats s = analyze_bursts(ts);
+  EXPECT_EQ(s.burst_count, 0u);
+  EXPECT_DOUBLE_EQ(s.over_capacity_time.sec(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_burst_demand, 0.0);
+}
+
+TEST(AnalyzeBursts, CustomThreshold) {
+  const BurstStats s = analyze_bursts(square_bursts(), 2.5);
+  EXPECT_EQ(s.burst_count, 1u);
+  EXPECT_DOUBLE_EQ(s.over_capacity_time.sec(), 60.0);
+}
+
+TEST(AnalyzeBursts, ContiguousBurstCountsOnce) {
+  TimeSeries ts;
+  ts.push_back(Duration::seconds(0), 2.0);
+  ts.push_back(Duration::seconds(30), 2.5);
+  ts.push_back(Duration::seconds(60), 3.0);
+  ts.push_back(Duration::seconds(90), 0.5);
+  const BurstStats s = analyze_bursts(ts);
+  EXPECT_EQ(s.burst_count, 1u);
+  EXPECT_DOUBLE_EQ(s.over_capacity_time.sec(), 90.0);
+}
+
+TEST(AnalyzeBursts, EmptyThrows) {
+  EXPECT_THROW((void)analyze_bursts(TimeSeries{}), std::invalid_argument);
+}
+
+TEST(InjectBurst, ReplacesWindow) {
+  TimeSeries base;
+  for (int i = 0; i <= 100; ++i) base.push_back(Duration::seconds(i), 0.4);
+  const TimeSeries t =
+      inject_burst(base, Duration::seconds(20), Duration::seconds(30), 3.2);
+  EXPECT_DOUBLE_EQ(t.at(Duration::seconds(10)), 0.4);
+  EXPECT_DOUBLE_EQ(t.at(Duration::seconds(20)), 3.2);
+  EXPECT_DOUBLE_EQ(t.at(Duration::seconds(49)), 3.2);
+  EXPECT_DOUBLE_EQ(t.at(Duration::seconds(50)), 0.4);
+}
+
+TEST(InjectBurst, BlendKeepsVariation) {
+  TimeSeries base;
+  base.push_back(Duration::seconds(0), 1.2);
+  base.push_back(Duration::seconds(1), 0.8);
+  base.push_back(Duration::seconds(2), 1.0);
+  const TimeSeries t =
+      inject_burst(base, Duration::zero(), Duration::seconds(2), 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.at(Duration::seconds(0)), 3.0 + 0.5 * 0.2);
+  EXPECT_DOUBLE_EQ(t.at(Duration::seconds(1)), 3.0 - 0.5 * 0.2);
+}
+
+TEST(InjectBurst, PreservesSampleCount) {
+  TimeSeries base;
+  for (int i = 0; i < 50; ++i) base.push_back(Duration::seconds(i), 0.5);
+  const TimeSeries t =
+      inject_burst(base, Duration::seconds(10), Duration::seconds(5), 2.0);
+  EXPECT_EQ(t.size(), base.size());
+}
+
+TEST(InjectBurst, Validation) {
+  TimeSeries base;
+  base.push_back(Duration::zero(), 1.0);
+  base.push_back(Duration::seconds(1), 1.0);
+  EXPECT_THROW((void)inject_burst(base, Duration::zero(), Duration::zero(), 2.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)inject_burst(base, Duration::zero(), Duration::seconds(1), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)inject_burst(base, Duration::zero(), Duration::seconds(1), 2.0, 2.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::workload

@@ -1,0 +1,102 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/ms_trace.h"
+
+namespace dcs::workload {
+namespace {
+
+TEST(TraceIo, ReadsSimpleCsv) {
+  std::istringstream in("time_s,value\n0,0.5\n1,0.75\n2.5,3.0\n");
+  const TimeSeries t = read_trace_csv(in);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(t[2].time.sec(), 2.5);
+  EXPECT_DOUBLE_EQ(t[2].value, 3.0);
+}
+
+TEST(TraceIo, HeaderOptional) {
+  std::istringstream in("0,1\n1,2\n");
+  EXPECT_EQ(read_trace_csv(in).size(), 2u);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# a comment\n\ntime_s,value\n0,1\n# mid\n1,2\n");
+  EXPECT_EQ(read_trace_csv(in).size(), 2u);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  {
+    std::istringstream in("0,1\nbroken row\n");
+    EXPECT_THROW((void)read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("0,1\n1,2,3\n");
+    EXPECT_THROW((void)read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("0,1\n1,abc\n");
+    EXPECT_THROW((void)read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("0,1\n2x,1\n");
+    EXPECT_THROW((void)read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    // A second header-looking line is an error, not a header.
+    std::istringstream in("time,value\n0,1\ntime,value\n");
+    EXPECT_THROW((void)read_trace_csv(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceIo, RejectsNonIncreasingTime) {
+  std::istringstream in("0,1\n2,1\n1,1\n");
+  EXPECT_THROW((void)read_trace_csv(in), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::istringstream in("# nothing here\n");
+  EXPECT_THROW((void)read_trace_csv(in), std::invalid_argument);
+}
+
+TEST(TraceIo, WriteReadRoundTrip) {
+  const TimeSeries original = generate_ms_trace();
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const TimeSeries loaded = read_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); i += 97) {
+    EXPECT_NEAR(loaded[i].value, original[i].value, 1e-9);
+    EXPECT_NEAR(loaded[i].time.sec(), original[i].time.sec(), 1e-9);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "dcs_trace_io_test.csv";
+  TimeSeries t;
+  t.push_back(Duration::zero(), 0.25);
+  t.push_back(Duration::minutes(1), 1.5);
+  save_trace_csv(path, t);
+  const TimeSeries loaded = load_trace_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[1].value, 1.5);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace_csv("/nonexistent/dir/trace.csv"),
+               std::invalid_argument);
+  TimeSeries t;
+  t.push_back(Duration::zero(), 1.0);
+  EXPECT_THROW((void)save_trace_csv("/nonexistent/dir/trace.csv", t),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::workload

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "workload/burst.h"
+#include "workload/ms_trace.h"
+#include "workload/yahoo_trace.h"
+
+namespace dcs::workload {
+namespace {
+
+TEST(MsTrace, Deterministic) {
+  const TimeSeries a = generate_ms_trace();
+  const TimeSeries b = generate_ms_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(MsTrace, ThirtyMinutesAtOneSecond) {
+  const TimeSeries t = generate_ms_trace();
+  EXPECT_DOUBLE_EQ(t.start_time().sec(), 0.0);
+  EXPECT_DOUBLE_EQ(t.end_time().min(), 30.0);
+  EXPECT_EQ(t.size(), 1801u);
+}
+
+TEST(MsTrace, MatchesPaperEnvelope) {
+  // Section VI-C / VII-B: peak above 3x capacity, aggregated over-capacity
+  // ("real burst") duration of ~16.2 minutes, consecutive bursts.
+  const BurstStats s = analyze_bursts(generate_ms_trace());
+  EXPECT_GT(s.peak_demand, 2.9);
+  EXPECT_LT(s.peak_demand, 3.6);
+  EXPECT_NEAR(s.over_capacity_time.min(), 16.2, 2.0);
+  EXPECT_GE(s.burst_count, 3u);
+  EXPECT_LE(s.burst_count, 6u);
+}
+
+TEST(MsTrace, BaselineBelowCapacity) {
+  const TimeSeries t = generate_ms_trace();
+  // The last ~5 minutes are burst-free recovery time.
+  const TimeSeries tail = t.slice(Duration::minutes(25), Duration::minutes(30));
+  EXPECT_LT(tail.max_value(), 1.0);
+  EXPECT_GT(t.min_value(), 0.0);
+}
+
+TEST(MsTrace, SeedChangesNoise) {
+  MsTraceParams p;
+  p.seed = 999;
+  const TimeSeries a = generate_ms_trace(p);
+  const TimeSeries b = generate_ms_trace();
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].value != b[i].value;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MsTrace, Validation) {
+  MsTraceParams p;
+  p.baseline = 1.5;
+  EXPECT_THROW((void)generate_ms_trace(p), std::invalid_argument);
+  p = {};
+  p.noise = 0.5;
+  EXPECT_THROW((void)generate_ms_trace(p), std::invalid_argument);
+}
+
+TEST(MsDayTrace, CoversDayWithBursts) {
+  MsDayTraceParams p;
+  p.length = Duration::hours(6);  // keep the test quick
+  const TimeSeries t = generate_ms_day_trace(p);
+  EXPECT_DOUBLE_EQ(t.end_time().hrs(), 6.0);
+  EXPECT_GT(t.max_value(), 5.0);       // bursts well above baseline
+  EXPECT_LT(t.max_value(), 10.0);      // clamped near the 9.5 GB/s peak
+  EXPECT_GT(t.min_value(), 0.0);
+}
+
+TEST(YahooTrace, Deterministic) {
+  const TimeSeries a = generate_yahoo_trace();
+  const TimeSeries b = generate_yahoo_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(YahooTrace, DefaultBurstShape) {
+  // Fig. 7b: burst degree 3.2 from minute 5 for 15 minutes.
+  const TimeSeries t = generate_yahoo_trace();
+  EXPECT_LT(t.at(Duration::minutes(4)), 1.0);
+  EXPECT_NEAR(t.at(Duration::minutes(10)), 3.2, 1e-9);
+  EXPECT_NEAR(t.at(Duration::minutes(19.9)), 3.2, 1e-9);
+  EXPECT_LT(t.at(Duration::minutes(21)), 1.0);
+}
+
+TEST(YahooTrace, BurstParameterization) {
+  for (double degree : {2.6, 3.0, 3.6}) {
+    for (double minutes : {1.0, 5.0, 15.0}) {
+      YahooTraceParams p;
+      p.burst_degree = degree;
+      p.burst_duration = Duration::minutes(minutes);
+      const BurstStats s = analyze_bursts(generate_yahoo_trace(p));
+      EXPECT_NEAR(s.peak_demand, degree, 1e-9);
+      EXPECT_NEAR(s.over_capacity_time.min(), minutes, 0.1);
+      EXPECT_EQ(s.burst_count, 1u);
+    }
+  }
+}
+
+TEST(YahooTrace, SmoothBaseline) {
+  // "The request rate of the aggregated Yahoo! trace does not change so
+  // severely": the pre-burst baseline stays well below capacity.
+  const TimeSeries t = generate_yahoo_trace();
+  const TimeSeries head = t.slice(Duration::zero(), Duration::minutes(4.9));
+  EXPECT_LT(head.max_value(), 0.5);
+  EXPECT_GT(head.min_value(), 0.05);
+}
+
+TEST(YahooTrace, Validation) {
+  YahooTraceParams p;
+  p.burst_degree = 0.5;
+  EXPECT_THROW((void)generate_yahoo_trace(p), std::invalid_argument);
+  p = {};
+  p.burst_start = Duration::minutes(25);
+  p.burst_duration = Duration::minutes(10);
+  EXPECT_THROW((void)generate_yahoo_trace(p), std::invalid_argument);
+  p = {};
+  p.base_level = 0.99;
+  EXPECT_THROW((void)generate_yahoo_trace(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::workload
