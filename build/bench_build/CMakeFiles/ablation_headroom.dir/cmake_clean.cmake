@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_headroom"
+  "../bench/ablation_headroom.pdb"
+  "CMakeFiles/ablation_headroom.dir/ablation_headroom.cpp.o"
+  "CMakeFiles/ablation_headroom.dir/ablation_headroom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

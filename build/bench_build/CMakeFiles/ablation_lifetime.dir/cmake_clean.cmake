@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lifetime"
+  "../bench/ablation_lifetime.pdb"
+  "CMakeFiles/ablation_lifetime.dir/ablation_lifetime.cpp.o"
+  "CMakeFiles/ablation_lifetime.dir/ablation_lifetime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_planner"
+  "../bench/ablation_planner.pdb"
+  "CMakeFiles/ablation_planner.dir/ablation_planner.cpp.o"
+  "CMakeFiles/ablation_planner.dir/ablation_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_powercap"
+  "../bench/ablation_powercap.pdb"
+  "CMakeFiles/ablation_powercap.dir/ablation_powercap.cpp.o"
+  "CMakeFiles/ablation_powercap.dir/ablation_powercap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_powercap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

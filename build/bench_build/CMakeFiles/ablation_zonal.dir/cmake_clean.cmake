@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_zonal"
+  "../bench/ablation_zonal.pdb"
+  "CMakeFiles/ablation_zonal.dir/ablation_zonal.cpp.o"
+  "CMakeFiles/ablation_zonal.dir/ablation_zonal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_ms_day_trace"
+  "../bench/fig01_ms_day_trace.pdb"
+  "CMakeFiles/fig01_ms_day_trace.dir/fig01_ms_day_trace.cpp.o"
+  "CMakeFiles/fig01_ms_day_trace.dir/fig01_ms_day_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ms_day_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_trip_curve"
+  "../bench/fig02_trip_curve.pdb"
+  "CMakeFiles/fig02_trip_curve.dir/fig02_trip_curve.cpp.o"
+  "CMakeFiles/fig02_trip_curve.dir/fig02_trip_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_trip_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_cost_revenue"
+  "../bench/fig05_cost_revenue.pdb"
+  "CMakeFiles/fig05_cost_revenue.dir/fig05_cost_revenue.cpp.o"
+  "CMakeFiles/fig05_cost_revenue.dir/fig05_cost_revenue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cost_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_uncontrolled"
+  "../bench/fig08_uncontrolled.pdb"
+  "CMakeFiles/fig08_uncontrolled.dir/fig08_uncontrolled.cpp.o"
+  "CMakeFiles/fig08_uncontrolled.dir/fig08_uncontrolled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_uncontrolled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_strategies"
+  "../bench/fig09_strategies.pdb"
+  "CMakeFiles/fig09_strategies.dir/fig09_strategies.cpp.o"
+  "CMakeFiles/fig09_strategies.dir/fig09_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

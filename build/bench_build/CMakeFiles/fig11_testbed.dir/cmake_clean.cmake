@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_testbed"
+  "../bench/fig11_testbed.pdb"
+  "CMakeFiles/fig11_testbed.dir/fig11_testbed.cpp.o"
+  "CMakeFiles/fig11_testbed.dir/fig11_testbed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economics.dir/economics.cpp.o"
+  "CMakeFiles/economics.dir/economics.cpp.o.d"
+  "economics"
+  "economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/chip.cpp" "src/compute/CMakeFiles/dcs_compute.dir/chip.cpp.o" "gcc" "src/compute/CMakeFiles/dcs_compute.dir/chip.cpp.o.d"
+  "/root/repo/src/compute/dvfs.cpp" "src/compute/CMakeFiles/dcs_compute.dir/dvfs.cpp.o" "gcc" "src/compute/CMakeFiles/dcs_compute.dir/dvfs.cpp.o.d"
+  "/root/repo/src/compute/fleet.cpp" "src/compute/CMakeFiles/dcs_compute.dir/fleet.cpp.o" "gcc" "src/compute/CMakeFiles/dcs_compute.dir/fleet.cpp.o.d"
+  "/root/repo/src/compute/pcm_heatsink.cpp" "src/compute/CMakeFiles/dcs_compute.dir/pcm_heatsink.cpp.o" "gcc" "src/compute/CMakeFiles/dcs_compute.dir/pcm_heatsink.cpp.o.d"
+  "/root/repo/src/compute/server.cpp" "src/compute/CMakeFiles/dcs_compute.dir/server.cpp.o" "gcc" "src/compute/CMakeFiles/dcs_compute.dir/server.cpp.o.d"
+  "/root/repo/src/compute/throughput_model.cpp" "src/compute/CMakeFiles/dcs_compute.dir/throughput_model.cpp.o" "gcc" "src/compute/CMakeFiles/dcs_compute.dir/throughput_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

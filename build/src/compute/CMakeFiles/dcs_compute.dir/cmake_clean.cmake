@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_compute.dir/chip.cpp.o"
+  "CMakeFiles/dcs_compute.dir/chip.cpp.o.d"
+  "CMakeFiles/dcs_compute.dir/dvfs.cpp.o"
+  "CMakeFiles/dcs_compute.dir/dvfs.cpp.o.d"
+  "CMakeFiles/dcs_compute.dir/fleet.cpp.o"
+  "CMakeFiles/dcs_compute.dir/fleet.cpp.o.d"
+  "CMakeFiles/dcs_compute.dir/pcm_heatsink.cpp.o"
+  "CMakeFiles/dcs_compute.dir/pcm_heatsink.cpp.o.d"
+  "CMakeFiles/dcs_compute.dir/server.cpp.o"
+  "CMakeFiles/dcs_compute.dir/server.cpp.o.d"
+  "CMakeFiles/dcs_compute.dir/throughput_model.cpp.o"
+  "CMakeFiles/dcs_compute.dir/throughput_model.cpp.o.d"
+  "libdcs_compute.a"
+  "libdcs_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/budget_paced_strategy.cpp" "src/core/CMakeFiles/dcs_core.dir/budget_paced_strategy.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/budget_paced_strategy.cpp.o.d"
+  "/root/repo/src/core/cb_budget.cpp" "src/core/CMakeFiles/dcs_core.dir/cb_budget.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/cb_budget.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/dcs_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/dcs_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/datacenter.cpp" "src/core/CMakeFiles/dcs_core.dir/datacenter.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/datacenter.cpp.o.d"
+  "/root/repo/src/core/heuristic_strategy.cpp" "src/core/CMakeFiles/dcs_core.dir/heuristic_strategy.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/heuristic_strategy.cpp.o.d"
+  "/root/repo/src/core/online_strategy.cpp" "src/core/CMakeFiles/dcs_core.dir/online_strategy.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/online_strategy.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/dcs_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/prediction_strategy.cpp" "src/core/CMakeFiles/dcs_core.dir/prediction_strategy.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/prediction_strategy.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/dcs_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/core/upper_bound_table.cpp" "src/core/CMakeFiles/dcs_core.dir/upper_bound_table.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/upper_bound_table.cpp.o.d"
+  "/root/repo/src/core/zonal_controller.cpp" "src/core/CMakeFiles/dcs_core.dir/zonal_controller.cpp.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/zonal_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dcs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/dcs_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/dcs_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_core.dir/budget_paced_strategy.cpp.o"
+  "CMakeFiles/dcs_core.dir/budget_paced_strategy.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/cb_budget.cpp.o"
+  "CMakeFiles/dcs_core.dir/cb_budget.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/config.cpp.o"
+  "CMakeFiles/dcs_core.dir/config.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/controller.cpp.o"
+  "CMakeFiles/dcs_core.dir/controller.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/datacenter.cpp.o"
+  "CMakeFiles/dcs_core.dir/datacenter.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/heuristic_strategy.cpp.o"
+  "CMakeFiles/dcs_core.dir/heuristic_strategy.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/online_strategy.cpp.o"
+  "CMakeFiles/dcs_core.dir/online_strategy.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/oracle.cpp.o"
+  "CMakeFiles/dcs_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/prediction_strategy.cpp.o"
+  "CMakeFiles/dcs_core.dir/prediction_strategy.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/strategy.cpp.o"
+  "CMakeFiles/dcs_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/upper_bound_table.cpp.o"
+  "CMakeFiles/dcs_core.dir/upper_bound_table.cpp.o.d"
+  "CMakeFiles/dcs_core.dir/zonal_controller.cpp.o"
+  "CMakeFiles/dcs_core.dir/zonal_controller.cpp.o.d"
+  "libdcs_core.a"
+  "libdcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

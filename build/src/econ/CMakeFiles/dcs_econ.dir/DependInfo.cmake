@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/cost_model.cpp" "src/econ/CMakeFiles/dcs_econ.dir/cost_model.cpp.o" "gcc" "src/econ/CMakeFiles/dcs_econ.dir/cost_model.cpp.o.d"
+  "/root/repo/src/econ/profitability.cpp" "src/econ/CMakeFiles/dcs_econ.dir/profitability.cpp.o" "gcc" "src/econ/CMakeFiles/dcs_econ.dir/profitability.cpp.o.d"
+  "/root/repo/src/econ/revenue_model.cpp" "src/econ/CMakeFiles/dcs_econ.dir/revenue_model.cpp.o" "gcc" "src/econ/CMakeFiles/dcs_econ.dir/revenue_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

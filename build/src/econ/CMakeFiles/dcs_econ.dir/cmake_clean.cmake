@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_econ.dir/cost_model.cpp.o"
+  "CMakeFiles/dcs_econ.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dcs_econ.dir/profitability.cpp.o"
+  "CMakeFiles/dcs_econ.dir/profitability.cpp.o.d"
+  "CMakeFiles/dcs_econ.dir/revenue_model.cpp.o"
+  "CMakeFiles/dcs_econ.dir/revenue_model.cpp.o.d"
+  "libdcs_econ.a"
+  "libdcs_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

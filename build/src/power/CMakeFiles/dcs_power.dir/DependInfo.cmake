@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/dcs_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/circuit_breaker.cpp" "src/power/CMakeFiles/dcs_power.dir/circuit_breaker.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/circuit_breaker.cpp.o.d"
+  "/root/repo/src/power/generator.cpp" "src/power/CMakeFiles/dcs_power.dir/generator.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/generator.cpp.o.d"
+  "/root/repo/src/power/lifetime.cpp" "src/power/CMakeFiles/dcs_power.dir/lifetime.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/lifetime.cpp.o.d"
+  "/root/repo/src/power/meter.cpp" "src/power/CMakeFiles/dcs_power.dir/meter.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/meter.cpp.o.d"
+  "/root/repo/src/power/pdu.cpp" "src/power/CMakeFiles/dcs_power.dir/pdu.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/pdu.cpp.o.d"
+  "/root/repo/src/power/relay.cpp" "src/power/CMakeFiles/dcs_power.dir/relay.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/relay.cpp.o.d"
+  "/root/repo/src/power/topology.cpp" "src/power/CMakeFiles/dcs_power.dir/topology.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/topology.cpp.o.d"
+  "/root/repo/src/power/trip_curve.cpp" "src/power/CMakeFiles/dcs_power.dir/trip_curve.cpp.o" "gcc" "src/power/CMakeFiles/dcs_power.dir/trip_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

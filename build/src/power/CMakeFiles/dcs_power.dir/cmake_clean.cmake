@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_power.dir/battery.cpp.o"
+  "CMakeFiles/dcs_power.dir/battery.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/circuit_breaker.cpp.o"
+  "CMakeFiles/dcs_power.dir/circuit_breaker.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/generator.cpp.o"
+  "CMakeFiles/dcs_power.dir/generator.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/lifetime.cpp.o"
+  "CMakeFiles/dcs_power.dir/lifetime.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/meter.cpp.o"
+  "CMakeFiles/dcs_power.dir/meter.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/pdu.cpp.o"
+  "CMakeFiles/dcs_power.dir/pdu.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/relay.cpp.o"
+  "CMakeFiles/dcs_power.dir/relay.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/topology.cpp.o"
+  "CMakeFiles/dcs_power.dir/topology.cpp.o.d"
+  "CMakeFiles/dcs_power.dir/trip_curve.cpp.o"
+  "CMakeFiles/dcs_power.dir/trip_curve.cpp.o.d"
+  "libdcs_power.a"
+  "libdcs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

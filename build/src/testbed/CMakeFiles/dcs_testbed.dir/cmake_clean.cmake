@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/dcs_testbed.dir/testbed.cpp.o.d"
+  "libdcs_testbed.a"
+  "libdcs_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

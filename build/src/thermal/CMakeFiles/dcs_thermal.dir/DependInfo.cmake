@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/cooling_plant.cpp" "src/thermal/CMakeFiles/dcs_thermal.dir/cooling_plant.cpp.o" "gcc" "src/thermal/CMakeFiles/dcs_thermal.dir/cooling_plant.cpp.o.d"
+  "/root/repo/src/thermal/room_model.cpp" "src/thermal/CMakeFiles/dcs_thermal.dir/room_model.cpp.o" "gcc" "src/thermal/CMakeFiles/dcs_thermal.dir/room_model.cpp.o.d"
+  "/root/repo/src/thermal/tes_tank.cpp" "src/thermal/CMakeFiles/dcs_thermal.dir/tes_tank.cpp.o" "gcc" "src/thermal/CMakeFiles/dcs_thermal.dir/tes_tank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_thermal.dir/cooling_plant.cpp.o"
+  "CMakeFiles/dcs_thermal.dir/cooling_plant.cpp.o.d"
+  "CMakeFiles/dcs_thermal.dir/room_model.cpp.o"
+  "CMakeFiles/dcs_thermal.dir/room_model.cpp.o.d"
+  "CMakeFiles/dcs_thermal.dir/tes_tank.cpp.o"
+  "CMakeFiles/dcs_thermal.dir/tes_tank.cpp.o.d"
+  "libdcs_thermal.a"
+  "libdcs_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_util.dir/config.cpp.o"
+  "CMakeFiles/dcs_util.dir/config.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/csv.cpp.o"
+  "CMakeFiles/dcs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/interpolate.cpp.o"
+  "CMakeFiles/dcs_util.dir/interpolate.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/log.cpp.o"
+  "CMakeFiles/dcs_util.dir/log.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/rng.cpp.o"
+  "CMakeFiles/dcs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/stats.cpp.o"
+  "CMakeFiles/dcs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/table.cpp.o"
+  "CMakeFiles/dcs_util.dir/table.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/time_series.cpp.o"
+  "CMakeFiles/dcs_util.dir/time_series.cpp.o.d"
+  "CMakeFiles/dcs_util.dir/units.cpp.o"
+  "CMakeFiles/dcs_util.dir/units.cpp.o.d"
+  "libdcs_util.a"
+  "libdcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

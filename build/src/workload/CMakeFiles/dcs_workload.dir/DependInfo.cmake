@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/admission.cpp" "src/workload/CMakeFiles/dcs_workload.dir/admission.cpp.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/admission.cpp.o.d"
+  "/root/repo/src/workload/burst.cpp" "src/workload/CMakeFiles/dcs_workload.dir/burst.cpp.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/burst.cpp.o.d"
+  "/root/repo/src/workload/ms_trace.cpp" "src/workload/CMakeFiles/dcs_workload.dir/ms_trace.cpp.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/ms_trace.cpp.o.d"
+  "/root/repo/src/workload/online_predictor.cpp" "src/workload/CMakeFiles/dcs_workload.dir/online_predictor.cpp.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/online_predictor.cpp.o.d"
+  "/root/repo/src/workload/predictor.cpp" "src/workload/CMakeFiles/dcs_workload.dir/predictor.cpp.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/predictor.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/dcs_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/yahoo_trace.cpp" "src/workload/CMakeFiles/dcs_workload.dir/yahoo_trace.cpp.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/yahoo_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

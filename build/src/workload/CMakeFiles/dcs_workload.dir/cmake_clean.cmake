@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_workload.dir/admission.cpp.o"
+  "CMakeFiles/dcs_workload.dir/admission.cpp.o.d"
+  "CMakeFiles/dcs_workload.dir/burst.cpp.o"
+  "CMakeFiles/dcs_workload.dir/burst.cpp.o.d"
+  "CMakeFiles/dcs_workload.dir/ms_trace.cpp.o"
+  "CMakeFiles/dcs_workload.dir/ms_trace.cpp.o.d"
+  "CMakeFiles/dcs_workload.dir/online_predictor.cpp.o"
+  "CMakeFiles/dcs_workload.dir/online_predictor.cpp.o.d"
+  "CMakeFiles/dcs_workload.dir/predictor.cpp.o"
+  "CMakeFiles/dcs_workload.dir/predictor.cpp.o.d"
+  "CMakeFiles/dcs_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/dcs_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dcs_workload.dir/yahoo_trace.cpp.o"
+  "CMakeFiles/dcs_workload.dir/yahoo_trace.cpp.o.d"
+  "libdcs_workload.a"
+  "libdcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_chip_test.dir/compute_chip_test.cpp.o"
+  "CMakeFiles/compute_chip_test.dir/compute_chip_test.cpp.o.d"
+  "compute_chip_test"
+  "compute_chip_test.pdb"
+  "compute_chip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

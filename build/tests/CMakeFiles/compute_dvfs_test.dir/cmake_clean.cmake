@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_dvfs_test.dir/compute_dvfs_test.cpp.o"
+  "CMakeFiles/compute_dvfs_test.dir/compute_dvfs_test.cpp.o.d"
+  "compute_dvfs_test"
+  "compute_dvfs_test.pdb"
+  "compute_dvfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

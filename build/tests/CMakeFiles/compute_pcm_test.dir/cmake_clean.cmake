@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_pcm_test.dir/compute_pcm_test.cpp.o"
+  "CMakeFiles/compute_pcm_test.dir/compute_pcm_test.cpp.o.d"
+  "compute_pcm_test"
+  "compute_pcm_test.pdb"
+  "compute_pcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_pcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

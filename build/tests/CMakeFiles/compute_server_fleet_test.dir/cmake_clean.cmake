@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_server_fleet_test.dir/compute_server_fleet_test.cpp.o"
+  "CMakeFiles/compute_server_fleet_test.dir/compute_server_fleet_test.cpp.o.d"
+  "compute_server_fleet_test"
+  "compute_server_fleet_test.pdb"
+  "compute_server_fleet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_server_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

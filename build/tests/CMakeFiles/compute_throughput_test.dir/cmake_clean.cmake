@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_throughput_test.dir/compute_throughput_test.cpp.o"
+  "CMakeFiles/compute_throughput_test.dir/compute_throughput_test.cpp.o.d"
+  "compute_throughput_test"
+  "compute_throughput_test.pdb"
+  "compute_throughput_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_throughput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

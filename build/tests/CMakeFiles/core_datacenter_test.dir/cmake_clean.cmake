@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_datacenter_test.dir/core_datacenter_test.cpp.o"
+  "CMakeFiles/core_datacenter_test.dir/core_datacenter_test.cpp.o.d"
+  "core_datacenter_test"
+  "core_datacenter_test.pdb"
+  "core_datacenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_datacenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_zonal_test.dir/core_zonal_test.cpp.o"
+  "CMakeFiles/core_zonal_test.dir/core_zonal_test.cpp.o.d"
+  "core_zonal_test"
+  "core_zonal_test.pdb"
+  "core_zonal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_zonal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_circuit_breaker_test.dir/power_circuit_breaker_test.cpp.o"
+  "CMakeFiles/power_circuit_breaker_test.dir/power_circuit_breaker_test.cpp.o.d"
+  "power_circuit_breaker_test"
+  "power_circuit_breaker_test.pdb"
+  "power_circuit_breaker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_circuit_breaker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

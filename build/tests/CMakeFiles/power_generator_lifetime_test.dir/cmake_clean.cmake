@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_generator_lifetime_test.dir/power_generator_lifetime_test.cpp.o"
+  "CMakeFiles/power_generator_lifetime_test.dir/power_generator_lifetime_test.cpp.o.d"
+  "power_generator_lifetime_test"
+  "power_generator_lifetime_test.pdb"
+  "power_generator_lifetime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_generator_lifetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_pdu_topology_test.dir/power_pdu_topology_test.cpp.o"
+  "CMakeFiles/power_pdu_topology_test.dir/power_pdu_topology_test.cpp.o.d"
+  "power_pdu_topology_test"
+  "power_pdu_topology_test.pdb"
+  "power_pdu_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_pdu_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_trip_curve_test.dir/power_trip_curve_test.cpp.o"
+  "CMakeFiles/power_trip_curve_test.dir/power_trip_curve_test.cpp.o.d"
+  "power_trip_curve_test"
+  "power_trip_curve_test.pdb"
+  "power_trip_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_trip_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

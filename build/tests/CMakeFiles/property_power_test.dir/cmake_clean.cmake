@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_power_test.dir/property_power_test.cpp.o"
+  "CMakeFiles/property_power_test.dir/property_power_test.cpp.o.d"
+  "property_power_test"
+  "property_power_test.pdb"
+  "property_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

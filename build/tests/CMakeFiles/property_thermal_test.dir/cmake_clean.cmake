@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_thermal_test.dir/property_thermal_test.cpp.o"
+  "CMakeFiles/property_thermal_test.dir/property_thermal_test.cpp.o.d"
+  "property_thermal_test"
+  "property_thermal_test.pdb"
+  "property_thermal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_thermal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_room_test.dir/thermal_room_test.cpp.o"
+  "CMakeFiles/thermal_room_test.dir/thermal_room_test.cpp.o.d"
+  "thermal_room_test"
+  "thermal_room_test.pdb"
+  "thermal_room_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_room_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thermal_tes_test.cpp" "tests/CMakeFiles/thermal_tes_test.dir/thermal_tes_test.cpp.o" "gcc" "tests/CMakeFiles/thermal_tes_test.dir/thermal_tes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/econ/CMakeFiles/dcs_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/dcs_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/dcs_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/dcs_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dcs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_burst_test.dir/workload_burst_test.cpp.o"
+  "CMakeFiles/workload_burst_test.dir/workload_burst_test.cpp.o.d"
+  "workload_burst_test"
+  "workload_burst_test.pdb"
+  "workload_burst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_burst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_online_predictor_test.dir/workload_online_predictor_test.cpp.o"
+  "CMakeFiles/workload_online_predictor_test.dir/workload_online_predictor_test.cpp.o.d"
+  "workload_online_predictor_test"
+  "workload_online_predictor_test.pdb"
+  "workload_online_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_online_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

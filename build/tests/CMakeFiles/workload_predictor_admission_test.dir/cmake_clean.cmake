@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_predictor_admission_test.dir/workload_predictor_admission_test.cpp.o"
+  "CMakeFiles/workload_predictor_admission_test.dir/workload_predictor_admission_test.cpp.o.d"
+  "workload_predictor_admission_test"
+  "workload_predictor_admission_test.pdb"
+  "workload_predictor_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_predictor_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
