@@ -85,6 +85,34 @@ void DataCenterConfig::validate() const {
   DCS_REQUIRE(control_period > Duration::zero(), "control period must be positive");
   DCS_REQUIRE(recharge_demand_threshold > 0.0 && recharge_demand_threshold <= 1.0,
               "recharge threshold in (0, 1]");
+
+  // --- structural hardening ---
+  DCS_REQUIRE(fleet.pdu_count > 0, "fleet needs at least one PDU");
+  DCS_REQUIRE(fleet.servers_per_pdu > 0, "each PDU needs at least one server");
+  const auto& chip = fleet.server.chip;
+  DCS_REQUIRE(chip.normal_cores >= 1, "chip needs at least one normal core");
+  DCS_REQUIRE(chip.total_cores > chip.normal_cores,
+              "chip needs dark cores to sprint with (total > normal)");
+  DCS_REQUIRE(battery_per_server.capacity > Charge::zero(),
+              "UPS battery capacity must be positive");
+  DCS_REQUIRE(battery_per_server.reserve_floor >= 0.0 &&
+                  battery_per_server.reserve_floor < 1.0,
+              "UPS reserve floor in [0, 1)");
+  DCS_REQUIRE(trip_curve.thermal_coeff_s > 0.0,
+              "trip-curve thermal coefficient must be positive");
+  DCS_REQUIRE(cb_cooling_tau > Duration::zero(),
+              "breaker cooling tau must be positive");
+
+  // The reserved trip time must leave the governor *some* overload to grant:
+  // a reserve at or beyond the curve's no-trip asymptote (21.6 / 0.05^2 =
+  // 8640 s for the defaults) admits no load above the no-trip ratio, so the
+  // controller could never sprint at the data-center level.
+  const power::TripCurve curve{trip_curve};
+  DCS_REQUIRE(curve.max_ratio_for(cb_reserve) >
+                  trip_curve.no_trip_ratio + 1e-12,
+              "cb_reserve too long: the trip curve admits no overload that "
+              "can be held for the reserved trip time");
+
   // Instantiating the substrates runs their own precondition checks.
   (void)compute::Fleet(fleet);
   (void)topology_params();

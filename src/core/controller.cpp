@@ -11,6 +11,10 @@ namespace {
 constexpr double kDegreeEps = 1e-9;
 const Power kPowerEps = Power::watts(1e-6);
 
+/// Active-fault severity at or above which an ongoing sprint ends outright
+/// (the ladder's kSprintEnded rung); milder faults shed degree instead.
+constexpr double kSevereFaultSeverity = 0.5;
+
 }  // namespace
 
 std::string_view to_string(Mode mode) noexcept {
@@ -31,6 +35,17 @@ std::string_view to_string(SprintPhase phase) noexcept {
     case SprintPhase::kUpsAssist: return "ups-assist";
     case SprintPhase::kTesCooling: return "tes-cooling";
     case SprintPhase::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string_view to_string(DegradationLevel level) noexcept {
+  switch (level) {
+    case DegradationLevel::kNominal: return "nominal";
+    case DegradationLevel::kDerated: return "derated";
+    case DegradationLevel::kShedding: return "shedding";
+    case DegradationLevel::kSprintEnded: return "sprint-ended";
+    case DegradationLevel::kPowerCapFallback: return "power-cap-fallback";
   }
   return "?";
 }
@@ -99,7 +114,8 @@ double SprintingController::remaining_energy_fraction() const {
   return total > Energy::zero() ? std::clamp(remaining / total, 0.0, 1.0) : 0.0;
 }
 
-SprintContext SprintingController::make_context(double demand) const {
+SprintContext SprintingController::make_context(double demand,
+                                                double energy_fraction) const {
   SprintContext ctx;
   ctx.elapsed_in_burst = burst_elapsed_;
   ctx.demand = demand;
@@ -108,7 +124,7 @@ SprintContext SprintingController::make_context(double demand) const {
   ctx.avg_degree = burst_elapsed_ > Duration::zero()
                        ? degree_time_integral_ / burst_elapsed_.sec()
                        : 1.0;
-  ctx.remaining_energy_fraction = remaining_energy_fraction();
+  ctx.remaining_energy_fraction = energy_fraction;
   ctx.period = config_.control_period;
   return ctx;
 }
@@ -116,6 +132,13 @@ SprintContext SprintingController::make_context(double demand) const {
 bool SprintingController::should_activate_tes() const {
   if (mode_ != Mode::kControlled || deps_.tes == nullptr) return false;
   if (deps_.tes->empty()) return false;
+  // Graceful degradation: while the chiller is derated by a fault, the tank
+  // covers the cooling shortfall even outside the phase-3 window, keeping
+  // the room below threshold for as long as the charge lasts.
+  if (injector_ != nullptr &&
+      injector_->state().chiller_capacity_factor < 1.0 - 1e-12) {
+    return true;
+  }
   return in_burst_ && !sprint_terminated_ &&
          burst_elapsed_ >= config_.tes_activation_time();
 }
@@ -139,7 +162,8 @@ bool SprintingController::check_cores(std::size_t cores, double demand,
           : Power::zero();
   Power tes_rate_left = Power::zero();
   if (tes_active && deps_.tes != nullptr) {
-    tes_rate_left = deps_.tes->stored() / dt;
+    tes_rate_left =
+        std::min(deps_.tes->stored() / dt, deps_.tes->max_discharge_rate());
     if (excess_heat > tes_rate_left + kPowerEps) return false;
     tes_rate_left -= excess_heat;
   }
@@ -191,13 +215,13 @@ SprintingController::Feasible SprintingController::find_feasible(
   const std::size_t desired =
       deps_.fleet->operate(demand, std::max(1.0, bound)).active_cores;
 
-  Feasible best{normal, Power::zero(), Power::zero(), tes_active};
+  Feasible best{normal, Power::zero(), Power::zero(), tes_active, desired};
   // check_cores() is monotone in the core count (power grows with cores),
   // so binary-search the largest feasible count in [normal, desired].
   Power ups = Power::zero();
   Power relief = Power::zero();
   if (check_cores(desired, demand, tes_active, dt, &ups, &relief)) {
-    return Feasible{desired, ups, relief, tes_active};
+    return Feasible{desired, ups, relief, tes_active, desired};
   }
   std::size_t lo = normal, hi = desired;
   // Invariant: lo feasible (rated load always is), hi infeasible.
@@ -232,22 +256,37 @@ StepResult SprintingController::step(Duration now, double demand, Duration dt) {
       break;
     case Mode::kUncontrolled:
       result = step_uncontrolled(demand, dt);
-      if (result.tripped && trip_time_.is_infinite()) trip_time_ = now;
       break;
     case Mode::kNoSprint:
     case Mode::kPowerCapped:
-      result = step_capped(demand, dt);
+      result = step_capped(demand, dt, mode_ == Mode::kPowerCapped);
       break;
     case Mode::kDvfsCapped:
       result = step_dvfs(demand, dt);
       break;
   }
+  if (mode_ != Mode::kControlled) result.measured_demand = demand;
+  if (result.tripped && trip_time_.is_infinite()) trip_time_ = now;
   account(result, dt);
   return result;
 }
 
 StepResult SprintingController::step_controlled(Duration now, double demand,
                                                 Duration dt) {
+  if (shutdown_) {
+    // A fault-induced trip earlier in the run: the data center is dark
+    // (mirrors the uncontrolled baseline's post-trip behaviour).
+    StepResult result;
+    result.demand = demand;
+    result.measured_demand = demand;
+    result.phase = SprintPhase::kShutdown;
+    result.tripped = true;
+    result.degradation = DegradationLevel::kPowerCapFallback;
+    deps_.room->step(Power::zero(), Power::zero(), dt);
+    result.room = deps_.room->temperature();
+    return result;
+  }
+
   // Utility-feed health: a disturbance immediately ends the sprint
   // (Section IV-A) and brings the backup generator online; the UPS banks
   // bridge whatever the derated feed cannot carry.
@@ -263,12 +302,28 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
   grid_cap_ = config_.dc_rated() * supply +
               (generator_ != nullptr ? generator_->available() : Power::zero());
 
-  const bool active = burst_active(demand);
+  // The controller plans on *measured* values; the plant commits the true
+  // ones. Without an injector the two are the same doubles, bit for bit.
+  double measured = demand;
+  double measured_rise_c = deps_.room->rise().c();
+  double energy_fraction = remaining_energy_fraction();
+  if (injector_ != nullptr) {
+    measured = injector_->measure(faults::SensorChannel::kDemand, now, demand);
+    measured_rise_c = injector_->measure(faults::SensorChannel::kTemperature,
+                                         now, measured_rise_c);
+    energy_fraction = std::clamp(
+        injector_->measure(faults::SensorChannel::kPower, now, energy_fraction),
+        0.0, 1.0);
+  }
+
+  const bool active = burst_active(measured);
   if (active && !in_burst_) {
     in_burst_ = true;
     if (strategy_ != nullptr) strategy_->on_burst_start();
   }
-  if (strategy_ != nullptr) strategy_->observe(make_context(demand));
+  if (strategy_ != nullptr) {
+    strategy_->observe(make_context(measured, energy_fraction));
+  }
   if (!active && in_burst_) {
     in_burst_ = false;
     sprint_terminated_ = false;  // a future burst starts a fresh sprint
@@ -276,33 +331,92 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
 
   if (grid_limited_ && in_burst_) sprint_terminated_ = true;
 
+  // Degradation ladder (Section IV-A: "lower the sprinting degree or end
+  // sprinting"): any active fault re-solves feasibility on the degraded
+  // component set (kDerated); severe faults end an ongoing sprint outright.
+  DegradationLevel level = DegradationLevel::kNominal;
+  double severity = 0.0;
+  if (injector_ != nullptr) {
+    const faults::FaultInjector::State& fs = injector_->state();
+    severity = fs.severity;
+    if (fs.active_count > 0) level = DegradationLevel::kDerated;
+    if (in_burst_ && severity >= kSevereFaultSeverity) {
+      sprint_terminated_ = true;
+    }
+  }
+
   // Pre-emptive thermal cut-off: if even one more control period at the
   // worst-case heat gap could cross the room threshold, end the sprint now
-  // rather than let the peak overshoot by a tick.
+  // rather than let the peak overshoot by a tick. Projects from the
+  // *measured* rise — a faulted temperature sensor can blind this check;
+  // the watchdog still sees the true room state.
   if (active && !sprint_terminated_) {
     const Power max_gap =
         config_.fleet_peak_sprint() - deps_.cooling->thermal_capacity();
-    if (deps_.room->time_to_threshold(max_gap) <= dt) {
+    if (deps_.room->time_to_threshold_from(Temperature::celsius(measured_rise_c),
+                                           max_gap) <= dt) {
       sprint_terminated_ = true;
     }
   }
 
   double bound = 1.0;
   if (active && !sprint_terminated_) {
-    bound = std::clamp(strategy_->upper_bound(make_context(demand)), 1.0,
-                       deps_.fleet->server().chip().max_sprint_degree());
+    bound = std::clamp(strategy_->upper_bound(make_context(measured,
+                                                           energy_fraction)),
+                       1.0, deps_.fleet->server().chip().max_sprint_degree());
+    // Ladder: shed degree in proportion to the active faults' aggregate
+    // severity — milder than ending the sprint, free at severity zero.
+    if (injector_ != nullptr && severity > 0.0) {
+      const double shed = 1.0 + (bound - 1.0) * (1.0 - severity);
+      if (shed < bound - kDegreeEps) {
+        level = std::max(level, DegradationLevel::kShedding);
+      }
+      bound = shed;
+    }
   }
 
   StepResult result;
   result.demand = demand;
+  result.measured_demand = measured;
   result.upper_bound = bound;
   result.supply_fraction = supply;
+  if (injector_ != nullptr) {
+    result.faults_active = injector_->state().active_count;
+  }
+
+  // Ladder last resort: when safety margins are critically tight the
+  // controller abandons sprinting altogether and steps like the
+  // conventional power-capped baseline until the margins recover.
+  if (injector_ != nullptr) {
+    fallback_ = should_fall_back();
+    if (fallback_) {
+      if (in_burst_) sprint_terminated_ = true;
+      StepResult capped = step_capped(demand, dt, /*allow_extra_cores=*/false);
+      capped.measured_demand = measured;
+      capped.supply_fraction = supply;
+      capped.faults_active = result.faults_active;
+      capped.degradation = DegradationLevel::kPowerCapFallback;
+      if (active) {
+        burst_elapsed_ += dt;
+        max_demand_in_burst_ = std::max(max_demand_in_burst_, measured);
+        degree_time_integral_ += capped.degree * dt.sec();
+      }
+      return capped;
+    }
+  }
 
   // No ESD recharging while the feed is disturbed.
   const bool recharging = !grid_limited_ && !active &&
-                          demand <= config_.recharge_demand_threshold;
+                          measured <= config_.recharge_demand_threshold;
 
-  const Feasible f = find_feasible(demand, bound, dt);
+  const Feasible f = find_feasible(measured, bound, dt);
+  if (injector_ != nullptr && injector_->state().active_count > 0 &&
+      f.cores < f.desired) {
+    level = std::max(level, DegradationLevel::kShedding);
+  }
+  // Commit with the chosen core count against the *true* demand: under a
+  // demand-sensor fault the plan and reality can differ, which is exactly
+  // the hazard the ladder and the watchdog guard against.
   const auto op = deps_.fleet->operate_with_cores(demand, f.cores);
 
   thermal::CoolingStep cooling{};
@@ -336,8 +450,28 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
   }
   deps_.room->step(op.fleet_total, cooling.heat_absorbed, dt);
 
-  DCS_ENSURE(!flows.dc_tripped && !flows.any_pdu_tripped,
-             "controlled sprinting must never trip a breaker");
+  if (flows.dc_tripped || flows.any_pdu_tripped) {
+    // Without injected faults this is unreachable — keep the hard contract.
+    DCS_ENSURE(injector_ != nullptr,
+               "controlled sprinting must never trip a breaker");
+    // Under faults (e.g. a nuisance-trip bias landing mid-overload) a trip
+    // is a survivable-but-terminal event for the run: report it as a
+    // structured shutdown instead of aborting the simulation.
+    shutdown_ = true;
+    sprint_terminated_ = true;
+    result.achieved = 0.0;
+    result.degree = op.degree;
+    result.active_cores = op.active_cores;
+    result.server_power = op.fleet_total;
+    result.cooling_power = cooling.electrical;
+    result.ups_power = flows.ups_total;
+    result.dc_load = flows.dc_load;
+    result.room = deps_.room->temperature();
+    result.tripped = true;
+    result.phase = SprintPhase::kShutdown;
+    result.degradation = DegradationLevel::kPowerCapFallback;
+    return result;
+  }
 
   // Chip-level PCM: melted by chip power above the sustainable level; an
   // exhausted buffer means chip sprinting itself is over ("If the
@@ -356,7 +490,7 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
   // altogether, end the sprint — the additional cores go back to inactive
   // until the burst is over.
   if (deps_.room->over_threshold()) sprint_terminated_ = true;
-  if (f.tes_active && deps_.tes != nullptr && deps_.tes->empty()) {
+  if (in_burst_ && f.tes_active && deps_.tes != nullptr && deps_.tes->empty()) {
     sprint_terminated_ = true;
   }
   if (active && op.degree > 1.0 + kDegreeEps) {
@@ -376,9 +510,18 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
   // Burst bookkeeping for the strategies.
   if (active) {
     burst_elapsed_ += dt;
-    max_demand_in_burst_ = std::max(max_demand_in_burst_, demand);
+    max_demand_in_burst_ = std::max(max_demand_in_burst_, measured);
     degree_time_integral_ += op.degree * dt.sec();
   }
+
+  // Ladder: a sprint ended by a fault or feed disturbance (not by the
+  // paper's ordinary energy/thermal exhaustion rules) is kSprintEnded.
+  if (in_burst_ && sprint_terminated_ &&
+      (grid_limited_ ||
+       (injector_ != nullptr && injector_->state().active_count > 0))) {
+    level = std::max(level, DegradationLevel::kSprintEnded);
+  }
+  result.degradation = level;
 
   result.achieved = op.achieved;
   result.degree = op.degree;
@@ -442,25 +585,30 @@ StepResult SprintingController::step_uncontrolled(double demand, Duration dt) {
   return result;
 }
 
-StepResult SprintingController::step_capped(double demand, Duration dt) {
+StepResult SprintingController::step_capped(double demand, Duration dt,
+                                            bool allow_extra_cores) {
   StepResult result;
   result.demand = demand;
   const std::size_t normal = deps_.fleet->server().chip().params().normal_cores;
   std::size_t cores = normal;
-  if (mode_ == Mode::kPowerCapped) {
+  if (allow_extra_cores) {
     // Conventional power capping: activate extra cores only while every
-    // rating is respected — no overload, no stored energy.
+    // rating is respected — no overload, no stored energy. The *effective*
+    // ratings equal the nameplate ones unless a fault derated a breaker.
     const std::size_t total = deps_.fleet->server().chip().params().total_cores;
     const double max_degree = deps_.fleet->server().chip().max_sprint_degree();
     const std::size_t desired =
         deps_.fleet->operate(demand, max_degree).active_cores;
+    const Power pdu_limit =
+        deps_.topology->pdus().front().breaker().effective_rated();
+    const Power dc_limit = deps_.topology->dc_breaker().effective_rated();
     for (std::size_t n = desired; n >= normal; --n) {
       const auto op = deps_.fleet->operate_with_cores(demand, n);
       const Power cooling = deps_.cooling->electrical_projection(
           op.fleet_total, false, Power::zero());
       const Power dc_load =
           op.per_pdu * static_cast<double>(deps_.topology->pdu_count()) + cooling;
-      if (op.per_pdu <= config_.pdu_rated() && dc_load <= config_.dc_rated()) {
+      if (op.per_pdu <= pdu_limit && dc_load <= dc_limit) {
         cores = n;
         break;
       }
@@ -549,7 +697,26 @@ StepResult SprintingController::step_dvfs(double demand, Duration dt) {
   return result;
 }
 
+bool SprintingController::should_fall_back() const {
+  const faults::FaultInjector::State& fs = injector_->state();
+  const double room_frac =
+      deps_.room->rise().c() / deps_.room->params().threshold_rise.c();
+  // A severe chiller loss with no usable thermal storage left means every
+  // extra watt shortens the time to the room threshold: cap now.
+  const bool tes_dry = deps_.tes == nullptr || deps_.tes->empty() ||
+                       fs.tes_discharge_factor <= 0.0;
+  const bool chiller_critical = fs.chiller_capacity_factor <= 0.5 && tes_dry;
+  if (!fallback_) {
+    return room_frac >= 0.90 || chiller_critical;
+  }
+  // Hysteresis: leave the fallback only once the room has genuinely
+  // recovered, so the controller does not oscillate across the boundary.
+  return room_frac >= 0.60 || chiller_critical;
+}
+
 void SprintingController::account(const StepResult& result, Duration dt) {
+  max_degradation_ = std::max(max_degradation_, result.degradation);
+  degradation_time_[static_cast<std::size_t>(result.degradation)] += dt;
   ups_energy_ += result.ups_power * dt;
   if (result.degree > 1.0 + kDegreeEps) sprint_time_ += dt;
   phase_time_[static_cast<std::size_t>(result.phase)] += dt;

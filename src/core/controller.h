@@ -28,6 +28,7 @@
 #include "compute/fleet.h"
 #include "core/config.h"
 #include "core/strategy.h"
+#include "faults/injector.h"
 #include "power/generator.h"
 #include "power/topology.h"
 #include "util/time_series.h"
@@ -58,6 +59,19 @@ enum class SprintPhase {
 
 [[nodiscard]] std::string_view to_string(SprintPhase phase) noexcept;
 
+/// Where the controller sits on the graceful-degradation ladder this step
+/// (Section IV-A's reactive safety actions, generalized to injected faults).
+/// Levels are ordered by how much sprinting capability has been given up.
+enum class DegradationLevel {
+  kNominal = 0,   ///< no active fault, full capability
+  kDerated = 1,   ///< faults active; feasibility re-solved on the degraded set
+  kShedding = 2,  ///< the degree was shed below the strategy's bound
+  kSprintEnded = 3,      ///< the sprint was ended by a fault/disturbance
+  kPowerCapFallback = 4, ///< last resort: stepping as power-capped
+};
+
+[[nodiscard]] std::string_view to_string(DegradationLevel level) noexcept;
+
 /// Everything one control step produced (for recording and tests).
 struct StepResult {
   double demand = 0.0;
@@ -75,6 +89,12 @@ struct StepResult {
   Power tes_relief;             ///< chiller electrical displaced by the TES
   Temperature room;
   bool tripped = false;
+  /// Demand as the controller saw it (differs from `demand` only under an
+  /// injected sensor fault).
+  double measured_demand = 0.0;
+  /// Faults active this step (0 without a fault injector).
+  std::size_t faults_active = 0;
+  DegradationLevel degradation = DegradationLevel::kNominal;
 };
 
 class SprintingController {
@@ -107,6 +127,13 @@ class SprintingController {
   void attach_generator(power::DieselGenerator* generator) noexcept {
     generator_ = generator;
   }
+  /// Optional fault injector: the controller reads demand/power/temperature
+  /// through its sensor filters and climbs the degradation ladder on its
+  /// active-fault state. The injector must outlive the controller; null
+  /// (the default) keeps the fault-free fast path.
+  void set_fault_injector(faults::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
 
   // --- accumulated accounting (for RunResult) ---
   [[nodiscard]] Energy ups_energy() const noexcept { return ups_energy_; }
@@ -125,6 +152,14 @@ class SprintingController {
   }
   [[nodiscard]] bool shutdown() const noexcept { return shutdown_; }
   [[nodiscard]] Duration trip_time() const noexcept { return trip_time_; }
+  /// Highest degradation-ladder level reached so far.
+  [[nodiscard]] DegradationLevel max_degradation() const noexcept {
+    return max_degradation_;
+  }
+  /// Aggregated time spent at each DegradationLevel.
+  [[nodiscard]] Duration degradation_time(DegradationLevel level) const noexcept {
+    return degradation_time_[static_cast<std::size_t>(level)];
+  }
   /// Remaining / total additional-energy budget (drives the Heuristic).
   [[nodiscard]] double remaining_energy_fraction() const;
   /// Total additional-energy budget in degree-seconds (for HeuristicStrategy).
@@ -138,12 +173,14 @@ class SprintingController {
     Power ups_per_pdu;
     Power tes_relief;  ///< chiller electrical displaced to relieve the DC CB
     bool tes_active;
+    std::size_t desired = 0;  ///< cores the bound asked for (pre-shedding)
   };
 
   [[nodiscard]] bool burst_active(double demand) const noexcept {
     return demand > 1.0 + 1e-9;
   }
-  [[nodiscard]] SprintContext make_context(double demand) const;
+  [[nodiscard]] SprintContext make_context(double demand,
+                                           double energy_fraction) const;
   [[nodiscard]] bool should_activate_tes() const;
   [[nodiscard]] Feasible find_feasible(double demand, double bound, Duration dt) const;
   [[nodiscard]] bool check_cores(std::size_t cores, double demand, bool tes_active,
@@ -151,8 +188,10 @@ class SprintingController {
                                  Power* tes_relief) const;
   StepResult step_controlled(Duration now, double demand, Duration dt);
   StepResult step_uncontrolled(double demand, Duration dt);
-  StepResult step_capped(double demand, Duration dt);
+  StepResult step_capped(double demand, Duration dt, bool allow_extra_cores);
   StepResult step_dvfs(double demand, Duration dt);
+  /// Ladder last resort: margins critically tight under faults.
+  [[nodiscard]] bool should_fall_back() const;
   void account(const StepResult& result, Duration dt);
   [[nodiscard]] Energy cb_budget_estimate() const;
   [[nodiscard]] Power power_per_degree() const;
@@ -164,6 +203,7 @@ class SprintingController {
   compute::DvfsModel dvfs_{};
   const TimeSeries* supply_fraction_ = nullptr;
   power::DieselGenerator* generator_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
   /// Utility + generator power available this step (set in step_controlled,
   /// consumed by check_cores).
   Power grid_cap_;
@@ -188,6 +228,11 @@ class SprintingController {
   Duration trip_time_ = Duration::infinity();
   double budget_total_ds_ = 0.0;
   Energy cb_budget_initial_ = Energy::zero();
+
+  // degradation ladder
+  bool fallback_ = false;  // latched power-cap fallback (with hysteresis)
+  DegradationLevel max_degradation_ = DegradationLevel::kNominal;
+  Duration degradation_time_[5] = {};
 };
 
 }  // namespace dcs::core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 
+#include "faults/injector.h"
 #include "sim/engine.h"
 #include "util/check.h"
 #include "workload/admission.h"
@@ -71,8 +73,25 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
   SprintingController controller(config_, deps, strategy, options.mode);
   controller.set_supply_fraction(options.supply_fraction);
   if (options.generator != nullptr) {
+    options.generator->reset();
     controller.attach_generator(options.generator);
   }
+
+  // Fault injection is strictly opt-in: without a non-empty schedule no
+  // injector exists and the run takes the fault-free fast path.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (options.faults != nullptr && !options.faults->empty()) {
+    injector = std::make_unique<faults::FaultInjector>(
+        *options.faults,
+        faults::FaultInjector::Bindings{&plant->topology, &plant->cooling,
+                                        plant->tes.get(), options.generator},
+        options.fault_seed);
+    controller.set_fault_injector(injector.get());
+  }
+  faults::Watchdog watchdog(faults::Watchdog::Options{
+      config_.battery_per_server.reserve_floor,
+      /*check_breakers=*/options.mode != Mode::kUncontrolled,
+      /*check_room=*/options.mode != Mode::kUncontrolled});
 
   RunResult result;
   workload::AdmissionController sprint_admission;
@@ -87,7 +106,9 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
   sim::Engine engine(dt);
   RunDriver driver([&](Duration now, Duration tick_dt) {
     const double d = demand.at(now);
+    if (injector != nullptr) injector->apply(now);
     const StepResult step = controller.step(now, d, tick_dt);
+    watchdog.check(now, plant->topology, plant->room, plant->tes.get());
 
     achieved_integral += step.achieved * dt.sec();
     baseline_integral += std::min(d, 1.0) * dt.sec();
@@ -127,6 +148,12 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
       rec.record("pdu_cb_heat", now,
                  plant->topology.pdus().front().breaker().thermal_state());
       rec.record("supply", now, step.supply_fraction);
+      rec.record("degradation", now, static_cast<double>(step.degradation));
+      if (injector != nullptr) {
+        rec.record("faults_active", now,
+                   static_cast<double>(step.faults_active));
+        rec.record("measured_demand", now, step.measured_demand);
+      }
     }
   });
   engine.add(&driver);
@@ -153,6 +180,12 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
   result.pdu_overload_energy = controller.pdu_overload_energy();
   result.dc_overload_energy = controller.dc_overload_energy();
   result.peak_room_temperature = plant->room.peak_temperature();
+  result.max_degradation = controller.max_degradation();
+  for (std::size_t i = 0; i < result.degradation_time.size(); ++i) {
+    result.degradation_time[i] =
+        controller.degradation_time(static_cast<DegradationLevel>(i));
+  }
+  result.watchdog = watchdog.report();
   const power::Battery& bank = plant->topology.pdus().front().ups();
   result.ups_discharge_events = bank.discharge_events();
   result.ups_equivalent_cycles = bank.equivalent_full_cycles();

@@ -15,10 +15,14 @@
 #include <array>
 #include <memory>
 
+#include <cstdint>
+
 #include "compute/fleet.h"
 #include "core/config.h"
 #include "core/controller.h"
 #include "core/strategy.h"
+#include "faults/schedule.h"
+#include "faults/watchdog.h"
 #include "sim/recorder.h"
 #include "util/time_series.h"
 #include "util/units.h"
@@ -33,9 +37,14 @@ struct RunOptions {
   /// [0, 1]); must outlive the run. See
   /// SprintingController::set_supply_fraction.
   const TimeSeries* supply_fraction = nullptr;
-  /// Optional backup generator used during supply disturbances; its state
-  /// is the caller's (it is NOT reset between runs).
+  /// Optional backup generator used during supply disturbances; it is reset
+  /// to a stopped, fault-free state at the start of every run.
   power::DieselGenerator* generator = nullptr;
+  /// Optional fault schedule; must outlive the run. Null or empty keeps the
+  /// fault-free fast path (bit-identical metrics to a build without faults).
+  const faults::FaultSchedule* faults = nullptr;
+  /// Seed for the injector's sensor-noise stream.
+  std::uint64_t fault_seed = 0x5eedu;
 };
 
 struct RunResult {
@@ -71,9 +80,19 @@ struct RunResult {
   std::size_t ups_discharge_events = 0;
   double ups_equivalent_cycles = 0.0;
   double ups_max_depth = 0.0;
+  /// Highest degradation-ladder level the controller reached, and the time
+  /// spent at each level (indexed by DegradationLevel). Nominal/zero-filled
+  /// for non-controlled modes and fault-free runs.
+  DegradationLevel max_degradation = DegradationLevel::kNominal;
+  std::array<Duration, 5> degradation_time{};
+  /// Invariant-watchdog diagnostics: DESIGN.md Section 6 invariants checked
+  /// every tick against the *true* plant state.
+  faults::WatchdogReport watchdog;
   /// Per-tick channels (only when RunOptions::record): demand, achieved,
   /// achieved_nosprint, degree, bound, cores, phase, server_mw, cooling_mw,
-  /// ups_mw, dc_load_mw, room_c, ups_soc, tes_soc, dc_cb_heat, pdu_cb_heat.
+  /// ups_mw, dc_load_mw, room_c, ups_soc, tes_soc, dc_cb_heat, pdu_cb_heat,
+  /// supply, degradation; plus faults_active and measured_demand when a
+  /// fault schedule is attached.
   sim::Recorder recorder;
 };
 

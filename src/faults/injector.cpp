@@ -1,0 +1,111 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::faults {
+
+FaultInjector::FaultInjector(FaultSchedule schedule, const Bindings& bindings,
+                             std::uint64_t seed)
+    : schedule_(std::move(schedule)), bindings_(bindings), rng_(seed) {
+  DCS_REQUIRE(bindings_.topology != nullptr, "injector needs a power topology");
+  DCS_REQUIRE(bindings_.cooling != nullptr, "injector needs a cooling plant");
+}
+
+void FaultInjector::apply(Duration now) {
+  State s;
+  for (const Fault& f : schedule_.faults()) {
+    if (!f.active_at(now)) continue;
+    ++s.active_count;
+    s.severity = std::max(s.severity, severity_of(f));
+    switch (f.kind) {
+      case FaultKind::kUpsBankOutage:
+        s.ups_availability *= 1.0 - f.magnitude;
+        break;
+      case FaultKind::kUpsCapacityFade:
+        s.ups_capacity_factor *= 1.0 - f.magnitude;
+        break;
+      case FaultKind::kBreakerDerating:
+        s.breaker_rating_factor *= 1.0 - f.magnitude;
+        break;
+      case FaultKind::kBreakerNuisanceBias:
+        s.breaker_trip_bias = std::max(s.breaker_trip_bias, f.magnitude);
+        break;
+      case FaultKind::kChillerFailure:
+        s.chiller_capacity_factor *= 1.0 - f.magnitude;
+        break;
+      case FaultKind::kChillerDegradedCop:
+        s.chiller_cop_penalty += f.magnitude;
+        break;
+      case FaultKind::kTesValveStuck:
+        s.tes_discharge_factor *= 1.0 - f.magnitude;
+        break;
+      case FaultKind::kGeneratorStartFailure:
+        s.generator_start_inhibited = true;
+        break;
+      case FaultKind::kGeneratorDelayedStart:
+        s.generator_extra_delay += Duration::seconds(f.magnitude);
+        break;
+      case FaultKind::kSensorStale:
+      case FaultKind::kSensorDropped:
+      case FaultKind::kSensorNoisy:
+        s.sensor_fault_active = true;
+        break;
+    }
+  }
+  state_ = s;
+  ever_active_ = ever_active_ || s.active_count > 0;
+
+  for (auto& pdu : bindings_.topology->pdus()) {
+    pdu.breaker().set_fault(s.breaker_rating_factor, s.breaker_trip_bias);
+    pdu.ups().set_fault(s.ups_availability, s.ups_capacity_factor);
+  }
+  bindings_.cooling->set_fault(s.chiller_capacity_factor, s.chiller_cop_penalty);
+  if (bindings_.tes != nullptr) {
+    bindings_.tes->set_fault(s.tes_discharge_factor);
+  }
+  if (bindings_.generator != nullptr) {
+    bindings_.generator->set_fault(s.generator_start_inhibited,
+                                   s.generator_extra_delay);
+  }
+}
+
+double FaultInjector::measure(SensorChannel channel, Duration now,
+                              double true_value) {
+  bool dropped = false;
+  bool stale = false;
+  double noise_stddev = 0.0;
+  for (const Fault& f : schedule_.faults()) {
+    if (!is_sensor_fault(f.kind) || f.channel != channel || !f.active_at(now)) {
+      continue;
+    }
+    if (f.kind == FaultKind::kSensorDropped) dropped = true;
+    if (f.kind == FaultKind::kSensorStale) stale = true;
+    if (f.kind == FaultKind::kSensorNoisy) {
+      noise_stddev = std::max(noise_stddev, f.magnitude);
+    }
+  }
+
+  SensorState& s = sensors_[static_cast<std::size_t>(channel)];
+  if (dropped) {
+    s.latched = false;
+    return 0.0;
+  }
+  if (stale) {
+    if (!s.latched) {
+      s.latched = true;
+      s.latch = s.last;
+    }
+    return s.latch;
+  }
+  double value = true_value;
+  if (noise_stddev > 0.0) {
+    value = std::max(0.0, value * (1.0 + noise_stddev * rng_.normal()));
+  }
+  s.latched = false;
+  s.last = value;
+  return value;
+}
+
+}  // namespace dcs::faults

@@ -1,0 +1,65 @@
+#include "faults/watchdog.h"
+
+#include <sstream>
+#include <utility>
+
+namespace dcs::faults {
+namespace {
+
+constexpr double kSocEps = 1e-9;
+
+}  // namespace
+
+void Watchdog::check(Duration now, const power::PowerTopology& topology,
+                     const thermal::RoomModel& room,
+                     const thermal::TesTank* tes) {
+  ++report_.checks;
+
+  if (options_.check_breakers) {
+    const auto check_breaker = [&](const power::CircuitBreaker& cb) {
+      if (cb.tripped() || cb.thermal_state() >= 1.0) {
+        std::ostringstream msg;
+        msg << "breaker '" << cb.name() << "' "
+            << (cb.tripped() ? "tripped" : "accumulator reached 1");
+        fail(now, msg.str());
+      }
+    };
+    check_breaker(topology.dc_breaker());
+    for (const auto& pdu : topology.pdus()) check_breaker(pdu.breaker());
+  }
+
+  for (const auto& pdu : topology.pdus()) {
+    const double soc = pdu.ups().soc();
+    if (soc < options_.ups_floor - kSocEps || soc > 1.0 + kSocEps) {
+      std::ostringstream msg;
+      msg << "UPS bank '" << pdu.ups().name() << "' SoC " << soc
+          << " outside [" << options_.ups_floor << ", 1]";
+      fail(now, msg.str());
+    }
+  }
+
+  if (tes != nullptr) {
+    const double soc = tes->state_of_charge();
+    if (soc < -kSocEps || soc > 1.0 + kSocEps) {
+      std::ostringstream msg;
+      msg << "TES tank SoC " << soc << " outside [0, 1]";
+      fail(now, msg.str());
+    }
+  }
+
+  if (options_.check_room && room.over_threshold()) {
+    std::ostringstream msg;
+    msg << "room rise " << room.rise().c() << " C above the critical threshold";
+    fail(now, msg.str());
+  }
+}
+
+void Watchdog::fail(Duration now, std::string message) {
+  ++report_.violations;
+  if (report_.first_message.empty()) {
+    report_.first_message = std::move(message);
+    report_.first_time = now;
+  }
+}
+
+}  // namespace dcs::faults

@@ -22,8 +22,9 @@ Battery::Battery(std::string name, const Params& params)
 }
 
 Energy Battery::available() const noexcept {
-  const Energy floor = capacity_ * params_.reserve_floor;
-  return stored_ > floor ? stored_ - floor : Energy::zero();
+  const Energy floor = effective_capacity() * params_.reserve_floor;
+  const Energy above = stored_ > floor ? stored_ - floor : Energy::zero();
+  return above * availability_;
 }
 
 double Battery::soc() const noexcept { return stored_ / capacity_; }
@@ -31,7 +32,7 @@ double Battery::soc() const noexcept { return stored_ / capacity_; }
 Power Battery::discharge(Power power, Duration dt) {
   DCS_REQUIRE(power >= Power::zero(), "discharge power must be non-negative");
   DCS_REQUIRE(dt > Duration::zero(), "dt must be positive");
-  const Power requested = std::min(power, params_.max_discharge);
+  const Power requested = std::min(power, max_discharge());
   const Energy want = requested * dt;
   const Energy give = std::min(want, available());
   if (give <= Energy::zero()) {
@@ -51,8 +52,8 @@ Power Battery::recharge(Power power, Duration dt) {
   DCS_REQUIRE(power >= Power::zero(), "recharge power must be non-negative");
   DCS_REQUIRE(dt > Duration::zero(), "dt must be positive");
   discharging_ = false;
-  const Power offered = std::min(power, params_.max_recharge);
-  const Energy room = capacity_ - stored_;
+  const Power offered = std::min(power, params_.max_recharge * availability_);
+  const Energy room = effective_capacity() - stored_;
   const Energy accept = std::min(offered * dt * params_.recharge_efficiency, room);
   if (accept <= Energy::zero()) return Power::zero();
   stored_ += accept;
@@ -62,6 +63,14 @@ Power Battery::recharge(Power power, Duration dt) {
 
 double Battery::equivalent_full_cycles() const noexcept {
   return total_discharged_ / capacity_;
+}
+
+void Battery::set_fault(double availability, double capacity_factor) noexcept {
+  availability_ = availability;
+  capacity_factor_ = capacity_factor;
+  // Faded capacity loses the charge above it immediately; the charge does
+  // not reappear when the fault clears (it must be recharged).
+  stored_ = std::min(stored_, effective_capacity());
 }
 
 }  // namespace dcs::power

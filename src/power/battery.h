@@ -62,14 +62,30 @@ class Battery {
   [[nodiscard]] std::size_t discharge_events() const noexcept { return events_; }
   [[nodiscard]] Energy total_discharged() const noexcept { return total_discharged_; }
 
-  [[nodiscard]] Power max_discharge() const noexcept { return params_.max_discharge; }
+  /// Discharge power limit after any injected bank outage.
+  [[nodiscard]] Power max_discharge() const noexcept {
+    return params_.max_discharge * availability_;
+  }
   [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+  /// Fault-injection hook (faults::FaultInjector): `availability` is the
+  /// fraction of the bank still online (scales power limits and accessible
+  /// energy); `capacity_factor` models capacity fade (stored energy above
+  /// the faded capacity is lost and does not come back until recharged).
+  /// Both are neutral by default.
+  void set_fault(double availability, double capacity_factor) noexcept;
+  /// Capacity after any injected fade.
+  [[nodiscard]] Energy effective_capacity() const noexcept {
+    return capacity_ * capacity_factor_;
+  }
 
  private:
   std::string name_;
   Params params_;
   Energy capacity_;
   Energy stored_;
+  double availability_ = 1.0;     // injected bank outage (1 = all online)
+  double capacity_factor_ = 1.0;  // injected capacity fade (1 = nominal)
   Energy total_discharged_ = Energy::zero();
   std::size_t events_ = 0;
   bool discharging_ = false;

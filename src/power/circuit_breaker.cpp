@@ -1,5 +1,6 @@
 #include "power/circuit_breaker.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -15,7 +16,7 @@ CircuitBreaker::CircuitBreaker(std::string name, const Params& params)
 
 double CircuitBreaker::load_ratio(Power load) const {
   DCS_REQUIRE(load >= Power::zero(), "load must be non-negative");
-  return load / params_.rated;
+  return load / effective_rated();
 }
 
 void CircuitBreaker::apply_load(Power load, Duration dt) {
@@ -28,7 +29,7 @@ void CircuitBreaker::apply_load(Power load, Duration dt) {
     return;
   }
   heat_ += dt / trip_time;
-  if (heat_ >= 1.0) {
+  if (heat_ >= 1.0 - trip_bias_) {
     heat_ = 1.0;
     tripped_ = true;
   }
@@ -38,12 +39,13 @@ Duration CircuitBreaker::time_to_trip_at(Power load) const {
   if (tripped_) return Duration::zero();
   const Duration trip_time = params_.curve.time_to_trip(load_ratio(load));
   if (trip_time.is_infinite()) return Duration::infinity();
-  return trip_time * (1.0 - heat_);
+  const double headroom = std::max(0.0, 1.0 - trip_bias_ - heat_);
+  return trip_time * headroom;
 }
 
 Power CircuitBreaker::max_load_for(Duration hold) const {
   if (tripped_) return Power::zero();
-  const double headroom = 1.0 - heat_;
+  const double headroom = 1.0 - trip_bias_ - heat_;
   // Holding for `hold` from thermal state `heat_` needs a fresh-element trip
   // time of at least hold / headroom.
   Duration required = Duration::infinity();
@@ -51,12 +53,17 @@ Power CircuitBreaker::max_load_for(Duration hold) const {
     required = hold / headroom;
   }
   const double ratio = params_.curve.max_ratio_for(required);
-  return params_.rated * ratio;
+  return effective_rated() * ratio;
 }
 
 void CircuitBreaker::reset() noexcept {
   heat_ = 0.0;
   tripped_ = false;
+}
+
+void CircuitBreaker::set_fault(double rating_factor, double trip_bias) noexcept {
+  rating_factor_ = rating_factor;
+  trip_bias_ = trip_bias;
 }
 
 }  // namespace dcs::power

@@ -52,6 +52,17 @@ class CircuitBreaker {
   /// action; in the uncontrolled-sprinting experiment a trip is terminal).
   void reset() noexcept;
 
+  /// Fault-injection hook (faults::FaultInjector): `rating_factor` derates
+  /// the effective rated power (aging, loose lugs); `trip_bias` lowers the
+  /// trip threshold to 1 - bias (a marginal element that nuisance-trips
+  /// early). Both are neutral by default and every query above reflects
+  /// them, so the governor re-plans against the degraded element.
+  void set_fault(double rating_factor, double trip_bias) noexcept;
+  /// Rated power after any injected derating.
+  [[nodiscard]] Power effective_rated() const noexcept {
+    return params_.rated * rating_factor_;
+  }
+
   [[nodiscard]] Power rated() const noexcept { return params_.rated; }
   [[nodiscard]] const TripCurve& curve() const noexcept { return params_.curve; }
   [[nodiscard]] std::string_view name() const noexcept { return name_; }
@@ -61,6 +72,8 @@ class CircuitBreaker {
   Params params_;
   double heat_ = 0.0;  // trip fraction in [0, 1]
   bool tripped_ = false;
+  double rating_factor_ = 1.0;  // injected derating (1 = nominal)
+  double trip_bias_ = 0.0;      // injected trip-threshold bias (0 = nominal)
 };
 
 }  // namespace dcs::power

@@ -26,10 +26,23 @@ void DieselGenerator::stop() noexcept {
 void DieselGenerator::tick(Duration dt) noexcept {
   if (!starting_) return;
   start_elapsed_ += dt;
-  if (start_elapsed_ >= params_.start_delay) {
+  if (start_inhibited_) return;  // the start sequence cranks but never syncs
+  if (start_elapsed_ >= params_.start_delay + extra_delay_) {
     starting_ = false;
     running_ = true;
   }
+}
+
+void DieselGenerator::reset() noexcept {
+  stop();
+  start_inhibited_ = false;
+  extra_delay_ = Duration::zero();
+}
+
+void DieselGenerator::set_fault(bool start_inhibited,
+                                Duration extra_delay) noexcept {
+  start_inhibited_ = start_inhibited;
+  extra_delay_ = extra_delay;
 }
 
 Power DieselGenerator::available() const noexcept {

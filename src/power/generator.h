@@ -28,6 +28,15 @@ class DieselGenerator {
   void stop() noexcept;
   /// Advances time; completes the start sequence when due.
   void tick(Duration dt) noexcept;
+  /// Returns the generator to a fresh stopped state (clears any injected
+  /// fault too). DataCenter::run() calls this at the start of every run so
+  /// back-to-back experiments are independent.
+  void reset() noexcept;
+
+  /// Fault-injection hook (faults::FaultInjector): while `start_inhibited`
+  /// the start sequence never completes; `extra_delay` lengthens it
+  /// (a slow crank / failed synchronization retry). Neutral by default.
+  void set_fault(bool start_inhibited, Duration extra_delay) noexcept;
 
   [[nodiscard]] bool running() const noexcept { return running_; }
   [[nodiscard]] bool starting() const noexcept { return starting_; }
@@ -42,6 +51,8 @@ class DieselGenerator {
   bool starting_ = false;
   bool running_ = false;
   Duration start_elapsed_ = Duration::zero();
+  bool start_inhibited_ = false;               // injected start failure
+  Duration extra_delay_ = Duration::zero();    // injected start delay
 };
 
 }  // namespace dcs::power

@@ -23,12 +23,13 @@ Power CoolingPlant::nominal_electrical() const noexcept {
 }
 
 Power CoolingPlant::thermal_capacity() const noexcept {
-  // The plant is provisioned to remove the nominal IT load's heat.
-  return params_.nominal_it_load;
+  // The plant is provisioned to remove the nominal IT load's heat; an
+  // injected chiller fault removes part of that capacity.
+  return params_.nominal_it_load * capacity_factor_;
 }
 
 double CoolingPlant::chiller_elec_per_heat() const noexcept {
-  return (params_.pue - 1.0) * params_.chiller_fraction;
+  return (params_.pue - 1.0) * params_.chiller_fraction * (1.0 + cop_penalty_);
 }
 
 Power CoolingPlant::chiller_electrical(Power chiller_heat) const noexcept {

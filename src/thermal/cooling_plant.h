@@ -84,8 +84,24 @@ class CoolingPlant {
   [[nodiscard]] const Params& params() const noexcept { return params_; }
   [[nodiscard]] bool has_tes() const noexcept { return params_.tes != nullptr; }
 
+  /// Fault-injection hook (faults::FaultInjector): `capacity_factor` scales
+  /// the chiller's thermal capacity (partial or total chiller failure);
+  /// `cop_penalty` raises the electrical power per watt of heat moved by
+  /// (1 + penalty) (a degraded coefficient of performance). Both are
+  /// neutral by default; every projection above reflects them, so the
+  /// controller re-solves feasibility against the degraded plant.
+  void set_fault(double capacity_factor, double cop_penalty) noexcept {
+    capacity_factor_ = capacity_factor;
+    cop_penalty_ = cop_penalty;
+  }
+  [[nodiscard]] double capacity_factor() const noexcept {
+    return capacity_factor_;
+  }
+
  private:
   Params params_;
+  double capacity_factor_ = 1.0;  // injected chiller derating (1 = nominal)
+  double cop_penalty_ = 0.0;      // injected COP penalty (0 = nominal)
 };
 
 }  // namespace dcs::thermal

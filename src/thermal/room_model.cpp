@@ -49,8 +49,12 @@ bool RoomModel::over_threshold() const noexcept {
 }
 
 Duration RoomModel::time_to_threshold(Power gap) const {
+  return time_to_threshold_from(rise_, gap);
+}
+
+Duration RoomModel::time_to_threshold_from(Temperature rise, Power gap) const {
   if (gap <= Power::zero()) return Duration::infinity();
-  const double remaining_c = params_.threshold_rise.c() - rise_.c();
+  const double remaining_c = params_.threshold_rise.c() - rise.c();
   if (remaining_c <= 0.0) return Duration::zero();
   return Duration::seconds(remaining_c * capacitance_ / gap.w());
 }

@@ -48,6 +48,12 @@ class RoomModel {
   /// Time until the threshold is hit if the given constant heat gap
   /// persists; infinite for non-positive gaps.
   [[nodiscard]] Duration time_to_threshold(Power gap) const;
+  /// Same projection from an arbitrary rise (the controller passes its
+  /// *measured* rise here, which a faulted sensor may have corrupted).
+  [[nodiscard]] Duration time_to_threshold_from(Temperature rise,
+                                                Power gap) const;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
 
   /// Effective thermal capacitance in joules per degree C.
   [[nodiscard]] double capacitance_j_per_c() const noexcept { return capacitance_; }

@@ -18,7 +18,7 @@ TesTank::TesTank(std::string name, const Params& params)
 Power TesTank::discharge(Power heat, Duration dt) {
   DCS_REQUIRE(heat >= Power::zero(), "heat must be non-negative");
   DCS_REQUIRE(dt > Duration::zero(), "dt must be positive");
-  const Power rate = std::min(heat, params_.max_discharge_rate);
+  const Power rate = std::min(heat, max_discharge_rate());
   const Energy want = rate * dt;
   const Energy give = std::min(want, stored_);
   if (give <= Energy::zero()) return Power::zero();

@@ -41,6 +41,18 @@ class TesTank {
   [[nodiscard]] bool empty() const noexcept { return stored_ <= Energy::zero(); }
   [[nodiscard]] Energy total_discharged() const noexcept { return total_discharged_; }
 
+  /// Discharge-rate limit after any injected valve fault.
+  [[nodiscard]] Power max_discharge_rate() const noexcept {
+    return params_.max_discharge_rate * discharge_factor_;
+  }
+
+  /// Fault-injection hook (faults::FaultInjector): scales the discharge
+  /// rate; 0 models a stuck-closed valve (the stored charge is intact but
+  /// unreachable until the fault clears). Neutral by default.
+  void set_fault(double discharge_factor) noexcept {
+    discharge_factor_ = discharge_factor;
+  }
+
   [[nodiscard]] std::string_view name() const noexcept { return name_; }
 
  private:
@@ -48,6 +60,7 @@ class TesTank {
   Params params_;
   Energy stored_;
   Energy total_discharged_ = Energy::zero();
+  double discharge_factor_ = 1.0;  // injected valve fault (1 = nominal)
 };
 
 }  // namespace dcs::thermal

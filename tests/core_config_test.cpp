@@ -79,6 +79,49 @@ TEST(DataCenterConfig, ValidateRejectsBadValues) {
   EXPECT_THROW((void)c.validate(), std::invalid_argument);
 }
 
+TEST(DataCenterConfig, ValidateRejectsDegenerateStructure) {
+  DataCenterConfig c;
+  c.fleet.pdu_count = 0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.fleet.servers_per_pdu = 0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.fleet.server.chip.normal_cores = 0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  // No dark cores: sprinting degree could never exceed 1.
+  c = {};
+  c.fleet.server.chip.total_cores = c.fleet.server.chip.normal_cores;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.battery_per_server.capacity = Charge::zero();
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.battery_per_server.reserve_floor = 1.0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.battery_per_server.reserve_floor = -0.1;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.trip_curve.thermal_coeff_s = 0.0;
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c = {};
+  c.cb_cooling_tau = Duration::zero();
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+}
+
+TEST(DataCenterConfig, ValidateRejectsUnholdableCbReserve) {
+  // 21.6 / 0.05^2 = 8640 s is the default curve's no-trip asymptote: a
+  // reserve at or beyond it admits no overload at all.
+  DataCenterConfig c;
+  c.cb_reserve = Duration::seconds(8640.0);
+  EXPECT_THROW((void)c.validate(), std::invalid_argument);
+  c.cb_reserve = Duration::seconds(8000.0);  // just inside: still holdable
+  EXPECT_NO_THROW(c.validate());
+  c.cb_reserve = Duration::minutes(1.0);     // the paper's default
+  EXPECT_NO_THROW(c.validate());
+}
+
 TEST(DataCenterConfig, CoolingParamsCarryTes) {
   const DataCenterConfig c;
   thermal::TesTank tank("t", c.tes_params());

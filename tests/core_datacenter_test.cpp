@@ -68,9 +68,13 @@ TEST(DataCenter, RecorderChannelsPresent) {
   for (const char* channel :
        {"demand", "achieved", "achieved_nosprint", "degree", "bound", "cores",
         "phase", "server_mw", "cooling_mw", "ups_mw", "dc_load_mw", "room_c",
-        "ups_soc", "tes_soc", "dc_cb_heat", "pdu_cb_heat"}) {
+        "ups_soc", "tes_soc", "dc_cb_heat", "pdu_cb_heat", "supply",
+        "degradation"}) {
     EXPECT_TRUE(r.recorder.has(channel)) << channel;
   }
+  // Injector-only channels stay absent on a fault-free run.
+  EXPECT_FALSE(r.recorder.has("faults_active"));
+  EXPECT_FALSE(r.recorder.has("measured_demand"));
   EXPECT_EQ(r.recorder.series("demand").size(), 1800u);
 }
 

@@ -196,6 +196,61 @@ TEST(SupplyDisturbance, SprintAbortsImmediately) {
   EXPECT_DOUBLE_EQ(degree.at(Duration::minutes(9.9)), 1.0);
 }
 
+TEST(SupplyDisturbance, SprintAbortsImmediatelyEvenWithGenerator) {
+  // Same mid-burst dip, but with backup generation available. The terminal
+  // rule still applies — a compromised feed ends the sprint on the spot and
+  // the generator only protects the baseline load; it must never be used to
+  // keep sprinting through the disturbance.
+  DataCenterConfig config = small_config();
+  DataCenter dc(config);
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.0;
+  p.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(p);
+  const TimeSeries supply =
+      dip(Duration::minutes(8), Duration::minutes(2), 0.7, trace.end_time());
+  power::DieselGenerator generator(
+      "gen", {.rated = config.dc_rated(), .start_delay = Duration::seconds(45)});
+  GreedyStrategy greedy;
+  const RunResult r = dc.run(trace, &greedy,
+                             {.record = true,
+                              .supply_fraction = &supply,
+                              .generator = &generator});
+  EXPECT_FALSE(r.tripped);
+  const TimeSeries& degree = r.recorder.series("degree");
+  EXPECT_GT(degree.at(Duration::minutes(7)), 1.5);
+  EXPECT_DOUBLE_EQ(degree.at(Duration::minutes(8.5)), 1.0);
+  // Even after the generator is online (start delay 45 s), the sprint stays
+  // terminated for the rest of the burst.
+  EXPECT_DOUBLE_EQ(degree.at(Duration::minutes(9.9)), 1.0);
+}
+
+TEST(SupplyDisturbance, SharedGeneratorIsResetBetweenRuns) {
+  // RunOptions::generator is caller-owned and reused across runs; run()
+  // resets it to a stopped, fault-free state each time, so repeating a run
+  // with the same generator object gives identical results.
+  DataCenterConfig config = small_config();
+  DataCenter dc(config);
+  TimeSeries trace;
+  trace.push_back(Duration::zero(), 0.98);
+  trace.push_back(Duration::minutes(20), 0.98);
+  TimeSeries supply;
+  supply.push_back(Duration::zero(), 1.0);
+  supply.push_back(Duration::minutes(5), 0.5);
+  supply.push_back(Duration::minutes(20), 0.5);
+  power::DieselGenerator generator(
+      "gen", {.rated = config.dc_rated(), .start_delay = Duration::seconds(45)});
+  GreedyStrategy greedy;
+  const RunOptions options{.supply_fraction = &supply, .generator = &generator};
+  const RunResult a = dc.run(trace, &greedy, options);
+  EXPECT_TRUE(generator.running());  // left running by the first run...
+  const RunResult b = dc.run(trace, &greedy, options);
+  // ...yet the second run starts from scratch and matches exactly.
+  EXPECT_DOUBLE_EQ(a.performance_factor, b.performance_factor);
+  EXPECT_DOUBLE_EQ(a.ups_energy.j(), b.ups_energy.j());
+  EXPECT_DOUBLE_EQ(a.min_ups_soc, b.min_ups_soc);
+}
+
 TEST(SupplyDisturbance, UpsBridgesTheDip) {
   DataCenter dc(small_config());
   // Demand at capacity; a 60 % dip cannot carry it from the grid alone.
