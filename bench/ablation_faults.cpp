@@ -2,7 +2,13 @@
 // default scenario derates one substrate mid-burst; the controlled modes
 // must survive (no trip, no overheat, no watchdog violation) while shedding
 // degree, and the uncontrolled baseline shows what "surviving" is worth.
+//
+// All three sections run on the src/exp sweep runner: the scenario grid
+// (11 scenarios x 2 strategies), the uncontrolled baseline, and a 50-seed
+// survival sweep over random fault schedules (stable task->seed mapping,
+// bit-identical for any thread count).
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,10 +93,37 @@ struct Outcome {
   RunResult result;
 };
 
+/// One isolated scenario run: fresh DataCenter, generator and supply trace
+/// per call, so tasks are safe to execute concurrently.
+Outcome run_scenario(const DataCenterConfig& config, const TimeSeries& trace,
+                     const Scenario& sc, Strategy* strategy, Mode mode) {
+  DataCenter dc(config);
+  RunOptions opts;
+  opts.mode = mode;
+  TimeSeries supply;
+  power::DieselGenerator generator(
+      "gen", {.rated = config.dc_rated() * 0.5,
+              .start_delay = Duration::seconds(45)});
+  if (sc.supply_dip < 1.0) {
+    supply.push_back(Duration::zero(), 1.0);
+    supply.push_back(Duration::minutes(7), sc.supply_dip);
+    supply.push_back(Duration::minutes(12), 1.0);
+    supply.push_back(trace.end_time(), 1.0);
+    opts.supply_fraction = &supply;
+    opts.generator = &generator;
+  }
+  if (!sc.schedule.empty()) opts.faults = &sc.schedule;
+  Outcome o;
+  o.result = dc.run(trace, strategy, opts);
+  o.survived = !o.result.tripped && o.result.watchdog.ok();
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Config args = bench::parse_args(argc, argv);
+  const Config args = bench::parse_args(argc, argv, {"seeds"});
+  const std::size_t threads = bench::bench_threads(args);
 
   workload::YahooTraceParams yp;
   yp.burst_degree = 3.2;
@@ -98,78 +131,136 @@ int main(int argc, char** argv) {
   const TimeSeries trace = workload::generate_yahoo_trace(yp);
 
   const DataCenterConfig config = bench::bench_config(args);
-
-  struct NamedStrategy {
-    std::string name;
-    Strategy* strategy;
+  const std::vector<Scenario> scenarios = default_scenarios();
+  const std::vector<std::string> strategy_names = {"greedy", "bound-2.4"};
+  const auto make_strategy =
+      [](std::size_t level) -> std::unique_ptr<Strategy> {
+    if (level == 0) return std::make_unique<GreedyStrategy>();
+    return std::make_unique<ConstantBoundStrategy>(2.4);
   };
-  GreedyStrategy greedy;
-  ConstantBoundStrategy bound24(2.4);
-  const std::vector<NamedStrategy> strategies = {{"greedy", &greedy},
-                                                 {"bound-2.4", &bound24}};
 
-  const auto run_scenario = [&](const Scenario& sc, Strategy* strategy,
-                                Mode mode) {
-    DataCenter dc(config);
-    RunOptions opts;
-    opts.mode = mode;
-    TimeSeries supply;
-    power::DieselGenerator generator(
-        "gen", {.rated = config.dc_rated() * 0.5,
-                .start_delay = Duration::seconds(45)});
-    if (sc.supply_dip < 1.0) {
-      supply.push_back(Duration::zero(), 1.0);
-      supply.push_back(Duration::minutes(7), sc.supply_dip);
-      supply.push_back(Duration::minutes(12), 1.0);
-      supply.push_back(trace.end_time(), 1.0);
-      opts.supply_fraction = &supply;
-      opts.generator = &generator;
-    }
-    if (!sc.schedule.empty()) opts.faults = &sc.schedule;
-    Outcome o;
-    o.result = dc.run(trace, strategy, opts);
-    o.survived = !o.result.tripped && o.result.watchdog.ok();
-    return o;
-  };
+  // --- Section 1: scenario grid, controlled modes -------------------------
+  exp::SweepSpec grid("ablation_faults");
+  grid.add_axis("strategy", strategy_names);
+  {
+    std::vector<std::string> names;
+    for (const Scenario& sc : scenarios) names.push_back(sc.name);
+    grid.add_axis("scenario", std::move(names));
+  }
+  const exp::SweepRun grid_run = exp::run_sweep(
+      grid, {"survived", "perf", "max_ladder", "watchdog"},
+      [&](const exp::SweepSpec::Task& task) {
+        const auto strategy = make_strategy(task.level[0]);
+        const Outcome o = run_scenario(config, trace, scenarios[task.level[1]],
+                                       strategy.get(), Mode::kControlled);
+        return std::vector<double>{
+            o.survived ? 1.0 : 0.0, o.result.performance_factor,
+            static_cast<double>(o.result.max_degradation),
+            static_cast<double>(o.result.watchdog.violations)};
+      },
+      {.threads = threads});
 
   std::cout << "=== Ablation: fault scenarios x strategies (burst 3.2x for"
                " 15 min; survived = no trip, no invariant violation) ===\n";
   TablePrinter table({"scenario", "strategy", "survived", "perf", "retained %",
                       "max ladder", "watchdog"});
-  for (const auto& st : strategies) {
-    const Outcome base =
-        run_scenario(default_scenarios().front(), st.strategy, Mode::kControlled);
-    for (const Scenario& sc : default_scenarios()) {
-      const Outcome o = run_scenario(sc, st.strategy, Mode::kControlled);
+  for (std::size_t st = 0; st < strategy_names.size(); ++st) {
+    // The nominal (fault-free) cell anchors the "performance retained" column.
+    const double base_perf = grid_run.rows[st * scenarios.size()][1];
+    for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+      const std::vector<double>& row = grid_run.rows[st * scenarios.size() + sc];
       const double retained =
-          base.result.performance_factor > 0.0
-              ? 100.0 * o.result.performance_factor /
-                    base.result.performance_factor
-              : 0.0;
-      table.add_row({sc.name, st.name, o.survived ? "yes" : "NO",
-                     format_double(o.result.performance_factor, 3),
+          base_perf > 0.0 ? 100.0 * row[1] / base_perf : 0.0;
+      table.add_row({scenarios[sc].name, strategy_names[st],
+                     row[0] > 0.0 ? "yes" : "NO", format_double(row[1], 3),
                      format_double(retained, 1),
-                     std::string(to_string(o.result.max_degradation)),
-                     std::to_string(o.result.watchdog.violations)});
+                     std::string(to_string(static_cast<DegradationLevel>(
+                         static_cast<int>(row[2])))),
+                     format_double(row[3], 0)});
     }
   }
   table.print(std::cout);
+
+  // --- Section 2: uncontrolled baseline ----------------------------------
+  exp::SweepSpec unc_spec("ablation_faults_uncontrolled");
+  {
+    std::vector<std::string> names;
+    for (const Scenario& sc : scenarios) names.push_back(sc.name);
+    unc_spec.add_axis("scenario", std::move(names));
+  }
+  const exp::SweepRun unc_run = exp::run_sweep(
+      unc_spec, {"tripped", "trip_min", "perf"},
+      [&](const exp::SweepSpec::Task& task) {
+        const Outcome o = run_scenario(config, trace, scenarios[task.level[0]],
+                                       nullptr, Mode::kUncontrolled);
+        return std::vector<double>{
+            o.result.tripped ? 1.0 : 0.0,
+            o.result.tripped ? o.result.trip_time.min() : -1.0,
+            o.result.performance_factor};
+      },
+      {.threads = threads});
 
   std::cout << "\n=== Baseline: uncontrolled sprinting under the same"
                " scenarios (trips expected) ===\n";
   TablePrinter unc({"scenario", "tripped", "trip @ min", "perf"});
   std::size_t uncontrolled_trips = 0;
-  for (const Scenario& sc : default_scenarios()) {
-    const Outcome o = run_scenario(sc, nullptr, Mode::kUncontrolled);
-    if (o.result.tripped) ++uncontrolled_trips;
-    unc.add_row({sc.name, o.result.tripped ? "yes" : "no",
-                 o.result.tripped ? format_double(o.result.trip_time.min(), 2)
-                                  : "-",
-                 format_double(o.result.performance_factor, 3)});
+  for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+    const std::vector<double>& row = unc_run.rows[sc];
+    if (row[0] > 0.0) ++uncontrolled_trips;
+    unc.add_row({scenarios[sc].name, row[0] > 0.0 ? "yes" : "no",
+                 row[0] > 0.0 ? format_double(row[1], 2) : "-",
+                 format_double(row[2], 3)});
   }
   unc.print(std::cout);
-
   std::cout << "\nuncontrolled trips in " << uncontrolled_trips << "/"
-            << default_scenarios().size() << " scenarios\n";
+            << scenarios.size() << " scenarios\n";
+
+  // --- Section 3: seeded survival sweep over random fault schedules -------
+  const std::size_t seeds =
+      static_cast<std::size_t>(args.get_int("seeds", 50));
+  exp::SweepSpec surv("ablation_faults_survival", /*base_seed=*/0x5EEDFA17ULL);
+  const std::vector<double> severities = {1.0};
+  surv.add_axis("severity", severities, 2);
+  surv.set_replicates(seeds);
+  const exp::SweepRun surv_run = exp::run_sweep(
+      surv, {"survived", "perf", "watchdog"},
+      [&](const exp::SweepSpec::Task& task) {
+        const FaultSchedule schedule = FaultSchedule::random(
+            task.seed, trace.end_time(), surv.value(task, 0));
+        Scenario sc{"random", schedule, 1.0};
+        ConstantBoundStrategy bound(2.4);
+        const Outcome o =
+            run_scenario(config, trace, sc, &bound, Mode::kControlled);
+        return std::vector<double>{
+            o.survived ? 1.0 : 0.0, o.result.performance_factor,
+            static_cast<double>(o.result.watchdog.violations)};
+      },
+      {.threads = threads});
+  const exp::SweepSummary surv_summary = exp::aggregate(surv, surv_run);
+
+  std::cout << "\n=== Survival sweep: " << seeds
+            << " random fault schedules (severity 1.0, bound-2.4) ===\n";
+  TablePrinter surv_table({"severity", "survival %", "perf mean", "perf min",
+                           "perf p95", "watchdog"});
+  for (const exp::CellSummary& cell : surv_summary.cells) {
+    surv_table.add_row({cell.labels[0],
+                        format_double(100.0 * cell.metrics[0].mean, 1),
+                        format_double(cell.metrics[1].mean, 3),
+                        format_double(cell.metrics[1].min, 3),
+                        format_double(cell.metrics[1].p95, 3),
+                        format_double(cell.metrics[2].max, 0)});
+  }
+  surv_table.print(std::cout);
+
+  bench::maybe_export_sweep(args, grid, grid_run, exp::aggregate(grid, grid_run));
+  bench::maybe_export_sweep(args, surv, surv_run, surv_summary);
+  std::cerr << "[exp] "
+            << grid_run.rows.size() + unc_run.rows.size() +
+                   surv_run.rows.size()
+            << " tasks in "
+            << format_double(grid_run.wall_seconds + unc_run.wall_seconds +
+                                 surv_run.wall_seconds,
+                             2)
+            << " s on " << grid_run.threads_used << " thread(s)\n";
   return 0;
 }

@@ -1,22 +1,57 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
-#include <fstream>
+#include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/config.h"
+#include "exp/aggregator.h"
+#include "exp/reporter.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
 #include "util/config.h"
-#include "util/csv.h"
 #include "util/time_series.h"
 
 namespace dcs::bench {
 
-/// Parses "key=value" command-line arguments.
-inline Config parse_args(int argc, char** argv) {
-  return Config::from_args(
-      std::span<const char* const>(argv + 1, static_cast<std::size_t>(argc - 1)));
+/// Keys every bench understands: the shared data-center knobs plus the
+/// sweep-runner knobs (threads=<n>, csv=<dir>, perf=<dir>).
+inline constexpr std::string_view kCommonKeys[] = {
+    "pdus", "dc_headroom", "pue", "csv", "perf", "threads"};
+
+/// Parses "key=value" command-line arguments. Malformed tokens and keys
+/// outside the common set plus `extra_allowed` abort with a clear error
+/// instead of being silently ignored.
+inline Config parse_args(int argc, char** argv,
+                         std::initializer_list<std::string_view> extra_allowed = {}) {
+  try {
+    const Config args = Config::from_args(
+        std::span<const char* const>(argv + 1, static_cast<std::size_t>(argc - 1)));
+    std::vector<std::string_view> allowed(std::begin(kCommonKeys),
+                                          std::end(kCommonKeys));
+    allowed.insert(allowed.end(), extra_allowed.begin(), extra_allowed.end());
+    args.require_known(allowed);
+    return args;
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": error: " << e.what()
+              << "\nusage: " << argv[0] << " [key=value ...]\n";
+    std::exit(2);
+  }
+}
+
+/// Worker threads for the sweep runner (threads=<n>; 0 = all hardware).
+inline std::size_t bench_threads(const Config& args) {
+  const int threads = args.get_int("threads", 0);
+  if (threads < 0) {
+    std::cerr << "error: threads must be >= 0\n";
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(threads);
 }
 
 /// The default experiment configuration: the paper's data center, simulated
@@ -36,17 +71,19 @@ inline void maybe_export_csv(const Config& args, const std::string& name,
                              const TimeSeries& series) {
   const std::string dir = args.get_string("csv", "");
   if (dir.empty()) return;
-  std::ofstream out(dir + "/" + name + ".csv");
-  if (!out) {
-    std::cerr << "cannot write CSV to " << dir << "/" << name << ".csv\n";
-    return;
-  }
-  CsvWriter csv(out);
-  csv.write_row({"time_s", "value"});
-  for (const Sample& s : series.samples()) {
-    csv.write_numeric_row({s.time.sec(), s.value});
-  }
-  std::cout << "[csv] wrote " << dir << "/" << name << ".csv\n";
+  exp::export_time_series_csv(dir, name, series, &std::cout);
+}
+
+/// Sweep reporting glue: rows/summary CSV + JSON under csv=<dir>, and a
+/// BENCH_<sweep>.json perf record (wall time, runs/sec, threads) under
+/// perf=<dir>.
+inline void maybe_export_sweep(const Config& args, const exp::SweepSpec& spec,
+                               const exp::SweepRun& run,
+                               const exp::SweepSummary& summary) {
+  const std::string csv_dir = args.get_string("csv", "");
+  if (!csv_dir.empty()) exp::export_sweep(csv_dir, spec, run, summary, &std::cout);
+  const std::string perf_dir = args.get_string("perf", "");
+  if (!perf_dir.empty()) exp::export_perf_record(perf_dir, summary, &std::cout);
 }
 
 }  // namespace dcs::bench

@@ -1,6 +1,10 @@
 // Figure 10 — average performance of the four strategies on Yahoo-style
 // bursts: degree 2.6-3.6, durations 5 min (Fig. 10a) and 15 min (Fig. 10b),
 // zero estimation error.
+//
+// The (duration x degree) grid runs on the src/exp sweep runner: one task
+// per cell, each owning a fresh DataCenter (the per-cell oracle search runs
+// serially inside its task). Bit-identical for any thread count.
 #include <iostream>
 #include <vector>
 
@@ -16,7 +20,8 @@ int main(int argc, char** argv) {
   using namespace dcs;
   using namespace dcs::core;
   const Config args = bench::parse_args(argc, argv);
-  DataCenter dc(bench::bench_config(args));
+  const std::size_t threads = bench::bench_threads(args);
+  const DataCenter dc(bench::bench_config(args));
 
   std::cout << "=== Figure 10: strategies vs burst degree and duration ===\n";
 
@@ -25,37 +30,58 @@ int main(int argc, char** argv) {
       Duration::minutes(15), Duration::minutes(25)};
   const std::vector<double> degrees = {1.5, 2.0, 2.6, 3.0, 3.6};
   const UpperBoundTable table = build_upper_bound_table(
-      dc, durations, degrees, workload::YahooTraceParams{}, 4);
+      dc, durations, degrees, workload::YahooTraceParams{}, 4, threads);
   const double budget = dc.budget_degree_seconds();
 
-  for (double minutes : {5.0, 15.0}) {
-    std::cout << "\n--- Fig. 10" << (minutes == 5.0 ? "a" : "b") << ": "
-              << format_double(minutes, 0) << "-minute bursts ---\n";
+  const std::vector<double> sweep_minutes = {5.0, 15.0};
+  const std::vector<double> sweep_degrees = {2.6, 2.8, 3.0, 3.2, 3.4, 3.6};
+
+  exp::SweepSpec spec("fig10_burst_sweep");
+  spec.add_axis("duration_min", sweep_minutes, 0);
+  spec.add_axis("degree", sweep_degrees, 1);
+  const exp::SweepRun run = exp::run_sweep(
+      spec, {"greedy", "prediction", "heuristic", "oracle"},
+      [&](const exp::SweepSpec::Task& task) {
+        workload::YahooTraceParams p;
+        p.burst_duration = Duration::minutes(spec.value(task, 0));
+        p.burst_degree = spec.value(task, 1);
+        const TimeSeries trace = workload::generate_yahoo_trace(p);
+        const workload::BurstTruth truth = workload::measure_burst_truth(trace);
+
+        DataCenter task_dc(dc.config());
+        GreedyStrategy greedy;
+        const double g = task_dc.run(trace, &greedy).performance_factor;
+
+        const OracleResult oracle =
+            oracle_search(task_dc, trace, 2, /*threads=*/1);
+        ConstantBoundStrategy oracle_bound(oracle.best_bound, "oracle");
+        const RunResult oracle_run = task_dc.run(trace, &oracle_bound);
+
+        PredictionStrategy prediction(truth.duration, &table);
+        HeuristicStrategy heuristic(oracle_run.avg_sprint_degree, budget);
+        return std::vector<double>{
+            g, task_dc.run(trace, &prediction).performance_factor,
+            task_dc.run(trace, &heuristic).performance_factor,
+            oracle.best_performance};
+      },
+      {.threads = threads});
+
+  for (std::size_t d = 0; d < sweep_minutes.size(); ++d) {
+    std::cout << "\n--- Fig. 10" << (d == 0 ? "a" : "b") << ": "
+              << format_double(sweep_minutes[d], 0) << "-minute bursts ---\n";
     TablePrinter out({"burst degree", "G", "P", "H", "O"});
-    for (double degree = 2.6; degree <= 3.6 + 1e-9; degree += 0.2) {
-      workload::YahooTraceParams p;
-      p.burst_degree = degree;
-      p.burst_duration = Duration::minutes(minutes);
-      const TimeSeries trace = workload::generate_yahoo_trace(p);
-      const workload::BurstTruth truth = workload::measure_burst_truth(trace);
-
-      GreedyStrategy greedy;
-      const double g = dc.run(trace, &greedy).performance_factor;
-
-      const OracleResult oracle = oracle_search(dc, trace, 2);
-      ConstantBoundStrategy ob(oracle.best_bound, "oracle");
-      const RunResult orun = dc.run(trace, &ob);
-
-      PredictionStrategy prediction(truth.duration, &table);
-      HeuristicStrategy heuristic(orun.avg_sprint_degree, budget);
-
-      out.add_row(format_double(degree, 1),
-                  {g, dc.run(trace, &prediction).performance_factor,
-                   dc.run(trace, &heuristic).performance_factor,
-                   oracle.best_performance});
+    for (std::size_t g = 0; g < sweep_degrees.size(); ++g) {
+      const std::size_t cell = d * sweep_degrees.size() + g;
+      out.add_row(spec.axes()[1].labels[g], run.rows[cell]);
     }
     out.print(std::cout);
   }
+
+  const exp::SweepSummary summary = exp::aggregate(spec, run);
+  bench::maybe_export_sweep(args, spec, run, summary);
+  std::cerr << "[exp] " << run.rows.size() << " tasks in "
+            << format_double(run.wall_seconds, 2) << " s on "
+            << run.threads_used << " thread(s)\n";
 
   std::cout << "\nPaper: 5-min bursts -> Greedy matches Oracle; 15-min"
                " bursts -> Greedy significantly degraded,\nPrediction >"

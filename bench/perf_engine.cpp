@@ -1,7 +1,17 @@
 // Simulator performance microbenchmarks (google-benchmark): the cost of the
 // inner loops — breaker thermal stepping, fleet operating-point solving,
-// one controller step, and a full 30-minute experiment run.
+// one controller step, a full 30-minute experiment run, and the serial vs
+// parallel oracle search on the src/exp runner.
+//
+// Unless --benchmark_out is given, results are also written as a
+// machine-readable BENCH_perf_engine.json perf record (wall times, items/s)
+// so the repo accumulates a perf trajectory across commits.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "compute/fleet.h"
 #include "core/datacenter.h"
@@ -69,14 +79,43 @@ void BM_FullMsRun(benchmark::State& state) {
 BENCHMARK(BM_FullMsRun)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_OracleSearch(benchmark::State& state) {
+  // Arg = worker threads for the candidate sweep (the serial-vs-parallel
+  // speedup of the src/exp runner is the interesting trajectory here).
   core::DataCenterConfig config;
   config.fleet.pdu_count = 2;
   core::DataCenter dc(config);
   const TimeSeries trace = workload::generate_ms_trace();
+  const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::oracle_search(dc, trace, 6));
+    benchmark::DoNotOptimize(core::oracle_search(dc, trace, 6, threads));
   }
 }
-BENCHMARK(BM_OracleSearch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OracleSearch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Default a JSON perf record next to the console report; explicit
+  // --benchmark_out flags win.
+  std::vector<char*> args(argv, argv + argc);
+  const bool has_out = std::any_of(argv, argv + argc, [](const char* a) {
+    return std::strncmp(a, "--benchmark_out", 15) == 0;
+  });
+  std::string out_flag = "--benchmark_out=BENCH_perf_engine.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,44 +1,58 @@
 #include "core/oracle.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "exp/thread_pool.h"
 #include "util/check.h"
 
 namespace dcs::core {
 
-OracleResult oracle_search(DataCenter& dc, const TimeSeries& demand,
-                           std::size_t core_stride) {
+OracleResult oracle_search(const DataCenter& dc, const TimeSeries& demand,
+                           std::size_t core_stride, std::size_t threads) {
   DCS_REQUIRE(core_stride >= 1, "core stride must be at least 1");
   const auto& chip = dc.config().fleet.server.chip;
   const std::size_t normal = chip.normal_cores;
   const std::size_t total = chip.total_cores;
 
-  OracleResult out;
+  std::vector<double> bounds;
   for (std::size_t cores = normal; cores <= total;
        cores = std::min(cores + core_stride, total + 1)) {
-    const double bound =
-        static_cast<double>(cores) / static_cast<double>(normal);
-    ConstantBoundStrategy strategy(bound, "oracle");
-    const RunResult run = dc.run(demand, &strategy);
-    out.sweep.emplace_back(bound, run.performance_factor);
-    if (run.performance_factor > out.best_performance) {
-      out.best_performance = run.performance_factor;
+    bounds.push_back(static_cast<double>(cores) / static_cast<double>(normal));
+    if (cores == total) break;
+  }
+
+  OracleResult out;
+  out.sweep.assign(bounds.size(), {});
+  exp::parallel_for(bounds.size(), threads, [&](std::size_t i) {
+    DataCenter task_dc(dc.config());
+    ConstantBoundStrategy strategy(bounds[i], "oracle");
+    const RunResult run = task_dc.run(demand, &strategy);
+    out.sweep[i] = {bounds[i], run.performance_factor};
+  });
+
+  // Combine in candidate order: identical to the serial scan (strict '>'
+  // keeps the lowest best bound on ties).
+  for (const auto& [bound, performance] : out.sweep) {
+    if (performance > out.best_performance) {
+      out.best_performance = performance;
       out.best_bound = bound;
     }
-    if (cores == total) break;
   }
   return out;
 }
 
-UpperBoundTable build_upper_bound_table(DataCenter& dc,
+UpperBoundTable build_upper_bound_table(const DataCenter& dc,
                                         std::span<const Duration> durations,
                                         std::span<const double> degrees,
                                         const workload::YahooTraceParams& base,
-                                        std::size_t core_stride) {
+                                        std::size_t core_stride,
+                                        std::size_t threads) {
   DCS_REQUIRE(durations.size() >= 2, "need at least two durations");
   DCS_REQUIRE(degrees.size() >= 2, "need at least two degrees");
-  std::vector<double> bounds;
-  bounds.reserve(durations.size() * degrees.size());
+
+  std::vector<workload::YahooTraceParams> cells;
+  cells.reserve(durations.size() * degrees.size());
   for (const Duration d : durations) {
     for (const double degree : degrees) {
       workload::YahooTraceParams params = base;
@@ -49,10 +63,16 @@ UpperBoundTable build_upper_bound_table(DataCenter& dc,
         params.length = params.burst_start + params.burst_duration +
                         Duration::minutes(5);
       }
-      const TimeSeries trace = workload::generate_yahoo_trace(params);
-      bounds.push_back(oracle_search(dc, trace, core_stride).best_bound);
+      cells.push_back(params);
     }
   }
+
+  std::vector<double> bounds(cells.size(), 1.0);
+  exp::parallel_for(cells.size(), threads, [&](std::size_t i) {
+    const TimeSeries trace = workload::generate_yahoo_trace(cells[i]);
+    bounds[i] = oracle_search(dc, trace, core_stride, /*threads=*/1).best_bound;
+  });
+
   return UpperBoundTable(std::vector<Duration>(durations.begin(), durations.end()),
                          std::vector<double>(degrees.begin(), degrees.end()),
                          std::move(bounds));

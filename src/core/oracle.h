@@ -25,15 +25,26 @@ struct OracleResult {
 
 /// Exhaustive search over constant upper bounds (one candidate per
 /// `core_stride` cores between the normal and total core count).
-[[nodiscard]] OracleResult oracle_search(DataCenter& dc, const TimeSeries& demand,
-                                         std::size_t core_stride = 2);
+///
+/// The candidates are independent full simulations, so they run on the
+/// `src/exp` parallel runner: each task owns a fresh DataCenter built from
+/// `dc.config()` (run() builds fresh plant state per call, so this is
+/// bit-identical to reusing `dc`), and candidates are combined in index
+/// order — the result is bit-identical for any `threads` value
+/// (0 = all hardware threads).
+[[nodiscard]] OracleResult oracle_search(const DataCenter& dc,
+                                         const TimeSeries& demand,
+                                         std::size_t core_stride = 2,
+                                         std::size_t threads = 0);
 
 /// Builds the (burst duration x max burst degree) -> optimal bound table by
 /// running the oracle search on synthetic Yahoo-style bursts (`base` sets
-/// everything but the burst duration/degree).
+/// everything but the burst duration/degree). The grid cells are
+/// parallelized (the per-cell searches then run serially to avoid
+/// oversubscription); results are bit-identical for any `threads` value.
 [[nodiscard]] UpperBoundTable build_upper_bound_table(
-    DataCenter& dc, std::span<const Duration> durations,
+    const DataCenter& dc, std::span<const Duration> durations,
     std::span<const double> degrees, const workload::YahooTraceParams& base,
-    std::size_t core_stride = 2);
+    std::size_t core_stride = 2, std::size_t threads = 0);
 
 }  // namespace dcs::core

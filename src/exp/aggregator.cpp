@@ -1,0 +1,61 @@
+#include "exp/aggregator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace dcs::exp {
+
+SweepSummary aggregate(const SweepSpec& spec, const SweepRun& run) {
+  DCS_REQUIRE(run.rows.size() == spec.task_count(),
+              "run does not match the spec's task count");
+  const std::size_t reps = spec.replicates();
+
+  SweepSummary summary;
+  summary.name = spec.name();
+  summary.axes = spec.axes();
+  summary.metrics = run.metrics;
+  summary.replicates = reps;
+  summary.task_count = run.rows.size();
+  summary.threads_used = run.threads_used;
+  summary.wall_seconds = run.wall_seconds;
+
+  summary.cells.reserve(spec.cell_count());
+  for (std::size_t cell = 0; cell < spec.cell_count(); ++cell) {
+    CellSummary cs;
+    cs.cell = cell;
+    cs.level = spec.cell_levels(cell);
+    cs.labels.reserve(cs.level.size());
+    for (std::size_t a = 0; a < cs.level.size(); ++a) {
+      cs.labels.push_back(summary.axes[a].labels[cs.level[a]]);
+    }
+    cs.metrics.reserve(run.metrics.size());
+    for (std::size_t m = 0; m < run.metrics.size(); ++m) {
+      RunningStats stats;
+      std::vector<double> values;
+      values.reserve(reps);
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const double v = run.rows[cell * reps + rep][m];
+        stats.add(v);
+        values.push_back(v);
+      }
+      MetricSummary ms;
+      ms.count = stats.count();
+      ms.mean = stats.mean();
+      ms.stddev = stats.stddev();
+      ms.min = stats.min();
+      ms.max = stats.max();
+      ms.p50 = percentile(values, 50.0);
+      ms.p95 = percentile(std::move(values), 95.0);
+      ms.ci95 = ms.count >= 2 ? 1.96 * ms.stddev /
+                                    std::sqrt(static_cast<double>(ms.count))
+                              : 0.0;
+      cs.metrics.push_back(ms);
+    }
+    summary.cells.push_back(std::move(cs));
+  }
+  return summary;
+}
+
+}  // namespace dcs::exp

@@ -1,0 +1,58 @@
+// Aggregates raw sweep rows into per-cell descriptive statistics across the
+// replicate axis (mean / stddev / extrema / percentiles / 95% CI), using the
+// util/stats primitives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/sweep.h"
+
+namespace dcs::exp {
+
+/// Statistics of one metric across a cell's replicates.
+struct MetricSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean (0 for fewer than two replicates).
+  double ci95 = 0.0;
+};
+
+struct CellSummary {
+  std::size_t cell = 0;
+  std::vector<std::size_t> level;
+  std::vector<std::string> labels;
+  /// One entry per run metric, in metric order.
+  std::vector<MetricSummary> metrics;
+};
+
+struct SweepSummary {
+  std::string name;
+  std::vector<Axis> axes;
+  std::vector<std::string> metrics;
+  std::size_t replicates = 1;
+  std::vector<CellSummary> cells;
+  // Perf record of the producing run.
+  std::size_t task_count = 0;
+  std::size_t threads_used = 1;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double tasks_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(task_count) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Collapses the replicate axis of `run` (produced from `spec`) into
+/// per-cell statistics. Cell order matches the spec's cell indexing.
+[[nodiscard]] SweepSummary aggregate(const SweepSpec& spec,
+                                     const SweepRun& run);
+
+}  // namespace dcs::exp

@@ -1,0 +1,50 @@
+// Result reporting for sweeps: CSV tables (raw per-task rows and per-cell
+// summaries), a machine-readable JSON summary, and BENCH_*.json perf
+// records (wall time, runs/sec, thread count) so the repo accumulates a
+// perf trajectory. Centralizes the per-bench CSV glue that used to be
+// copy-pasted around `maybe_export_csv`.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "exp/aggregator.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "util/time_series.h"
+
+namespace dcs::exp {
+
+/// One CSV line per task: axis labels, replicate, seed, metric values.
+void write_rows_csv(std::ostream& out, const SweepSpec& spec,
+                    const SweepRun& run);
+
+/// One CSV line per cell: axis labels plus per-metric statistics columns.
+void write_summary_csv(std::ostream& out, const SweepSummary& summary);
+
+/// Machine-readable summary: sweep name, axes, per-cell statistics, and the
+/// perf record of the producing run.
+void write_summary_json(std::ostream& out, const SweepSummary& summary);
+
+/// BENCH_*-style perf record: {"bench", "wall_seconds", "tasks",
+/// "runs_per_second", "threads", "cells", "replicates"}.
+void write_perf_record_json(std::ostream& out, const SweepSummary& summary);
+
+/// Writes `<dir>/<name>.csv` as "time_s,value" rows (the old per-bench
+/// `maybe_export_csv` glue, deduplicated here). Returns false (after a
+/// diagnostic on `diag`) when the file cannot be opened.
+bool export_time_series_csv(const std::string& dir, const std::string& name,
+                            const TimeSeries& series,
+                            std::ostream* diag = nullptr);
+
+/// Writes `<dir>/<name>_rows.csv`, `<dir>/<name>_summary.csv` and
+/// `<dir>/<name>_summary.json` for one sweep.
+bool export_sweep(const std::string& dir, const SweepSpec& spec,
+                  const SweepRun& run, const SweepSummary& summary,
+                  std::ostream* diag = nullptr);
+
+/// Writes `<dir>/BENCH_<name>.json`.
+bool export_perf_record(const std::string& dir, const SweepSummary& summary,
+                        std::ostream* diag = nullptr);
+
+}  // namespace dcs::exp

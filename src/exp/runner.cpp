@@ -1,0 +1,41 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "exp/thread_pool.h"
+#include "util/check.h"
+
+namespace dcs::exp {
+
+SweepRun run_sweep(const SweepSpec& spec, std::vector<std::string> metrics,
+                   const TaskFn& fn, const RunnerOptions& options) {
+  DCS_REQUIRE(!metrics.empty(), "a sweep needs at least one metric");
+  DCS_REQUIRE(fn != nullptr, "a sweep needs a task function");
+  const std::vector<SweepSpec::Task> tasks = spec.tasks();
+
+  SweepRun run;
+  run.metrics = std::move(metrics);
+  run.rows.assign(tasks.size(), {});
+  run.threads_used =
+      std::min(resolve_threads(options.threads),
+               std::max<std::size_t>(tasks.size(), 1));
+
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for(tasks.size(), options.threads, [&](std::size_t i) {
+    std::vector<double> row = fn(tasks[i]);
+    DCS_REQUIRE(row.size() == run.metrics.size(),
+                "sweep '" + spec.name() + "' task " + std::to_string(i) +
+                    " returned " + std::to_string(row.size()) +
+                    " metrics, expected " +
+                    std::to_string(run.metrics.size()));
+    run.rows[i] = std::move(row);
+  });
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return run;
+}
+
+}  // namespace dcs::exp

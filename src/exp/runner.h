@@ -1,0 +1,50 @@
+// The sweep runner: expands a SweepSpec and executes one task per grid point
+// across the thread pool, collecting metric rows in task order.
+//
+// Determinism: the runner only schedules; tasks receive their Task (levels,
+// replicate, seed) and must build all mutable state themselves (for
+// simulation sweeps, a fresh DataCenter per task — DataCenter::run already
+// builds fresh plant state per call). Rows are written into pre-sized
+// task-indexed slots, so the collected result is bit-identical for any
+// thread count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+
+namespace dcs::exp {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = all hardware threads.
+  std::size_t threads = 0;
+};
+
+/// Raw sweep output: one row of metric values per task, in task order.
+struct SweepRun {
+  std::vector<std::string> metrics;
+  std::vector<std::vector<double>> rows;
+  std::size_t threads_used = 1;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double tasks_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(rows.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// One sweep task: returns one value per declared metric.
+using TaskFn = std::function<std::vector<double>(const SweepSpec::Task&)>;
+
+/// Runs every task of `spec` and collects the metric rows. Throws (after
+/// attempting every task) if any task throws or returns the wrong number of
+/// metrics.
+[[nodiscard]] SweepRun run_sweep(const SweepSpec& spec,
+                                 std::vector<std::string> metrics,
+                                 const TaskFn& fn,
+                                 const RunnerOptions& options = {});
+
+}  // namespace dcs::exp

@@ -1,0 +1,95 @@
+#include "exp/sweep.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace dcs::exp {
+
+SweepSpec::SweepSpec(std::string name, std::uint64_t base_seed)
+    : name_(std::move(name)), base_seed_(base_seed) {
+  DCS_REQUIRE(!name_.empty(), "sweep name must not be empty");
+}
+
+std::size_t SweepSpec::add_axis(std::string name,
+                                std::vector<std::string> labels) {
+  DCS_REQUIRE(!name.empty(), "axis name must not be empty");
+  DCS_REQUIRE(!labels.empty(), "axis '" + name + "' needs at least one level");
+  for (const Axis& axis : axes_) {
+    DCS_REQUIRE(axis.name != name, "duplicate axis '" + name + "'");
+  }
+  axes_.push_back(Axis{std::move(name), std::move(labels), {}});
+  return axes_.size() - 1;
+}
+
+std::size_t SweepSpec::add_axis(std::string name, std::span<const double> values,
+                                int precision) {
+  std::vector<std::string> labels;
+  labels.reserve(values.size());
+  for (const double v : values) labels.push_back(format_double(v, precision));
+  const std::size_t index = add_axis(std::move(name), std::move(labels));
+  axes_[index].values.assign(values.begin(), values.end());
+  return index;
+}
+
+void SweepSpec::set_replicates(std::size_t n) {
+  DCS_REQUIRE(n >= 1, "replicate count must be at least 1");
+  replicates_ = n;
+}
+
+std::size_t SweepSpec::cell_count() const noexcept {
+  std::size_t count = 1;
+  for (const Axis& axis : axes_) count *= axis.labels.size();
+  return count;
+}
+
+std::size_t SweepSpec::task_count() const noexcept {
+  return cell_count() * replicates_;
+}
+
+std::vector<std::size_t> SweepSpec::cell_levels(std::size_t cell) const {
+  DCS_REQUIRE(cell < cell_count(), "cell index out of range");
+  std::vector<std::size_t> level(axes_.size(), 0);
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const std::size_t size = axes_[a].labels.size();
+    level[a] = cell % size;
+    cell /= size;
+  }
+  return level;
+}
+
+std::vector<SweepSpec::Task> SweepSpec::tasks() const {
+  const Rng base(base_seed_);
+  std::vector<Task> out;
+  out.reserve(task_count());
+  for (std::size_t cell = 0; cell < cell_count(); ++cell) {
+    const std::vector<std::size_t> level = cell_levels(cell);
+    const Rng cell_stream = base.fork(cell);
+    for (std::size_t rep = 0; rep < replicates_; ++rep) {
+      Task task;
+      task.index = out.size();
+      task.cell = cell;
+      task.level = level;
+      task.replicate = rep;
+      task.seed = cell_stream.fork_seed(rep);
+      out.push_back(std::move(task));
+    }
+  }
+  return out;
+}
+
+double SweepSpec::value(const Task& task, std::size_t axis) const {
+  DCS_REQUIRE(axis < axes_.size(), "axis index out of range");
+  const Axis& a = axes_[axis];
+  DCS_REQUIRE(!a.values.empty(), "axis '" + a.name + "' is not numeric");
+  return a.values[task.level[axis]];
+}
+
+const std::string& SweepSpec::label(const Task& task, std::size_t axis) const {
+  DCS_REQUIRE(axis < axes_.size(), "axis index out of range");
+  return axes_[axis].labels[task.level[axis]];
+}
+
+}  // namespace dcs::exp

@@ -1,0 +1,86 @@
+// SweepSpec: a declarative cartesian parameter grid (config knobs, strategy
+// choices, fault scenarios, ...) plus an optional replicate ("seed") axis,
+// expanded into deterministically-seeded tasks.
+//
+// Seeding contract: task seeds are derived by stream splitting —
+// `Rng(base_seed).fork(cell).fork_seed(replicate)` — so they depend only on
+// the cell index and replicate number, never on thread count or scheduling
+// order. Adding replicates extends the seed list without reshuffling the
+// seeds already assigned, so a 50-seed sweep is a strict superset of the
+// 10-seed sweep with the same grid.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcs::exp {
+
+/// One sweep dimension: a name plus one label per level. Numeric axes also
+/// carry the underlying values.
+struct Axis {
+  std::string name;
+  std::vector<std::string> labels;
+  /// Empty for categorical axes; `labels.size()` entries for numeric axes.
+  std::vector<double> values;
+};
+
+class SweepSpec {
+ public:
+  explicit SweepSpec(std::string name, std::uint64_t base_seed = 0x5EEDC0DEULL);
+
+  /// Adds a categorical axis; returns its axis index. Axis names must be
+  /// unique and every axis needs at least one level.
+  std::size_t add_axis(std::string name, std::vector<std::string> labels);
+
+  /// Adds a numeric axis whose labels are the values formatted with the
+  /// given precision.
+  std::size_t add_axis(std::string name, std::span<const double> values,
+                       int precision = 3);
+
+  /// Sets the number of independent repetitions per cell (default 1). Each
+  /// replicate gets its own stable seed.
+  void set_replicates(std::size_t n);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t base_seed() const noexcept { return base_seed_; }
+  [[nodiscard]] const std::vector<Axis>& axes() const noexcept { return axes_; }
+  [[nodiscard]] std::size_t replicates() const noexcept { return replicates_; }
+
+  /// Product of the axis sizes (1 for an axis-free spec).
+  [[nodiscard]] std::size_t cell_count() const noexcept;
+  /// cell_count() * replicates().
+  [[nodiscard]] std::size_t task_count() const noexcept;
+
+  struct Task {
+    /// Stable position in the expansion: cell-major, replicate fastest.
+    std::size_t index = 0;
+    std::size_t cell = 0;
+    /// Level per axis (row-major over the axes, last axis fastest).
+    std::vector<std::size_t> level;
+    std::size_t replicate = 0;
+    /// Stable per-task seed (see the seeding contract above).
+    std::uint64_t seed = 0;
+  };
+
+  /// Expands the full grid in deterministic order.
+  [[nodiscard]] std::vector<Task> tasks() const;
+
+  /// Levels of one cell (row-major decode).
+  [[nodiscard]] std::vector<std::size_t> cell_levels(std::size_t cell) const;
+
+  /// Value of a numeric axis at the task's level.
+  [[nodiscard]] double value(const Task& task, std::size_t axis) const;
+  /// Label of any axis at the task's level.
+  [[nodiscard]] const std::string& label(const Task& task,
+                                         std::size_t axis) const;
+
+ private:
+  std::string name_;
+  std::uint64_t base_seed_;
+  std::vector<Axis> axes_;
+  std::size_t replicates_ = 1;
+};
+
+}  // namespace dcs::exp

@@ -55,7 +55,17 @@ Config Config::from_args(std::span<const char* const> args) {
     const std::size_t eq = sv.find('=');
     DCS_REQUIRE(eq != std::string_view::npos && eq > 0,
                 "argument '" + std::string(sv) + "' is not key=value");
-    cfg.set(std::string{sv.substr(0, eq)}, std::string{sv.substr(eq + 1)});
+    const std::string_view key = sv.substr(0, eq);
+    const bool well_formed =
+        std::all_of(key.begin(), key.end(), [](unsigned char c) {
+          return std::isalnum(c) || c == '_' || c == '.';
+        });
+    if (!well_formed) {
+      throw std::invalid_argument("argument '" + std::string(sv) +
+                                  "' has a malformed key '" + std::string(key) +
+                                  "' (keys are [A-Za-z0-9_.]+)");
+    }
+    cfg.set(std::string{key}, std::string{sv.substr(eq + 1)});
   }
   return cfg;
 }
@@ -66,6 +76,25 @@ void Config::set(std::string key, std::string value) {
 
 bool Config::contains(const std::string& key) const {
   return entries_.contains(key);
+}
+
+void Config::require_known(std::span<const std::string_view> allowed) const {
+  std::string unknown;
+  for (const auto& [key, value] : entries_) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    unknown += unknown.empty() ? "'" : ", '";
+    unknown += key + "'";
+  }
+  if (unknown.empty()) return;
+  std::string known;
+  for (const std::string_view key : allowed) {
+    known += known.empty() ? "'" : ", '";
+    known += std::string(key) + "'";
+  }
+  throw std::invalid_argument("unknown config key(s) " + unknown +
+                              "; known keys: " + known);
 }
 
 std::string Config::get_string(const std::string& key, std::string fallback) const {

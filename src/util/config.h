@@ -19,12 +19,19 @@ class Config {
   /// Throws std::invalid_argument on malformed lines.
   [[nodiscard]] static Config from_string(std::string_view text);
 
-  /// Parses argv-style "key=value" tokens (tokens without '=' are rejected).
+  /// Parses argv-style "key=value" tokens. Tokens without '=' and keys with
+  /// characters outside [A-Za-z0-9_.] (e.g. "--flag=1") are rejected with
+  /// std::invalid_argument.
   [[nodiscard]] static Config from_args(std::span<const char* const> args);
 
   void set(std::string key, std::string value);
 
   [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Throws std::invalid_argument listing every key not in `allowed` (and
+  /// the allowed set), so callers reject misspelled knobs instead of
+  /// silently ignoring them.
+  void require_known(std::span<const std::string_view> allowed) const;
 
   /// Typed getters: return the parsed value, or `fallback` when the key is
   /// absent. Throw std::invalid_argument when present but unparsable.

@@ -67,6 +67,15 @@ double Rng::normal(double mean, double stddev) noexcept {
   return mean + stddev * normal();
 }
 
+std::uint64_t Rng::fork_seed(std::uint64_t stream_id) const noexcept {
+  // Collapse the 256-bit state and the stream id into one word, then run it
+  // through two SplitMix64 rounds so neighbouring stream ids land far apart.
+  std::uint64_t x = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+  x ^= (stream_id + 1) * 0x9e3779b97f4a7c15ULL;
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 double Rng::exponential(double rate) noexcept {
   double u = uniform();
   while (u <= 0.0) u = uniform();

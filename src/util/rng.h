@@ -34,6 +34,21 @@ class Rng {
   /// Exponential with given rate (lambda > 0).
   [[nodiscard]] double exponential(double rate) noexcept;
 
+  /// Stream splitting: derives the seed of an independent child stream from
+  /// this generator's *current* state and `stream_id`. Pure integer mixing,
+  /// so the mapping is identical on every platform; distinct stream ids (or
+  /// distinct parent states) give statistically independent streams. Does
+  /// not advance the parent.
+  [[nodiscard]] std::uint64_t fork_seed(std::uint64_t stream_id) const noexcept;
+
+  /// A generator seeded with fork_seed(stream_id). The determinism
+  /// substrate for sweep task seeding: Rng(base).fork(cell).fork(replicate)
+  /// yields a stable per-task stream regardless of thread count or
+  /// scheduling order.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    return Rng(fork_seed(stream_id));
+  }
+
  private:
   std::uint64_t s_[4];
 };

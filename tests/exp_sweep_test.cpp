@@ -1,0 +1,227 @@
+#include "exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/datacenter.h"
+#include "core/oracle.h"
+#include "exp/aggregator.h"
+#include "exp/reporter.h"
+#include "exp/runner.h"
+#include "faults/schedule.h"
+#include "workload/yahoo_trace.h"
+
+namespace dcs::exp {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec("unit", /*base_seed=*/42);
+  spec.add_axis("strategy", {"a", "b"});
+  spec.add_axis("severity", std::vector<double>{0.5, 1.0, 1.5}, 1);
+  spec.set_replicates(2);
+  return spec;
+}
+
+TEST(ExpSweep, ExpansionOrderIsCellMajorReplicateFastest) {
+  const SweepSpec spec = small_spec();
+  EXPECT_EQ(spec.cell_count(), 6u);
+  EXPECT_EQ(spec.task_count(), 12u);
+  const std::vector<SweepSpec::Task> tasks = spec.tasks();
+  ASSERT_EQ(tasks.size(), 12u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].index, i);
+    EXPECT_EQ(tasks[i].cell, i / 2);
+    EXPECT_EQ(tasks[i].replicate, i % 2);
+    EXPECT_EQ(tasks[i].level, spec.cell_levels(tasks[i].cell));
+  }
+  // Row-major over the axes, last axis fastest.
+  EXPECT_EQ(spec.cell_levels(0), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(spec.cell_levels(2), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(spec.cell_levels(3), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(spec.label(tasks[1 * 2], 1), "1.0");
+  EXPECT_DOUBLE_EQ(spec.value(tasks[1 * 2], 1), 1.0);
+  EXPECT_EQ(spec.label(tasks[3 * 2], 0), "b");
+}
+
+TEST(ExpSweep, SeedsAreDistinctAndStableUnderReplicateExtension) {
+  SweepSpec spec = small_spec();
+  const std::vector<SweepSpec::Task> before = spec.tasks();
+  std::set<std::uint64_t> seeds;
+  for (const auto& t : before) seeds.insert(t.seed);
+  EXPECT_EQ(seeds.size(), before.size()) << "task seeds must be distinct";
+
+  spec.set_replicates(5);
+  const std::vector<SweepSpec::Task> after = spec.tasks();
+  for (const auto& t : before) {
+    EXPECT_EQ(after[t.cell * 5 + t.replicate].seed, t.seed)
+        << "extending replicates must not reshuffle existing seeds";
+  }
+}
+
+TEST(ExpSweep, SeedsDependOnBaseSeed) {
+  SweepSpec a("s", 1);
+  SweepSpec b("s", 2);
+  a.set_replicates(4);
+  b.set_replicates(4);
+  const auto ta = a.tasks();
+  const auto tb = b.tasks();
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_NE(ta[i].seed, tb[i].seed);
+  }
+}
+
+TEST(ExpSweep, RunnerCollectsRowsInTaskOrder) {
+  const SweepSpec spec = small_spec();
+  const SweepRun run = run_sweep(
+      spec, {"index", "severity"},
+      [&](const SweepSpec::Task& task) {
+        return std::vector<double>{static_cast<double>(task.index),
+                                   spec.value(task, 1)};
+      },
+      {.threads = 4});
+  ASSERT_EQ(run.rows.size(), spec.task_count());
+  for (std::size_t i = 0; i < run.rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(run.rows[i][0], static_cast<double>(i));
+  }
+}
+
+TEST(ExpSweep, RunnerRejectsWrongMetricCount) {
+  const SweepSpec spec = small_spec();
+  EXPECT_THROW(
+      (void)run_sweep(
+          spec, {"a", "b"},
+          [](const SweepSpec::Task&) { return std::vector<double>{1.0}; },
+          {.threads = 2}),
+      std::invalid_argument);
+}
+
+TEST(ExpSweep, AggregatorComputesKnownStats) {
+  SweepSpec spec("agg", 7);
+  spec.add_axis("x", std::vector<double>{1.0}, 0);
+  spec.set_replicates(4);
+  const SweepRun run = run_sweep(
+      spec, {"m"},
+      [](const SweepSpec::Task& task) {
+        // Replicates 0..3 -> 1, 2, 3, 4.
+        return std::vector<double>{static_cast<double>(task.replicate + 1)};
+      },
+      {.threads = 1});
+  const SweepSummary summary = aggregate(spec, run);
+  ASSERT_EQ(summary.cells.size(), 1u);
+  const MetricSummary& m = summary.cells[0].metrics[0];
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max, 4.0);
+  EXPECT_GT(m.stddev, 0.0);
+  EXPECT_GT(m.ci95, 0.0);
+  EXPECT_GE(m.p95, m.p50);
+}
+
+TEST(ExpSweep, ReporterEmitsWellFormedOutput) {
+  const SweepSpec spec = small_spec();
+  const SweepRun run = run_sweep(
+      spec, {"m"},
+      [](const SweepSpec::Task& task) {
+        return std::vector<double>{static_cast<double>(task.index)};
+      },
+      {.threads = 2});
+  const SweepSummary summary = aggregate(spec, run);
+
+  std::ostringstream rows_csv;
+  write_rows_csv(rows_csv, spec, run);
+  EXPECT_NE(rows_csv.str().find("strategy,severity,replicate,seed,m"),
+            std::string::npos);
+
+  std::ostringstream summary_csv;
+  write_summary_csv(summary_csv, summary);
+  EXPECT_NE(summary_csv.str().find("m_mean"), std::string::npos);
+  EXPECT_NE(summary_csv.str().find("m_ci95"), std::string::npos);
+
+  std::ostringstream json;
+  write_summary_json(json, summary);
+  EXPECT_NE(json.str().find("\"sweep\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"runs_per_second\""), std::string::npos);
+
+  std::ostringstream perf;
+  write_perf_record_json(perf, summary);
+  EXPECT_NE(perf.str().find("\"bench\": \"unit\""), std::string::npos);
+  EXPECT_NE(perf.str().find("\"threads\""), std::string::npos);
+}
+
+// --- Bit-identity: the acceptance criterion of the subsystem ---------------
+
+/// A short but real simulation sweep, including a random fault schedule per
+/// replicate, exactly as the survival ablation runs it.
+SweepRun run_sim_sweep(std::size_t threads) {
+  workload::YahooTraceParams yp;
+  yp.length = Duration::minutes(10);
+  yp.burst_start = Duration::minutes(2);
+  yp.burst_duration = Duration::minutes(4);
+  yp.burst_degree = 3.0;
+  const TimeSeries trace = workload::generate_yahoo_trace(yp);
+
+  core::DataCenterConfig config;
+  config.fleet.pdu_count = 2;
+
+  SweepSpec spec("bit_identity", /*base_seed=*/0xB17B17ULL);
+  spec.add_axis("severity", std::vector<double>{0.5, 1.0}, 1);
+  spec.set_replicates(3);
+  return run_sweep(
+      spec, {"perf", "survived", "max_ladder"},
+      [&](const SweepSpec::Task& task) {
+        core::DataCenter dc(config);
+        const faults::FaultSchedule schedule = faults::FaultSchedule::random(
+            task.seed, trace.end_time(), spec.value(task, 0));
+        core::ConstantBoundStrategy bound(2.4);
+        core::RunOptions opts;
+        opts.faults = &schedule;
+        const core::RunResult r = dc.run(trace, &bound, opts);
+        return std::vector<double>{
+            r.performance_factor,
+            (!r.tripped && r.watchdog.ok()) ? 1.0 : 0.0,
+            static_cast<double>(r.max_degradation)};
+      },
+      {.threads = threads});
+}
+
+TEST(ExpSweep, SimulationSweepIsBitIdenticalAcrossThreadCounts) {
+  const SweepRun serial = run_sim_sweep(1);
+  const SweepRun parallel = run_sim_sweep(4);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i], parallel.rows[i]) << "task " << i;
+  }
+  EXPECT_EQ(serial.threads_used, 1u);
+  EXPECT_EQ(parallel.threads_used, 4u);
+}
+
+TEST(ExpSweep, OracleSearchIsBitIdenticalAcrossThreadCounts) {
+  workload::YahooTraceParams yp;
+  yp.length = Duration::minutes(10);
+  yp.burst_start = Duration::minutes(2);
+  yp.burst_duration = Duration::minutes(4);
+  yp.burst_degree = 3.0;
+  const TimeSeries trace = workload::generate_yahoo_trace(yp);
+  core::DataCenterConfig config;
+  config.fleet.pdu_count = 2;
+  const core::DataCenter dc(config);
+
+  const core::OracleResult serial = core::oracle_search(dc, trace, 4, 1);
+  const core::OracleResult parallel = core::oracle_search(dc, trace, 4, 4);
+  EXPECT_EQ(serial.best_bound, parallel.best_bound);
+  EXPECT_EQ(serial.best_performance, parallel.best_performance);
+  ASSERT_EQ(serial.sweep.size(), parallel.sweep.size());
+  for (std::size_t i = 0; i < serial.sweep.size(); ++i) {
+    EXPECT_EQ(serial.sweep[i], parallel.sweep[i]) << "candidate " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dcs::exp

@@ -37,6 +37,40 @@ TEST(Config, FromArgsRejectsBareTokens) {
   EXPECT_THROW((void)Config::from_args(args), std::invalid_argument);
 }
 
+TEST(Config, FromArgsRejectsMalformedKeys) {
+  const std::array<const char*, 1> dashed = {"--pdus=8"};
+  EXPECT_THROW((void)Config::from_args(dashed), std::invalid_argument);
+  const std::array<const char*, 1> spaced = {"pd us=8"};
+  EXPECT_THROW((void)Config::from_args(spaced), std::invalid_argument);
+  const std::array<const char*, 1> empty_key = {"=8"};
+  EXPECT_THROW((void)Config::from_args(empty_key), std::invalid_argument);
+  // Dots and underscores stay legal (config-file style keys).
+  const std::array<const char*, 1> dotted = {"fleet.pdu_count=4"};
+  EXPECT_EQ(Config::from_args(dotted).get_int("fleet.pdu_count", 0), 4);
+}
+
+TEST(Config, RequireKnownAcceptsAllowedKeys) {
+  const Config c = Config::from_string("pdus=8\ncsv=out\n");
+  const std::array<std::string_view, 3> allowed = {"pdus", "csv", "pue"};
+  EXPECT_NO_THROW(c.require_known(allowed));
+  EXPECT_NO_THROW(Config().require_known(allowed));
+}
+
+TEST(Config, RequireKnownRejectsUnknownKeys) {
+  const Config c = Config::from_string("pdus=8\npduss=9\n");
+  const std::array<std::string_view, 2> allowed = {"pdus", "csv"};
+  try {
+    c.require_known(allowed);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pduss"), std::string::npos)
+        << "must name the offending key: " << what;
+    EXPECT_NE(what.find("pdus"), std::string::npos)
+        << "must list the allowed keys: " << what;
+  }
+}
+
 TEST(Config, TypedGettersFallBack) {
   const Config c = Config::from_string("");
   EXPECT_EQ(c.get_string("missing", "def"), "def");
