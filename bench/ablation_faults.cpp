@@ -94,12 +94,17 @@ struct Outcome {
 };
 
 /// One isolated scenario run: fresh DataCenter, generator and supply trace
-/// per call, so tasks are safe to execute concurrently.
+/// per call, so tasks are safe to execute concurrently. `tracer` and
+/// `metrics` are per-task sinks (or null) — see RunOptions.
 Outcome run_scenario(const DataCenterConfig& config, const TimeSeries& trace,
-                     const Scenario& sc, Strategy* strategy, Mode mode) {
+                     const Scenario& sc, Strategy* strategy, Mode mode,
+                     obs::Tracer* tracer = nullptr,
+                     obs::MetricsRegistry* metrics = nullptr) {
   DataCenter dc(config);
   RunOptions opts;
   opts.mode = mode;
+  opts.tracer = tracer;
+  opts.metrics = metrics;
   TimeSeries supply;
   power::DieselGenerator generator(
       "gen", {.rated = config.dc_rated() * 0.5,
@@ -124,6 +129,8 @@ Outcome run_scenario(const DataCenterConfig& config, const TimeSeries& trace,
 int main(int argc, char** argv) {
   const Config args = bench::parse_args(argc, argv, {"seeds"});
   const std::size_t threads = bench::bench_threads(args);
+  bench::obs_setup(args);
+  const bool tracing = !args.get_string("trace", "").empty();
 
   workload::YahooTraceParams yp;
   yp.burst_degree = 3.2;
@@ -147,18 +154,39 @@ int main(int argc, char** argv) {
     for (const Scenario& sc : scenarios) names.push_back(sc.name);
     grid.add_axis("scenario", std::move(names));
   }
+  // Each grid task owns a Tracer slot (same task-indexed contract as the
+  // runner's result rows), so the merged sim-event stream is bit-identical
+  // for any thread count.
+  std::vector<obs::Tracer> task_tracers(tracing ? grid.tasks().size() : 0);
   const exp::SweepRun grid_run = exp::run_sweep(
       grid, {"survived", "perf", "max_ladder", "watchdog"},
       [&](const exp::SweepSpec::Task& task) {
+        obs::Tracer* tracer = nullptr;
+        if (tracing) {
+          tracer = &task_tracers[task.index];
+          tracer->set_lane(static_cast<std::uint32_t>(task.index));
+        }
         const auto strategy = make_strategy(task.level[0]);
         const Outcome o = run_scenario(config, trace, scenarios[task.level[1]],
-                                       strategy.get(), Mode::kControlled);
+                                       strategy.get(), Mode::kControlled,
+                                       tracer);
         return std::vector<double>{
             o.survived ? 1.0 : 0.0, o.result.performance_factor,
             static_cast<double>(o.result.max_degradation),
             static_cast<double>(o.result.watchdog.violations)};
       },
       {.threads = threads});
+
+  obs::Tracer tracer;
+  if (tracing) {
+    for (const exp::SweepSpec::Task& task : grid.tasks()) {
+      tracer.name_lane(obs::Domain::kSim,
+                       static_cast<std::uint32_t>(task.index),
+                       strategy_names[task.level[0]] + "/" +
+                           scenarios[task.level[1]].name);
+      tracer.merge_from(std::move(task_tracers[task.index]));
+    }
+  }
 
   std::cout << "=== Ablation: fault scenarios x strategies (burst 3.2x for"
                " 15 min; survived = no trip, no invariant violation) ===\n";
@@ -252,8 +280,23 @@ int main(int argc, char** argv) {
   }
   surv_table.print(std::cout);
 
-  bench::maybe_export_sweep(args, grid, grid_run, exp::aggregate(grid, grid_run));
+  const exp::SweepSummary grid_summary = exp::aggregate(grid, grid_run);
+  bench::maybe_export_sweep(args, grid, grid_run, grid_summary);
   bench::maybe_export_sweep(args, surv, surv_run, surv_summary);
+
+  obs::MetricsRegistry metrics;
+  if (!args.get_string("metrics", "").empty()) {
+    // Cell-level snapshot of both sweeps, plus the per-tick instruments
+    // (sprint_degree histogram, SoC/margin gauges, transition counters)
+    // from one representative faulted run. The registry is not thread-safe,
+    // so the per-tick run happens here, after the sweeps.
+    exp::metrics_from_summary(metrics, grid_summary);
+    exp::metrics_from_summary(metrics, surv_summary);
+    GreedyStrategy greedy;
+    run_scenario(config, trace, scenarios[6], &greedy, Mode::kControlled,
+                 nullptr, &metrics);
+  }
+  bench::maybe_export_obs(args, "ablation_faults", &tracer, &metrics);
   std::cerr << "[exp] "
             << grid_run.rows.size() + unc_run.rows.size() +
                    surv_run.rows.size()

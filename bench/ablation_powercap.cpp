@@ -2,7 +2,12 @@
 // related-work family the paper contrasts itself against in Section II:
 // capping never exceeds a rating and uses no stored energy, so it can only
 // harvest the provisioning slack).
+//
+// Runs on the src/exp sweep runner: one task per (burst degree, mode) cell,
+// each with a fresh DataCenter so tasks execute concurrently.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/datacenter.h"
@@ -13,30 +18,60 @@ int main(int argc, char** argv) {
   using namespace dcs;
   using namespace dcs::core;
   const Config args = bench::parse_args(argc, argv);
-  DataCenter dc(bench::bench_config(args));
+  const std::size_t threads = bench::bench_threads(args);
+  bench::obs_setup(args);
+  const DataCenterConfig config = bench::bench_config(args);
+
+  const std::vector<double> degrees = {1.5, 2.0, 2.6, 3.2, 3.6};
+  const std::vector<std::string> mode_names = {
+      "no-sprint", "dvfs-capped", "core-capped", "greedy", "uncontrolled"};
+  const Mode modes[] = {Mode::kNoSprint, Mode::kDvfsCapped, Mode::kPowerCapped,
+                        Mode::kControlled, Mode::kUncontrolled};
+
+  exp::SweepSpec spec("ablation_powercap");
+  spec.add_axis("degree", degrees, 1);
+  spec.add_axis("mode", mode_names);
+  const exp::SweepRun run = exp::run_sweep(
+      spec, {"perf"},
+      [&](const exp::SweepSpec::Task& task) {
+        workload::YahooTraceParams p;
+        p.burst_degree = spec.value(task, 0);
+        p.burst_duration = Duration::minutes(10);
+        const TimeSeries trace = workload::generate_yahoo_trace(p);
+        DataCenter dc(config);
+        const Mode mode = modes[task.level[1]];
+        GreedyStrategy greedy;
+        const RunResult r = dc.run(
+            trace, mode == Mode::kControlled ? &greedy : nullptr, {.mode = mode});
+        return std::vector<double>{r.performance_factor};
+      },
+      {.threads = threads});
 
   std::cout << "=== Ablation: sprinting vs power capping vs no sprint ===\n";
   TablePrinter table({"burst degree", "no-sprint", "DVFS-capped",
                       "core-capped", "DCS greedy", "uncontrolled"});
-  for (double degree : {1.5, 2.0, 2.6, 3.2, 3.6}) {
-    workload::YahooTraceParams p;
-    p.burst_degree = degree;
-    p.burst_duration = Duration::minutes(10);
-    const TimeSeries trace = workload::generate_yahoo_trace(p);
-    GreedyStrategy greedy;
-    table.add_row(
-        format_double(degree, 1),
-        {dc.run(trace, nullptr, {.mode = Mode::kNoSprint}).performance_factor,
-         dc.run(trace, nullptr, {.mode = Mode::kDvfsCapped}).performance_factor,
-         dc.run(trace, nullptr, {.mode = Mode::kPowerCapped}).performance_factor,
-         dc.run(trace, &greedy).performance_factor,
-         dc.run(trace, nullptr, {.mode = Mode::kUncontrolled})
-             .performance_factor});
+  for (std::size_t d = 0; d < degrees.size(); ++d) {
+    const auto perf = [&](std::size_t m) {
+      return run.rows[d * mode_names.size() + m][0];
+    };
+    table.add_row(format_double(degrees[d], 1),
+                  {perf(0), perf(1), perf(2), perf(3), perf(4)});
   }
   table.print(std::cout);
   std::cout << "\nDVFS capping (cubic power cost) trails even core capping"
                " within the ratings; DCS\ntemporarily exceeds the ratings"
                " safely; uncontrolled chip-level sprinting trips\nbreakers"
                " and collapses.\n";
+
+  const exp::SweepSummary summary = exp::aggregate(spec, run);
+  bench::maybe_export_sweep(args, spec, run, summary);
+  obs::MetricsRegistry metrics;
+  if (!args.get_string("metrics", "").empty()) {
+    exp::metrics_from_summary(metrics, summary);
+  }
+  bench::maybe_export_obs(args, "ablation_powercap", nullptr, &metrics);
+  std::cerr << "[exp] " << run.rows.size() << " tasks in "
+            << format_double(run.wall_seconds, 2) << " s on "
+            << run.threads_used << " thread(s)\n";
   return 0;
 }

@@ -14,15 +14,21 @@
 #include "exp/reporter.h"
 #include "exp/runner.h"
 #include "exp/sweep.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/config.h"
 #include "util/time_series.h"
 
 namespace dcs::bench {
 
 /// Keys every bench understands: the shared data-center knobs plus the
-/// sweep-runner knobs (threads=<n>, csv=<dir>, perf=<dir>).
+/// sweep-runner knobs (threads=<n>, csv=<dir>, perf=<dir>) and the
+/// observability knobs (trace=<dir> for Chrome trace JSON + JSONL,
+/// metrics=<dir> for CSV/JSON/Prometheus snapshots).
 inline constexpr std::string_view kCommonKeys[] = {
-    "pdus", "dc_headroom", "pue", "csv", "perf", "threads"};
+    "pdus", "dc_headroom", "pue", "csv", "perf", "threads", "trace",
+    "metrics"};
 
 /// Parses "key=value" command-line arguments. Malformed tokens and keys
 /// outside the common set plus `extra_allowed` abort with a clear error
@@ -76,14 +82,52 @@ inline void maybe_export_csv(const Config& args, const std::string& name,
 
 /// Sweep reporting glue: rows/summary CSV + JSON under csv=<dir>, and a
 /// BENCH_<sweep>.json perf record (wall time, runs/sec, threads) under
-/// perf=<dir>.
+/// perf=<dir>. Perf records pick up the wall-clock profile scopes when the
+/// profiler is on (see obs_setup).
 inline void maybe_export_sweep(const Config& args, const exp::SweepSpec& spec,
                                const exp::SweepRun& run,
                                const exp::SweepSummary& summary) {
   const std::string csv_dir = args.get_string("csv", "");
   if (!csv_dir.empty()) exp::export_sweep(csv_dir, spec, run, summary, &std::cout);
   const std::string perf_dir = args.get_string("perf", "");
-  if (!perf_dir.empty()) exp::export_perf_record(perf_dir, summary, &std::cout);
+  if (!perf_dir.empty()) {
+    const std::vector<obs::ProfileEvent> events =
+        obs::Profiler::instance().collect();
+    if (events.empty()) {
+      exp::export_perf_record(perf_dir, summary, &std::cout);
+    } else {
+      const obs::ProfileSummary scopes = obs::summarize(events);
+      exp::export_perf_record(perf_dir, summary, &std::cout, &scopes);
+    }
+  }
+}
+
+/// Turns the wall-clock profiler on when either observability knob is set;
+/// call once near the top of main(), before any sweep runs.
+inline void obs_setup(const Config& args) {
+  if (!args.get_string("trace", "").empty() ||
+      !args.get_string("metrics", "").empty()) {
+    obs::Profiler::instance().set_enabled(true);
+  }
+}
+
+/// Observability export glue: under trace=<dir>, folds the profiler's
+/// wall-clock scopes into `tracer` and writes `<name>_trace.json` (Chrome
+/// trace-event format, Perfetto-loadable) plus `<name>_trace.jsonl`; under
+/// metrics=<dir>, writes `<name>_metrics.{csv,json,prom}`. Null arguments
+/// skip the matching export.
+inline void maybe_export_obs(const Config& args, const std::string& name,
+                             obs::Tracer* tracer,
+                             const obs::MetricsRegistry* metrics) {
+  const std::string trace_dir = args.get_string("trace", "");
+  if (!trace_dir.empty() && tracer != nullptr) {
+    obs::export_to(*tracer, obs::Profiler::instance().collect());
+    obs::export_trace(trace_dir, name, *tracer, &std::cout);
+  }
+  const std::string metrics_dir = args.get_string("metrics", "");
+  if (!metrics_dir.empty() && metrics != nullptr) {
+    obs::export_metrics(metrics_dir, name, *metrics, &std::cout);
+  }
 }
 
 }  // namespace dcs::bench

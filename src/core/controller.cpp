@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.h"
 #include "util/check.h"
+#include "util/log.h"
 
 namespace dcs::core {
 namespace {
@@ -247,6 +249,7 @@ SprintingController::Feasible SprintingController::find_feasible(
 }
 
 StepResult SprintingController::step(Duration now, double demand, Duration dt) {
+  DCS_OBS_SCOPE("controller.step");
   DCS_REQUIRE(demand >= 0.0, "demand must be non-negative");
   DCS_REQUIRE(dt > Duration::zero(), "dt must be positive");
   StepResult result;
@@ -267,6 +270,7 @@ StepResult SprintingController::step(Duration now, double demand, Duration dt) {
   }
   if (mode_ != Mode::kControlled) result.measured_demand = demand;
   if (result.tripped && trip_time_.is_infinite()) trip_time_ = now;
+  trace_transitions(now, result);
   account(result, dt);
   return result;
 }
@@ -712,6 +716,81 @@ bool SprintingController::should_fall_back() const {
   // Hysteresis: leave the fallback only once the room has genuinely
   // recovered, so the controller does not oscillate across the boundary.
   return room_frac >= 0.60 || chiller_critical;
+}
+
+void SprintingController::trace_transitions(Duration now,
+                                            const StepResult& result) {
+  if (result.degradation != prev_degradation_) {
+    // Ladder moves are the reactive safety actions of Section IV-A: rare,
+    // and worth a log line even without a tracer attached.
+    DCS_LOG_INFO << "degradation " << to_string(prev_degradation_) << " -> "
+                 << to_string(result.degradation) << " at t=" << now.sec()
+                 << "s (degree " << result.degree << ")";
+    if (tracer_ != nullptr) {
+      tracer_->instant(now, "controller", "degradation",
+                       {obs::arg("from", to_string(prev_degradation_)),
+                        obs::arg("to", to_string(result.degradation)),
+                        obs::arg("degree", result.degree)});
+    }
+    prev_degradation_ = result.degradation;
+  }
+  if (tracer_ == nullptr) {
+    prev_phase_ = result.phase;
+    return;
+  }
+
+  if (result.phase != prev_phase_) {
+    tracer_->instant(
+        now, "controller", "phase",
+        {obs::arg("from", to_string(prev_phase_)),
+         obs::arg("to", to_string(result.phase)),
+         obs::arg("degree", result.degree),
+         obs::arg("cores", static_cast<double>(result.active_cores))});
+    prev_phase_ = result.phase;
+  }
+
+  const bool dc_overload = result.dc_load > config_.dc_rated() + kPowerEps;
+  if (dc_overload != prev_dc_overload_) {
+    tracer_->instant(now, "controller",
+                     dc_overload ? "dc-overload-enter" : "dc-overload-exit",
+                     {obs::arg("dc_load_w", result.dc_load.w()),
+                      obs::arg("rated_w", config_.dc_rated().w())});
+    prev_dc_overload_ = dc_overload;
+  }
+
+  // Remaining-trip-time margin on the substation breaker: crossing below
+  // twice the governor's reserve is the early warning that the shrinking
+  // overload bound is about to bind.
+  const Duration margin =
+      deps_.topology->dc_breaker().time_to_trip_at(result.dc_load);
+  const bool margin_low = !margin.is_infinite() && margin < config_.cb_reserve * 2.0;
+  if (margin_low != prev_margin_low_) {
+    tracer_->instant(now, "controller",
+                     margin_low ? "trip-margin-low" : "trip-margin-recovered",
+                     {obs::arg("margin_s", margin.is_infinite()
+                                               ? -1.0
+                                               : margin.sec()),
+                      obs::arg("reserve_s", config_.cb_reserve.sec())});
+    prev_margin_low_ = margin_low;
+  }
+
+  const bool ups_active = result.ups_power > kPowerEps;
+  if (ups_active != prev_ups_active_) {
+    tracer_->instant(now, "controller",
+                     ups_active ? "ups-activate" : "ups-idle",
+                     {obs::arg("ups_w", result.ups_power.w())});
+    prev_ups_active_ = ups_active;
+  }
+
+  const bool tes_active =
+      result.tes_heat > kPowerEps || result.tes_relief > kPowerEps;
+  if (tes_active != prev_tes_active_) {
+    tracer_->instant(now, "controller",
+                     tes_active ? "tes-activate" : "tes-idle",
+                     {obs::arg("tes_heat_w", result.tes_heat.w()),
+                      obs::arg("tes_relief_w", result.tes_relief.w())});
+    prev_tes_active_ = tes_active;
+  }
 }
 
 void SprintingController::account(const StepResult& result, Duration dt) {

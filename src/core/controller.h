@@ -29,6 +29,7 @@
 #include "core/config.h"
 #include "core/strategy.h"
 #include "faults/injector.h"
+#include "obs/trace.h"
 #include "power/generator.h"
 #include "power/topology.h"
 #include "util/time_series.h"
@@ -134,6 +135,11 @@ class SprintingController {
   void set_fault_injector(faults::FaultInjector* injector) noexcept {
     injector_ = injector;
   }
+  /// Optional structured-trace sink. step() emits one instant per state
+  /// transition: sprint-phase changes, degradation-ladder moves, DC-breaker
+  /// overload entry/exit, remaining-trip-time threshold crossings, and
+  /// UPS/TES activation edges. Must outlive the controller.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   // --- accumulated accounting (for RunResult) ---
   [[nodiscard]] Energy ups_energy() const noexcept { return ups_energy_; }
@@ -193,6 +199,7 @@ class SprintingController {
   /// Ladder last resort: margins critically tight under faults.
   [[nodiscard]] bool should_fall_back() const;
   void account(const StepResult& result, Duration dt);
+  void trace_transitions(Duration now, const StepResult& result);
   [[nodiscard]] Energy cb_budget_estimate() const;
   [[nodiscard]] Power power_per_degree() const;
 
@@ -233,6 +240,15 @@ class SprintingController {
   bool fallback_ = false;  // latched power-cap fallback (with hysteresis)
   DegradationLevel max_degradation_ = DegradationLevel::kNominal;
   Duration degradation_time_[5] = {};
+
+  // transition tracing (previous-step state for edge detection)
+  obs::Tracer* tracer_ = nullptr;
+  SprintPhase prev_phase_ = SprintPhase::kNormal;
+  DegradationLevel prev_degradation_ = DegradationLevel::kNominal;
+  bool prev_ups_active_ = false;
+  bool prev_tes_active_ = false;
+  bool prev_dc_overload_ = false;
+  bool prev_margin_low_ = false;
 };
 
 }  // namespace dcs::core

@@ -72,6 +72,7 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
                                  plant->tes.get(), &plant->room, &plant->pcm};
   SprintingController controller(config_, deps, strategy, options.mode);
   controller.set_supply_fraction(options.supply_fraction);
+  controller.set_tracer(options.tracer);
   if (options.generator != nullptr) {
     options.generator->reset();
     controller.attach_generator(options.generator);
@@ -86,12 +87,14 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
         faults::FaultInjector::Bindings{&plant->topology, &plant->cooling,
                                         plant->tes.get(), options.generator},
         options.fault_seed);
+    injector->set_tracer(options.tracer);
     controller.set_fault_injector(injector.get());
   }
   faults::Watchdog watchdog(faults::Watchdog::Options{
       config_.battery_per_server.reserve_floor,
       /*check_breakers=*/options.mode != Mode::kUncontrolled,
       /*check_room=*/options.mode != Mode::kUncontrolled});
+  watchdog.set_tracer(options.tracer);
 
   RunResult result;
   workload::AdmissionController sprint_admission;
@@ -103,12 +106,45 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
   double baseline_integral = 0.0;
   double burst_degree_integral = 0.0;
   double burst_seconds = 0.0;
+  SprintPhase prev_phase = SprintPhase::kNormal;
+  DegradationLevel prev_degradation = DegradationLevel::kNominal;
   sim::Engine engine(dt);
+  engine.set_tracer(options.tracer);
   RunDriver driver([&](Duration now, Duration tick_dt) {
     const double d = demand.at(now);
     if (injector != nullptr) injector->apply(now);
     const StepResult step = controller.step(now, d, tick_dt);
     watchdog.check(now, plant->topology, plant->room, plant->tes.get());
+
+    if (options.metrics != nullptr) {
+      obs::MetricsRegistry& m = *options.metrics;
+      m.counter("ticks_total").inc();
+      m.histogram("sprint_degree", {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0})
+          .observe(step.degree);
+      m.gauge("ups_soc").set(plant->topology.pdus().front().ups().soc());
+      m.gauge("ups_soc_min").set_min(
+          plant->topology.pdus().front().ups().soc());
+      if (plant->tes != nullptr) {
+        m.gauge("tes_soc").set(plant->tes->state_of_charge());
+        m.gauge("tes_soc_min").set_min(plant->tes->state_of_charge());
+      }
+      const Duration margin =
+          plant->topology.dc_breaker().time_to_trip_at(step.dc_load);
+      if (!margin.is_infinite()) {
+        m.gauge("cb_trip_margin_s").set(margin.sec());
+        m.gauge("cb_trip_margin_s_min").set_min(margin.sec());
+      }
+      m.gauge("faults_active").set(static_cast<double>(step.faults_active));
+      m.gauge("room_rise_c_max").set_max(plant->room.rise().c());
+      if (step.phase != prev_phase) {
+        m.counter("phase_transitions_total").inc();
+        prev_phase = step.phase;
+      }
+      if (step.degradation != prev_degradation) {
+        m.counter("degradation_steps_total").inc();
+        prev_degradation = step.degradation;
+      }
+    }
 
     achieved_integral += step.achieved * dt.sec();
     baseline_integral += std::min(d, 1.0) * dt.sec();
@@ -186,6 +222,10 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
         controller.degradation_time(static_cast<DegradationLevel>(i));
   }
   result.watchdog = watchdog.report();
+  if (options.metrics != nullptr) {
+    options.metrics->counter("watchdog_violations_total")
+        .inc(static_cast<double>(watchdog.report().violations));
+  }
   const power::Battery& bank = plant->topology.pdus().front().ups();
   result.ups_discharge_events = bank.discharge_events();
   result.ups_equivalent_cycles = bank.equivalent_full_cycles();

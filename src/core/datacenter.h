@@ -23,6 +23,8 @@
 #include "core/strategy.h"
 #include "faults/schedule.h"
 #include "faults/watchdog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/recorder.h"
 #include "util/time_series.h"
 #include "util/units.h"
@@ -45,6 +47,16 @@ struct RunOptions {
   const faults::FaultSchedule* faults = nullptr;
   /// Seed for the injector's sensor-noise stream.
   std::uint64_t fault_seed = 0x5eedu;
+  /// Optional structured-trace sink wired through the engine, controller,
+  /// injector and watchdog; must outlive the run. All events carry sim
+  /// time, so the stream is bit-identical regardless of who else runs in
+  /// parallel. Null keeps the untraced fast path.
+  obs::Tracer* tracer = nullptr;
+  /// Optional metrics registry updated every tick (sprint_degree histogram,
+  /// ups_soc / tes_soc / cb_trip_margin_s gauges, degradation and phase
+  /// transition counters, ...); must outlive the run. Registries are not
+  /// thread-safe — give each concurrent run its own.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RunResult {

@@ -153,14 +153,50 @@ void write_summary_json(std::ostream& out, const SweepSummary& summary) {
   out << "  ]\n}\n";
 }
 
-void write_perf_record_json(std::ostream& out, const SweepSummary& summary) {
+void write_perf_record_json(std::ostream& out, const SweepSummary& summary,
+                            const obs::ProfileSummary* scopes) {
   out << "{\"bench\": " << json_escape(summary.name)
       << ", \"wall_seconds\": " << json_number(summary.wall_seconds)
       << ", \"tasks\": " << summary.task_count
       << ", \"runs_per_second\": " << json_number(summary.tasks_per_second())
       << ", \"threads\": " << summary.threads_used
       << ", \"cells\": " << summary.cells.size()
-      << ", \"replicates\": " << summary.replicates << "}\n";
+      << ", \"replicates\": " << summary.replicates;
+  if (scopes != nullptr && !scopes->empty()) {
+    out << ", \"scopes\": {";
+    bool first = true;
+    for (const auto& [name, stats] : *scopes) {
+      out << (first ? "" : ", ") << json_escape(name) << ": {\"count\": "
+          << stats.count << ", \"total_us\": " << stats.total_us
+          << ", \"max_us\": " << stats.max_us
+          << ", \"mean_us\": " << json_number(stats.mean_us()) << "}";
+      first = false;
+    }
+    out << "}";
+  }
+  out << "}\n";
+}
+
+void metrics_from_summary(obs::MetricsRegistry& registry,
+                          const SweepSummary& summary) {
+  for (const CellSummary& cell : summary.cells) {
+    obs::Labels base{{"sweep", summary.name}};
+    for (std::size_t a = 0; a < summary.axes.size(); ++a) {
+      base.emplace_back(summary.axes[a].name, cell.labels[a]);
+    }
+    for (std::size_t m = 0; m < summary.metrics.size(); ++m) {
+      const MetricSummary& ms = cell.metrics[m];
+      const struct {
+        const char* stat;
+        double value;
+      } stats[] = {{"mean", ms.mean}, {"min", ms.min}, {"max", ms.max}};
+      for (const auto& s : stats) {
+        obs::Labels labels = base;
+        labels.emplace_back("stat", s.stat);
+        registry.gauge(summary.metrics[m], labels).set(s.value);
+      }
+    }
+  }
 }
 
 bool export_time_series_csv(const std::string& dir, const std::string& name,
@@ -215,11 +251,11 @@ bool export_sweep(const std::string& dir, const SweepSpec& spec,
 }
 
 bool export_perf_record(const std::string& dir, const SweepSummary& summary,
-                        std::ostream* diag) {
+                        std::ostream* diag, const obs::ProfileSummary* scopes) {
   const std::string path = dir + "/BENCH_" + summary.name + ".json";
   std::ofstream out;
   if (!open_or_diag(out, path, diag)) return false;
-  write_perf_record_json(out, summary);
+  write_perf_record_json(out, summary, scopes);
   wrote(path, diag);
   return true;
 }

@@ -11,6 +11,8 @@
 #include "exp/aggregator.h"
 #include "exp/runner.h"
 #include "exp/sweep.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/time_series.h"
 
 namespace dcs::exp {
@@ -27,8 +29,17 @@ void write_summary_csv(std::ostream& out, const SweepSummary& summary);
 void write_summary_json(std::ostream& out, const SweepSummary& summary);
 
 /// BENCH_*-style perf record: {"bench", "wall_seconds", "tasks",
-/// "runs_per_second", "threads", "cells", "replicates"}.
-void write_perf_record_json(std::ostream& out, const SweepSummary& summary);
+/// "runs_per_second", "threads", "cells", "replicates"}. When `scopes` is
+/// non-null a "scopes" object is appended with per-scope wall-clock
+/// aggregates (count, total_us, max_us, mean_us).
+void write_perf_record_json(std::ostream& out, const SweepSummary& summary,
+                            const obs::ProfileSummary* scopes = nullptr);
+
+/// Folds a sweep summary into a metrics registry: one gauge per
+/// (cell, metric, stat in {mean, min, max}), named after the sweep metric
+/// and labeled with the sweep name, the cell's axis labels, and the stat.
+void metrics_from_summary(obs::MetricsRegistry& registry,
+                          const SweepSummary& summary);
 
 /// Writes `<dir>/<name>.csv` as "time_s,value" rows (the old per-bench
 /// `maybe_export_csv` glue, deduplicated here). Returns false (after a
@@ -45,6 +56,7 @@ bool export_sweep(const std::string& dir, const SweepSpec& spec,
 
 /// Writes `<dir>/BENCH_<name>.json`.
 bool export_perf_record(const std::string& dir, const SweepSummary& summary,
-                        std::ostream* diag = nullptr);
+                        std::ostream* diag = nullptr,
+                        const obs::ProfileSummary* scopes = nullptr);
 
 }  // namespace dcs::exp

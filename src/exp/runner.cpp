@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exp/thread_pool.h"
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace dcs::exp {
@@ -24,6 +25,7 @@ SweepRun run_sweep(const SweepSpec& spec, std::vector<std::string> metrics,
 
   const auto start = std::chrono::steady_clock::now();
   parallel_for(tasks.size(), options.threads, [&](std::size_t i) {
+    DCS_OBS_SCOPE("exp.task");
     std::vector<double> row = fn(tasks[i]);
     DCS_REQUIRE(row.size() == run.metrics.size(),
                 "sweep '" + spec.name() + "' task " + std::to_string(i) +

@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/profile.h"
+
 namespace dcs::exp {
 
 std::size_t resolve_threads(std::size_t requested) noexcept {
@@ -17,7 +19,10 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = resolve_threads(threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::Profiler::set_thread_lane(static_cast<int>(i) + 1);
+      worker_loop();
+    });
   }
 }
 
@@ -82,7 +87,12 @@ void parallel_for(std::size_t count, std::size_t threads,
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back([&drain, w] {
+      obs::Profiler::set_thread_lane(static_cast<int>(w));
+      drain();
+    });
+  }
   drain();
   for (std::thread& t : pool) t.join();
 

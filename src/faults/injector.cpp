@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/log.h"
 
 namespace dcs::faults {
 
@@ -11,12 +12,30 @@ FaultInjector::FaultInjector(FaultSchedule schedule, const Bindings& bindings,
     : schedule_(std::move(schedule)), bindings_(bindings), rng_(seed) {
   DCS_REQUIRE(bindings_.topology != nullptr, "injector needs a power topology");
   DCS_REQUIRE(bindings_.cooling != nullptr, "injector needs a cooling plant");
+  was_active_.assign(schedule_.faults().size(), false);
 }
 
 void FaultInjector::apply(Duration now) {
   State s;
-  for (const Fault& f : schedule_.faults()) {
-    if (!f.active_at(now)) continue;
+  const auto& faults = schedule_.faults();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    const bool active = f.active_at(now);
+    if (active != was_active_[i]) {
+      const std::string_view kind = to_string(f.kind);
+      if (tracer_ != nullptr) {
+        tracer_->instant(now, "fault", active ? "inject" : "clear",
+                         {obs::arg("kind", kind),
+                          obs::arg("index", static_cast<double>(i)),
+                          obs::arg("magnitude", f.magnitude),
+                          obs::arg("severity", severity_of(f))});
+      }
+      DCS_LOG_INFO << "fault " << kind << "[" << i << "] "
+                   << (active ? "injected" : "cleared") << " at t="
+                   << now.sec() << "s";
+      was_active_[i] = active;
+    }
+    if (!active) continue;
     ++s.active_count;
     s.severity = std::max(s.severity, severity_of(f));
     switch (f.kind) {

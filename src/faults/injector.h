@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "faults/schedule.h"
+#include "obs/trace.h"
 #include "power/generator.h"
 #include "power/topology.h"
 #include "thermal/cooling_plant.h"
@@ -65,6 +67,10 @@ class FaultInjector {
   /// True once any fault has been active during the run.
   [[nodiscard]] bool ever_active() const noexcept { return ever_active_; }
 
+  /// Optional structured-trace sink: apply() emits one "inject" instant when
+  /// a scheduled fault becomes active and one "clear" instant when it ends.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Filters one sensor reading through the sensor faults active at `now`.
   /// Mutates latch/noise state, so call exactly once per channel per tick
   /// (extra calls stay deterministic but consume the noise stream).
@@ -82,8 +88,10 @@ class FaultInjector {
   Bindings bindings_;
   State state_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   bool ever_active_ = false;
   SensorState sensors_[3];
+  std::vector<bool> was_active_;  // per scheduled fault, for edge detection
 };
 
 }  // namespace dcs::faults

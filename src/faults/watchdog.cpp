@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/log.h"
+
 namespace dcs::faults {
 namespace {
 
@@ -56,7 +58,16 @@ void Watchdog::check(Duration now, const power::PowerTopology& topology,
 
 void Watchdog::fail(Duration now, std::string message) {
   ++report_.violations;
+  if (tracer_ != nullptr) {
+    tracer_->instant(
+        now, "watchdog", "violation",
+        {obs::arg("message", message),
+         obs::arg("total", static_cast<double>(report_.violations))});
+  }
   if (report_.first_message.empty()) {
+    // Only the first violation logs; a persistent breach fails every tick
+    // and would otherwise flood stderr.
+    DCS_LOG_WARN << "watchdog: " << message << " at t=" << now.sec() << "s";
     report_.first_message = std::move(message);
     report_.first_time = now;
   }

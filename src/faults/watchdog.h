@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/trace.h"
 #include "power/topology.h"
 #include "thermal/room_model.h"
 #include "thermal/tes_tank.h"
@@ -54,11 +55,16 @@ class Watchdog {
     return report_;
   }
 
+  /// Optional structured-trace sink: fail() emits one "violation" instant
+  /// per violating (tick, invariant) pair.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   void fail(Duration now, std::string message);
 
   Options options_;
   WatchdogReport report_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dcs::faults

@@ -1,0 +1,131 @@
+// Wall-clock profiling scopes with per-thread buffers.
+//
+// DCS_OBS_SCOPE("name") times the enclosing block and records a span into a
+// buffer owned by the calling thread — no cross-thread contention on the
+// hot path beyond one uncontended mutex per record. Threads identify
+// themselves with a *lane* (main thread 0; exp::ThreadPool workers register
+// lane 1..N), so a sweep's Chrome trace shows one row per worker and pool
+// utilization is visible at a glance.
+//
+// collect() merges the buffers deterministically — sorted by (lane, start,
+// longest-span-first) — so the *structure* of the output depends only on
+// the recorded data, never on buffer registration order. The recorded
+// durations are wall clock and belong in perf records only; simulation
+// results must never depend on them (DESIGN.md "Observability").
+//
+// The profiler is disabled by default; a disabled scope is one relaxed
+// atomic load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dcs::obs {
+
+struct ProfileEvent {
+  /// Scope name; must point at storage outliving the profiler use (string
+  /// literals — the DCS_OBS_SCOPE contract).
+  const char* name = nullptr;
+  std::uint32_t lane = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  void set_enabled(bool enabled) noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Sets the calling thread's lane (sticky thread-local; main = 0).
+  static void set_thread_lane(std::uint32_t lane) noexcept;
+  [[nodiscard]] static std::uint32_t thread_lane() noexcept;
+
+  /// Wall microseconds since the process-wide profiler epoch.
+  [[nodiscard]] double now_us() const noexcept;
+
+  /// Records one finished span into the calling thread's buffer.
+  void record(const char* name, double start_us, double dur_us);
+
+  /// Copies every buffered span, merged in (lane, start_us, dur_us desc)
+  /// order. Does not clear; pair with reset() between runs.
+  [[nodiscard]] std::vector<ProfileEvent> collect() const;
+  /// Drops every buffered span.
+  void reset();
+
+ private:
+  Profiler();
+
+  struct Buffer {
+    std::mutex mu;
+    std::vector<ProfileEvent> events;
+  };
+  Buffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ (registration + collect)
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII timer behind DCS_OBS_SCOPE. `name` must be a string literal.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name) noexcept {
+    Profiler& p = Profiler::instance();
+    if (p.enabled()) {
+      name_ = name;
+      start_us_ = p.now_us();
+    }
+  }
+  ~ScopeTimer() {
+    if (name_ != nullptr) {
+      Profiler& p = Profiler::instance();
+      p.record(name_, start_us_, p.now_us() - start_us_);
+    }
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+/// Per-scope aggregate for BENCH_*.json perf records.
+struct ScopeStats {
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+  [[nodiscard]] double mean_us() const noexcept {
+    return count > 0 ? total_us / static_cast<double>(count) : 0.0;
+  }
+};
+
+using ProfileSummary = std::map<std::string, ScopeStats>;
+
+[[nodiscard]] ProfileSummary summarize(const std::vector<ProfileEvent>& events);
+
+/// Appends the spans to `tracer` as wall-domain 'X' events (one Chrome
+/// lane per worker) and names the lanes "worker-<lane>" / "main".
+void export_to(Tracer& tracer, const std::vector<ProfileEvent>& events);
+
+}  // namespace dcs::obs
+
+#define DCS_OBS_CONCAT_INNER(a, b) a##b
+#define DCS_OBS_CONCAT(a, b) DCS_OBS_CONCAT_INNER(a, b)
+/// Times the enclosing scope under `name` (a string literal) when the
+/// process-wide Profiler is enabled.
+#define DCS_OBS_SCOPE(name) \
+  ::dcs::obs::ScopeTimer DCS_OBS_CONCAT(dcs_obs_scope_, __LINE__)(name)

@@ -1,0 +1,205 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcs::obs {
+namespace {
+
+std::string render_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string render_string(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+constexpr int kSimPid = 1;
+constexpr int kWallPid = 2;
+
+int pid_of(Domain domain) noexcept {
+  return domain == Domain::kSim ? kSimPid : kWallPid;
+}
+
+void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
+  out << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << render_string(args[i].key) << ": "
+        << args[i].value;
+  }
+  out << "}";
+}
+
+void write_event_json(std::ostream& out, const TraceEvent& e) {
+  out << "{\"ph\": \"" << e.phase << "\", \"ts\": " << render_number(e.ts_us);
+  if (e.phase == 'X') out << ", \"dur\": " << render_number(e.dur_us);
+  out << ", \"pid\": " << pid_of(e.domain) << ", \"tid\": " << e.lane
+      << ", \"cat\": " << render_string(e.cat)
+      << ", \"name\": " << render_string(e.name);
+  if (e.phase == 'i') out << ", \"s\": \"t\"";
+  if (!e.args.empty()) {
+    out << ", \"args\": ";
+    write_args(out, e.args);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string_view to_string(Domain domain) noexcept {
+  return domain == Domain::kSim ? "sim" : "wall";
+}
+
+TraceArg arg(std::string key, double value) {
+  return TraceArg{std::move(key), render_number(value)};
+}
+
+TraceArg arg(std::string key, std::string_view value) {
+  return TraceArg{std::move(key), render_string(value)};
+}
+
+TraceArg arg(std::string key, bool value) {
+  return TraceArg{std::move(key), value ? "true" : "false"};
+}
+
+void Tracer::instant(Duration t, std::string_view cat, std::string_view name,
+                     std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.domain = Domain::kSim;
+  e.phase = 'i';
+  e.ts_us = t.sec() * 1e6;
+  e.lane = lane_;
+  e.cat = cat;
+  e.name = name;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::counter(Duration t, std::string_view cat, std::string_view name,
+                     std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.domain = Domain::kSim;
+  e.phase = 'C';
+  e.ts_us = t.sec() * 1e6;
+  e.lane = lane_;
+  e.cat = cat;
+  e.name = name;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::append(TraceEvent event) { events_.push_back(std::move(event)); }
+
+void Tracer::merge_from(Tracer&& other) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent& e : other.events_) events_.push_back(std::move(e));
+  for (auto& [key, name] : other.lane_names_) {
+    lane_names_.insert_or_assign(key, std::move(name));
+  }
+  other.clear();
+}
+
+void Tracer::name_lane(Domain domain, std::uint32_t lane, std::string name) {
+  lane_names_.insert_or_assign({domain, lane}, std::move(name));
+}
+
+std::size_t Tracer::count(Domain domain) const noexcept {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.domain == domain) ++n;
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  lane_names_.clear();
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events_) {
+    out << "{\"domain\": \"" << to_string(e.domain) << "\", "
+        << "\"ph\": \"" << e.phase << "\", \"ts\": " << render_number(e.ts_us);
+    if (e.phase == 'X') out << ", \"dur\": " << render_number(e.dur_us);
+    out << ", \"lane\": " << e.lane << ", \"cat\": " << render_string(e.cat)
+        << ", \"name\": " << render_string(e.name);
+    if (!e.args.empty()) {
+      out << ", \"args\": ";
+      write_args(out, e.args);
+    }
+    out << "}\n";
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    out << (first ? "  " : ",\n  ");
+    first = false;
+    return out;
+  };
+  const bool have[2] = {count(Domain::kSim) > 0, count(Domain::kWall) > 0};
+  for (const Domain domain : {Domain::kSim, Domain::kWall}) {
+    if (!have[static_cast<int>(domain)]) continue;
+    sep() << "{\"ph\": \"M\", \"pid\": " << pid_of(domain)
+          << ", \"name\": \"process_name\", \"args\": {\"name\": "
+          << render_string(to_string(domain)) << "}}";
+  }
+  for (const auto& [key, name] : lane_names_) {
+    sep() << "{\"ph\": \"M\", \"pid\": " << pid_of(key.first)
+          << ", \"tid\": " << key.second
+          << ", \"name\": \"thread_name\", \"args\": {\"name\": "
+          << render_string(name) << "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    sep();
+    write_event_json(out, e);
+  }
+  out << "\n]}\n";
+}
+
+bool export_trace(const std::string& dir, const std::string& name,
+                  const Tracer& tracer, std::ostream* diag) {
+  bool ok = true;
+  const auto write = [&](const std::string& path, auto&& writer) {
+    std::ofstream out(path);
+    if (!out) {
+      if (diag != nullptr) *diag << "cannot write " << path << "\n";
+      ok = false;
+      return;
+    }
+    writer(out);
+    if (diag != nullptr) *diag << "[obs] wrote " << path << "\n";
+  };
+  write(dir + "/" + name + "_trace.json",
+        [&](std::ostream& o) { tracer.write_chrome_trace(o); });
+  write(dir + "/" + name + "_trace.jsonl",
+        [&](std::ostream& o) { tracer.write_jsonl(o); });
+  return ok;
+}
+
+}  // namespace dcs::obs

@@ -1,0 +1,109 @@
+// Structured trace events for the sprinting stack, exportable as JSONL and
+// as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Two clock domains share one Tracer:
+//  * kSim — events stamped with *simulated* time (controller phase
+//    transitions, fault injection, watchdog violations). These are part of
+//    the deterministic result surface: for a fixed configuration the
+//    sim-event stream is bit-identical for any thread count. Sweeps get
+//    this by giving each task its own Tracer (the task owns its slot, same
+//    contract as the runner's result rows) and merging in task order.
+//  * kWall — wall-clock profiling spans from obs/profile.h. They carry
+//    "where did the time go", never results, and are not deterministic.
+//
+// The Tracer itself is not thread-safe: one Tracer per run/task, merged
+// afterwards on one thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dcs::obs {
+
+enum class Domain { kSim = 0, kWall = 1 };
+
+[[nodiscard]] std::string_view to_string(Domain domain) noexcept;
+
+/// One key/value event argument. `value` is a pre-rendered JSON literal
+/// (a number formatted with %.17g for bit-stable round-trips, or an escaped
+/// quoted string), so writers can emit it verbatim.
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+[[nodiscard]] TraceArg arg(std::string key, double value);
+[[nodiscard]] TraceArg arg(std::string key, std::string_view value);
+[[nodiscard]] TraceArg arg(std::string key, bool value);
+
+struct TraceEvent {
+  Domain domain = Domain::kSim;
+  /// Chrome trace-event phase: 'i' instant, 'X' complete span, 'C' counter.
+  char phase = 'i';
+  /// Microseconds: simulated time (kSim) or wall time since the profiler
+  /// epoch (kWall).
+  double ts_us = 0.0;
+  /// Span length ('X' events only).
+  double dur_us = 0.0;
+  /// Lane ("tid" in the Chrome format): sweep task index for sim events,
+  /// worker lane for wall events.
+  std::uint32_t lane = 0;
+  std::string cat;
+  std::string name;
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  /// Lane stamped on subsequently appended sim events (sweeps set this to
+  /// the task index so merged traces keep one lane per task).
+  void set_lane(std::uint32_t lane) noexcept { lane_ = lane; }
+  [[nodiscard]] std::uint32_t lane() const noexcept { return lane_; }
+
+  /// Appends a sim-domain instant event at simulated time `t`.
+  void instant(Duration t, std::string_view cat, std::string_view name,
+               std::vector<TraceArg> args = {});
+  /// Appends a sim-domain counter event ('C') at simulated time `t`.
+  void counter(Duration t, std::string_view cat, std::string_view name,
+               std::vector<TraceArg> args);
+  /// Appends a fully-specified event (profiling export, tests).
+  void append(TraceEvent event);
+
+  /// Appends every event of `other` in order (task-order sweep merging).
+  /// Lane names are merged too; `other` is left empty.
+  void merge_from(Tracer&& other);
+
+  /// Names a lane in the Chrome export ("thread_name" metadata).
+  void name_lane(Domain domain, std::uint32_t lane, std::string name);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t count(Domain domain) const noexcept;
+  void clear();
+
+  /// One JSON object per line, every event in append order.
+  void write_jsonl(std::ostream& out) const;
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with process/thread
+  /// metadata (pid 1 = "sim", pid 2 = "wall"); loads in Perfetto.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::uint32_t lane_ = 0;
+  std::vector<TraceEvent> events_;
+  std::map<std::pair<Domain, std::uint32_t>, std::string> lane_names_;
+};
+
+/// Writes `<dir>/<name>_trace.json` (Chrome) and `<dir>/<name>_trace.jsonl`.
+/// Returns false (after a diagnostic on `diag`) when a file cannot open.
+bool export_trace(const std::string& dir, const std::string& name,
+                  const Tracer& tracer, std::ostream* diag = nullptr);
+
+}  // namespace dcs::obs

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace dcs::sim {
@@ -19,17 +20,32 @@ void Engine::schedule(Duration at, std::function<void()> fn) {
 }
 
 void Engine::step_once() {
-  events_.fire_due(now_);
+  const std::size_t fired = events_.fire_due(now_);
+  if (fired > 0 && tracer_ != nullptr) {
+    tracer_->instant(now_, "engine", "events-fired",
+                     {obs::arg("count", static_cast<double>(fired))});
+  }
   for (Component* c : components_) c->tick(now_, step_);
   now_ += step_;
 }
 
 std::size_t Engine::run_until(Duration end) {
+  DCS_OBS_SCOPE("sim.run");
+  if (tracer_ != nullptr) {
+    tracer_->instant(now_, "engine", "run-start",
+                     {obs::arg("end_s", end.sec()),
+                      obs::arg("step_s", step_.sec())});
+  }
   std::size_t ticks = 0;
   stop_requested_ = false;
   while (now_ < end && !stop_requested_) {
     step_once();
     ++ticks;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(now_, "engine", "run-end",
+                     {obs::arg("ticks", static_cast<double>(ticks)),
+                      obs::arg("stopped", stop_requested_)});
   }
   return ticks;
 }

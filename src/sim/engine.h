@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/component.h"
 #include "sim/event_queue.h"
 #include "util/units.h"
@@ -39,6 +40,13 @@ class Engine {
   void request_stop() noexcept { stop_requested_ = true; }
   [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
 
+  /// Optional structured-trace sink (must outlive the engine use; nullptr
+  /// disables tracing). The engine emits run-start / run-end instants and
+  /// one event per fired one-shot callback — it never prints, same
+  /// discipline as util/log.h.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   [[nodiscard]] Duration now() const noexcept { return now_; }
   [[nodiscard]] Duration step() const noexcept { return step_; }
 
@@ -46,6 +54,7 @@ class Engine {
   Duration step_;
   Duration now_ = Duration::zero();
   bool stop_requested_ = false;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<Component*> components_;
   EventQueue events_;
 };

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace dcs::obs {
+namespace {
+
+TEST(ObsTrace, InstantEventsCarrySimTimeAndLane) {
+  Tracer tracer;
+  tracer.set_lane(3);
+  tracer.instant(Duration::seconds(2), "controller", "phase",
+                 {arg("from", std::string_view("normal")),
+                  arg("to", std::string_view("cb-overload"))});
+  ASSERT_EQ(tracer.events().size(), 1u);
+  const TraceEvent& e = tracer.events().front();
+  EXPECT_EQ(e.domain, Domain::kSim);
+  EXPECT_EQ(e.phase, 'i');
+  EXPECT_DOUBLE_EQ(e.ts_us, 2e6);
+  EXPECT_EQ(e.lane, 3u);
+  EXPECT_EQ(e.cat, "controller");
+  EXPECT_EQ(e.name, "phase");
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0].key, "from");
+  EXPECT_EQ(e.args[0].value, "\"normal\"");
+}
+
+TEST(ObsTrace, ArgRendersNumbersRoundTrippable) {
+  EXPECT_EQ(arg("x", 1.5).value, "1.5");
+  EXPECT_EQ(arg("b", true).value, "true");
+  // Non-finite doubles have no JSON literal; they render as strings.
+  EXPECT_EQ(arg("inf", std::string_view("inf")).value, "\"inf\"");
+}
+
+TEST(ObsTrace, ChromeTraceIsWellFormedJsonWithMetadata) {
+  Tracer tracer;
+  tracer.name_lane(Domain::kSim, 0, "greedy/nominal");
+  tracer.instant(Duration::seconds(1), "fault", "inject",
+                 {arg("magnitude", 0.4)});
+  TraceEvent span;
+  span.domain = Domain::kWall;
+  span.phase = 'X';
+  span.ts_us = 10.0;
+  span.dur_us = 5.0;
+  span.lane = 1;
+  span.cat = "profile";
+  span.name = "exp.task";
+  tracer.append(span);
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 5"), std::string::npos);
+  EXPECT_NE(json.find("greedy/nominal"), std::string::npos);
+  // Process metadata for both domains.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall\""), std::string::npos);
+}
+
+TEST(ObsTrace, JsonlWritesOneObjectPerEventInAppendOrder) {
+  Tracer tracer;
+  tracer.instant(Duration::seconds(1), "a", "first");
+  tracer.instant(Duration::seconds(2), "a", "second");
+  std::ostringstream out;
+  tracer.write_jsonl(out);
+  const std::string text = out.str();
+  std::istringstream lines(text);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_LT(text.find("first"), text.find("second"));
+}
+
+TEST(ObsTrace, MergeFromAppendsInOrderAndTransfersLaneNames) {
+  Tracer a;
+  a.instant(Duration::seconds(1), "x", "one");
+  Tracer b;
+  b.set_lane(7);
+  b.name_lane(Domain::kSim, 7, "task-7");
+  b.instant(Duration::seconds(2), "x", "two");
+
+  a.merge_from(std::move(b));
+  ASSERT_EQ(a.events().size(), 2u);
+  EXPECT_EQ(a.events()[0].name, "one");
+  EXPECT_EQ(a.events()[1].name, "two");
+  EXPECT_EQ(a.events()[1].lane, 7u);
+
+  std::ostringstream out;
+  a.write_chrome_trace(out);
+  EXPECT_NE(out.str().find("task-7"), std::string::npos);
+}
+
+TEST(ObsTrace, CountByDomainAndClear) {
+  Tracer tracer;
+  tracer.instant(Duration::seconds(1), "x", "sim-event");
+  TraceEvent wall;
+  wall.domain = Domain::kWall;
+  wall.phase = 'X';
+  tracer.append(wall);
+  EXPECT_EQ(tracer.count(Domain::kSim), 1u);
+  EXPECT_EQ(tracer.count(Domain::kWall), 1u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.empty());
+}
+
+TEST(ObsTrace, StringArgsEscapeControlAndQuoteCharacters) {
+  const TraceArg a = arg("msg", std::string_view("a\"b\\c\nd"));
+  EXPECT_EQ(a.value, "\"a\\\"b\\\\c\\nd\"");
+}
+
+}  // namespace
+}  // namespace dcs::obs

@@ -1,0 +1,69 @@
+#include "sim/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dcs::sim {
+namespace {
+
+TEST(SimRecorder, RecordCreatesChannelsOnFirstUse) {
+  Recorder rec;
+  EXPECT_FALSE(rec.has("power"));
+  rec.record("power", Duration::seconds(0), 100.0);
+  rec.record("power", Duration::seconds(1), 150.0);
+  ASSERT_TRUE(rec.has("power"));
+  const TimeSeries& ts = rec.series("power");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(ts[1].value, 150.0);
+}
+
+TEST(SimRecorder, EqualTimeSamplesOverwriteTheLast) {
+  Recorder rec;
+  rec.record("soc", Duration::seconds(0), 1.0);
+  rec.record("soc", Duration::seconds(5), 0.8);
+  rec.record("soc", Duration::seconds(5), 0.6);
+  const TimeSeries& ts = rec.series("soc");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[1].value, 0.6);
+}
+
+TEST(SimRecorder, EqualTimeOverwriteWorksOnTheFirstSample) {
+  Recorder rec;
+  rec.record("x", Duration::zero(), 1.0);
+  rec.record("x", Duration::zero(), 2.0);
+  const TimeSeries& ts = rec.series("x");
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts[0].value, 2.0);
+}
+
+TEST(SimRecorder, DecreasingTimeThrows) {
+  Recorder rec;
+  rec.record("x", Duration::seconds(10), 1.0);
+  EXPECT_THROW(rec.record("x", Duration::seconds(9), 2.0),
+               std::invalid_argument);
+}
+
+TEST(SimRecorder, UnknownChannelThrows) {
+  const Recorder rec;
+  EXPECT_THROW(static_cast<void>(rec.series("nope")), std::invalid_argument);
+}
+
+TEST(SimRecorder, ChannelsAreSortedAndClearDropsThem) {
+  Recorder rec;
+  rec.record("zeta", Duration::zero(), 0.0);
+  rec.record("alpha", Duration::zero(), 0.0);
+  const std::vector<std::string> names = rec.channels();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+  rec.clear();
+  EXPECT_TRUE(rec.channels().empty());
+  EXPECT_FALSE(rec.has("alpha"));
+}
+
+}  // namespace
+}  // namespace dcs::sim
