@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <initializer_list>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -14,8 +15,11 @@
 #include "exp/reporter.h"
 #include "exp/runner.h"
 #include "exp/sweep.h"
+#include "obs/counters.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
+#include "obs/sink.h"
 #include "obs/trace.h"
 #include "util/config.h"
 #include "util/time_series.h"
@@ -25,10 +29,18 @@ namespace dcs::bench {
 /// Keys every bench understands: the shared data-center knobs plus the
 /// sweep-runner knobs (threads=<n>, csv=<dir>, perf=<dir>) and the
 /// observability knobs (trace=<dir> for Chrome trace JSON + JSONL,
-/// metrics=<dir> for CSV/JSON/Prometheus snapshots).
+/// sink=buffer|stream to pick the in-memory Tracer or the bounded-memory
+/// streaming sinks, metrics=<dir> for CSV/JSON/Prometheus snapshots).
 inline constexpr std::string_view kCommonKeys[] = {
     "pdus", "dc_headroom", "pue", "csv", "perf", "threads", "trace",
-    "metrics"};
+    "metrics", "sink"};
+
+/// Default recorder channels bridged into Perfetto counter tracks by the
+/// traced benches: physical state (state of charge, breaker trip margin,
+/// room temperature, chiller draw) next to the control trajectory (degree).
+inline const std::vector<std::string> kDefaultCounterChannels = {
+    "ups_soc",  "tes_soc", "cb_trip_margin_s",
+    "room_c",   "degree",  "cooling_mw"};
 
 /// Parses "key=value" command-line arguments. Malformed tokens and keys
 /// outside the common set plus `extra_allowed` abort with a clear error
@@ -93,11 +105,17 @@ inline void maybe_export_sweep(const Config& args, const exp::SweepSpec& spec,
   if (!perf_dir.empty()) {
     const std::vector<obs::ProfileEvent> events =
         obs::Profiler::instance().collect();
+    // Sampling-profiler folded stacks (non-empty only when the sweep ran
+    // with DCS_OBS_SAMPLER set) ride along in the perf record.
+    const obs::FoldedStacks folded = obs::Sampler::instance().folded();
+    const obs::FoldedStacks* folded_ptr = folded.empty() ? nullptr : &folded;
     if (events.empty()) {
-      exp::export_perf_record(perf_dir, summary, &std::cout);
+      exp::export_perf_record(perf_dir, summary, &std::cout, nullptr,
+                              folded_ptr);
     } else {
       const obs::ProfileSummary scopes = obs::summarize(events);
-      exp::export_perf_record(perf_dir, summary, &std::cout, &scopes);
+      exp::export_perf_record(perf_dir, summary, &std::cout, &scopes,
+                              folded_ptr);
     }
   }
 }
@@ -111,18 +129,77 @@ inline void obs_setup(const Config& args) {
   }
 }
 
+/// Streaming trace sinks for one bench (sink=stream under trace=<dir>):
+/// the merged event stream tees into `<dir>/<name>_trace.json` (Chrome,
+/// crash-safe) and `<dir>/<name>_trace.jsonl` with bounded memory. Default
+/// (sink=buffer) keeps the in-memory Tracer path.
+struct StreamTraceSinks {
+  std::unique_ptr<obs::ChromeStreamSink> chrome;
+  std::unique_ptr<obs::JsonlStreamSink> jsonl;
+  std::unique_ptr<obs::TeeSink> tee;
+
+  [[nodiscard]] bool active() const noexcept { return tee != nullptr; }
+  [[nodiscard]] obs::TraceSink* sink() const noexcept { return tee.get(); }
+
+  void finalize(std::ostream* diag = nullptr) {
+    if (!active()) return;
+    tee->finalize();
+    if (diag != nullptr) {
+      for (const obs::FileStreamSink* s :
+           {static_cast<const obs::FileStreamSink*>(chrome.get()),
+            static_cast<const obs::FileStreamSink*>(jsonl.get())}) {
+        if (s->ok()) {
+          *diag << "[obs] streamed " << s->events_written() << " events to "
+                << s->path() << "\n";
+        } else {
+          *diag << "[obs] cannot write " << s->path() << "\n";
+        }
+      }
+    }
+  }
+};
+
+/// Builds the streaming sinks when trace=<dir> and sink=stream are both
+/// given; inactive (null members) otherwise. Rejects unknown sink= values.
+inline StreamTraceSinks maybe_stream_sinks(const Config& args,
+                                           const std::string& name) {
+  StreamTraceSinks sinks;
+  const std::string mode = args.get_string("sink", "buffer");
+  if (mode != "buffer" && mode != "stream") {
+    std::cerr << "error: sink must be 'buffer' or 'stream', got '" << mode
+              << "'\n";
+    std::exit(2);
+  }
+  const std::string trace_dir = args.get_string("trace", "");
+  if (mode != "stream" || trace_dir.empty()) return sinks;
+  sinks.chrome = std::make_unique<obs::ChromeStreamSink>(
+      trace_dir + "/" + name + "_trace.json");
+  sinks.jsonl = std::make_unique<obs::JsonlStreamSink>(
+      trace_dir + "/" + name + "_trace.jsonl");
+  sinks.tee = std::make_unique<obs::TeeSink>(
+      std::vector<obs::TraceSink*>{sinks.chrome.get(), sinks.jsonl.get()});
+  return sinks;
+}
+
 /// Observability export glue: under trace=<dir>, folds the profiler's
 /// wall-clock scopes into `tracer` and writes `<name>_trace.json` (Chrome
 /// trace-event format, Perfetto-loadable) plus `<name>_trace.jsonl`; under
 /// metrics=<dir>, writes `<name>_metrics.{csv,json,prom}`. Null arguments
-/// skip the matching export.
+/// skip the matching export. For a streaming Tracer (attached sink) the
+/// wall spans are forwarded to the sink and `stream` is finalized instead
+/// of rewriting the files from memory.
 inline void maybe_export_obs(const Config& args, const std::string& name,
                              obs::Tracer* tracer,
-                             const obs::MetricsRegistry* metrics) {
+                             const obs::MetricsRegistry* metrics,
+                             StreamTraceSinks* stream = nullptr) {
   const std::string trace_dir = args.get_string("trace", "");
   if (!trace_dir.empty() && tracer != nullptr) {
     obs::export_to(*tracer, obs::Profiler::instance().collect());
-    obs::export_trace(trace_dir, name, *tracer, &std::cout);
+    if (tracer->sink() != nullptr) {
+      if (stream != nullptr) stream->finalize(&std::cout);
+    } else {
+      obs::export_trace(trace_dir, name, *tracer, &std::cout);
+    }
   }
   const std::string metrics_dir = args.get_string("metrics", "");
   if (!metrics_dir.empty() && metrics != nullptr) {

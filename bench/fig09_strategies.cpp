@@ -5,6 +5,14 @@
 //
 // The error grid runs on the src/exp sweep runner (threads=<n> to pin the
 // worker count); results are bit-identical for any thread count.
+//
+// Observability: under trace=<dir> each grid task traces its Prediction run
+// (phase-transition instants plus recorder counter tracks: state of charge,
+// breaker trip margin, room temperature, degree, chiller draw) into its own
+// lane; sink=stream sends the merged stream through the bounded-memory
+// crash-safe file sinks. faults=1 injects a canonical mid-burst fault pair
+// (UPS bank outage + degraded chiller) so the traced trajectories show the
+// degradation ladder at work.
 #include <iostream>
 #include <vector>
 
@@ -12,6 +20,7 @@
 #include "core/heuristic_strategy.h"
 #include "core/oracle.h"
 #include "core/prediction_strategy.h"
+#include "faults/schedule.h"
 #include "util/table.h"
 #include "workload/ms_trace.h"
 #include "workload/predictor.h"
@@ -19,10 +28,28 @@
 int main(int argc, char** argv) {
   using namespace dcs;
   using namespace dcs::core;
-  const Config args = bench::parse_args(argc, argv);
+  const Config args = bench::parse_args(argc, argv, {"faults"});
   const std::size_t threads = bench::bench_threads(args);
+  bench::obs_setup(args);
+  const bool tracing = !args.get_string("trace", "").empty();
+  const bool faulted = args.get_int("faults", 0) != 0;
   const DataCenter dc(bench::bench_config(args));
   const TimeSeries trace = workload::generate_ms_trace();
+
+  // Canonical mid-burst faults (the MS trace's over-capacity window spans
+  // most of the 30-minute cut): a 40% UPS bank outage overlapping a 35%
+  // chiller COP degradation.
+  faults::FaultSchedule fault_schedule;
+  if (faulted) {
+    fault_schedule.add(faults::Fault{faults::FaultKind::kUpsBankOutage,
+                                     Duration::minutes(10),
+                                     Duration::minutes(16), 0.4,
+                                     faults::SensorChannel::kDemand});
+    fault_schedule.add(faults::Fault{faults::FaultKind::kChillerDegradedCop,
+                                     Duration::minutes(8),
+                                     Duration::minutes(20), 0.35,
+                                     faults::SensorChannel::kDemand});
+  }
 
   std::cout << "=== Figure 9: strategies vs estimation error (MS trace) ===\n";
 
@@ -63,6 +90,10 @@ int main(int argc, char** argv) {
 
   exp::SweepSpec spec("fig09_strategies");
   spec.add_axis("error_pct", error_pct, 0);
+  // Each grid task owns a Tracer slot (same task-indexed contract as the
+  // runner's result rows), so the merged sim-event stream is bit-identical
+  // for any thread count.
+  std::vector<obs::Tracer> task_tracers(tracing ? spec.tasks().size() : 0);
   const exp::SweepRun run = exp::run_sweep(
       spec, {"greedy", "prediction", "heuristic", "oracle"},
       [&](const exp::SweepSpec::Task& task) {
@@ -72,13 +103,40 @@ int main(int argc, char** argv) {
         PredictionStrategy prediction(forecast.predicted_duration(), &table);
         HeuristicStrategy heuristic(
             forecast.apply(oracle_run.avg_sprint_degree), budget);
+        RunOptions opts;
+        if (faulted) opts.faults = &fault_schedule;
+        if (tracing) {
+          opts.tracer = &task_tracers[task.index];
+          opts.tracer->set_lane(static_cast<std::uint32_t>(task.index));
+          opts.record = true;
+        }
+        const RunResult prediction_run = task_dc.run(trace, &prediction, opts);
+        if (tracing) {
+          // Counter tracks next to the phase instants the run just traced.
+          obs::export_counters(prediction_run.recorder, *opts.tracer,
+                               {.channels = bench::kDefaultCounterChannels});
+        }
+        RunOptions heuristic_opts;
+        if (faulted) heuristic_opts.faults = &fault_schedule;
         return std::vector<double>{
-            greedy_run.performance_factor,
-            task_dc.run(trace, &prediction).performance_factor,
-            task_dc.run(trace, &heuristic).performance_factor,
+            greedy_run.performance_factor, prediction_run.performance_factor,
+            task_dc.run(trace, &heuristic, heuristic_opts).performance_factor,
             oracle.best_performance};
       },
       {.threads = threads});
+
+  bench::StreamTraceSinks stream =
+      bench::maybe_stream_sinks(args, "fig09_strategies");
+  obs::Tracer tracer =
+      stream.active() ? obs::Tracer(stream.sink()) : obs::Tracer();
+  if (tracing) {
+    for (const exp::SweepSpec::Task& task : spec.tasks()) {
+      tracer.name_lane(obs::Domain::kSim,
+                       static_cast<std::uint32_t>(task.index),
+                       "prediction/err=" + spec.label(task, 0) + "%");
+      tracer.merge_from(std::move(task_tracers[task.index]));
+    }
+  }
 
   TablePrinter table_out(
       {"error %", "Greedy", "Prediction", "Heuristic", "Oracle"});
@@ -89,6 +147,8 @@ int main(int argc, char** argv) {
 
   const exp::SweepSummary summary = exp::aggregate(spec, run);
   bench::maybe_export_sweep(args, spec, run, summary);
+  bench::maybe_export_obs(args, "fig09_strategies", tracing ? &tracer : nullptr,
+                          nullptr, &stream);
   std::cerr << "[exp] " << run.rows.size() << " tasks in "
             << format_double(run.wall_seconds, 2) << " s on "
             << run.threads_used << " thread(s)\n";

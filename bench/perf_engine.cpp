@@ -101,12 +101,24 @@ BENCHMARK(BM_OracleSearch)
 
 int main(int argc, char** argv) {
   // Default a JSON perf record next to the console report; explicit
-  // --benchmark_out flags win.
-  std::vector<char*> args(argv, argv + argc);
-  const bool has_out = std::any_of(argv, argv + argc, [](const char* a) {
+  // --benchmark_out flags win. perf=<dir> (the other benches' knob) routes
+  // the record into <dir>/BENCH_perf_engine.json for the perf gate.
+  std::vector<char*> args;
+  std::string perf_dir;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "perf=", 5) == 0) {
+      perf_dir = argv[i] + 5;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const bool has_out = std::any_of(args.begin(), args.end(), [](const char* a) {
     return std::strncmp(a, "--benchmark_out", 15) == 0;
   });
-  std::string out_flag = "--benchmark_out=BENCH_perf_engine.json";
+  std::string out_flag =
+      "--benchmark_out=" +
+      (perf_dir.empty() ? std::string("BENCH_perf_engine.json")
+                        : perf_dir + "/BENCH_perf_engine.json");
   std::string format_flag = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag.data());

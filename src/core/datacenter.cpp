@@ -12,6 +12,10 @@
 namespace dcs::core {
 namespace {
 
+/// Cap for the recorded cb_trip_margin_s channel: an infinite time-to-trip
+/// (load below the breaker threshold) records as one hour.
+constexpr double kTripMarginCapSec = 3600.0;
+
 /// Adapts the per-tick run body to the simulation engine's Component
 /// interface, so experiment runs share the engine's clock/event machinery.
 class RunDriver final : public sim::Component {
@@ -183,6 +187,15 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
                  plant->topology.dc_breaker().thermal_state());
       rec.record("pdu_cb_heat", now,
                  plant->topology.pdus().front().breaker().thermal_state());
+      // Time-to-trip margin at the current load, clamped so the channel
+      // stays finite (infinity has no JSON literal for trace export); an
+      // hour of margin is indistinguishable from "safe" on every figure.
+      const Duration trip_margin =
+          plant->topology.dc_breaker().time_to_trip_at(step.dc_load);
+      rec.record("cb_trip_margin_s", now,
+                 trip_margin.is_infinite()
+                     ? kTripMarginCapSec
+                     : std::min(trip_margin.sec(), kTripMarginCapSec));
       rec.record("supply", now, step.supply_fraction);
       rec.record("degradation", now, static_cast<double>(step.degradation));
       if (injector != nullptr) {

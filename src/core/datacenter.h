@@ -103,8 +103,9 @@ struct RunResult {
   /// Per-tick channels (only when RunOptions::record): demand, achieved,
   /// achieved_nosprint, degree, bound, cores, phase, server_mw, cooling_mw,
   /// ups_mw, dc_load_mw, room_c, ups_soc, tes_soc, dc_cb_heat, pdu_cb_heat,
-  /// supply, degradation; plus faults_active and measured_demand when a
-  /// fault schedule is attached.
+  /// cb_trip_margin_s (time-to-trip at the tick's load, capped at 3600 s so
+  /// the channel stays finite), supply, degradation; plus faults_active and
+  /// measured_demand when a fault schedule is attached.
   sim::Recorder recorder;
 };
 

@@ -1,0 +1,123 @@
+#include "exp/perf_gate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dcs::exp {
+namespace {
+
+double to_us(double value, const std::string& unit) {
+  if (unit == "ns") return value / 1000.0;
+  if (unit == "us") return value;
+  if (unit == "ms") return value * 1000.0;
+  if (unit == "s") return value * 1e6;
+  throw std::invalid_argument("perf_gate: unknown time_unit '" + unit + "'");
+}
+
+std::map<std::string, double> from_google_benchmark(const json::Value& record) {
+  std::map<std::string, double> out;
+  for (const json::Value& b : record.at("benchmarks").as_array()) {
+    const json::Value* run_type = b.find("run_type");
+    if (run_type != nullptr && run_type->is_string() &&
+        run_type->as_string() == "aggregate") {
+      continue;
+    }
+    const std::string& name = b.at("name").as_string();
+    const double real_time = b.at("real_time").as_number();
+    const json::Value* unit = b.find("time_unit");
+    const double us =
+        to_us(real_time, unit != nullptr ? unit->as_string() : "ns");
+    // Repeated iterations of the same benchmark: keep the fastest (least
+    // noisy) observation.
+    const auto [it, inserted] = out.emplace(name, us);
+    if (!inserted) it->second = std::min(it->second, us);
+  }
+  return out;
+}
+
+std::map<std::string, double> from_bench_record(const json::Value& record) {
+  std::map<std::string, double> out;
+  if (const json::Value* wall = record.find("wall_seconds");
+      wall != nullptr && wall->is_number()) {
+    out.emplace("wall", wall->as_number() * 1e6);
+  }
+  if (const json::Value* scopes = record.find("scopes");
+      scopes != nullptr && scopes->is_object()) {
+    for (const auto& [name, stats] : scopes->as_object()) {
+      out.emplace(name, stats.at("mean_us").as_number());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, double> perf_scope_times_us(const json::Value& record) {
+  if (record.has("benchmarks")) return from_google_benchmark(record);
+  if (record.has("bench")) return from_bench_record(record);
+  throw std::invalid_argument(
+      "perf_gate: record is neither a BENCH_*.json perf record nor "
+      "google-benchmark output");
+}
+
+PerfGateResult perf_gate_compare(const std::map<std::string, double>& baseline,
+                                 const std::map<std::string, double>& fresh,
+                                 const PerfGateOptions& options) {
+  PerfGateResult result;
+  for (const auto& [name, base_us] : baseline) {
+    const auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      result.only_in_baseline.push_back(name);
+      continue;
+    }
+    PerfGateRow row;
+    row.name = name;
+    row.baseline_us = base_us;
+    row.fresh_us = it->second;
+    row.ratio = base_us > 0.0 ? it->second / base_us : 0.0;
+    row.regressed = base_us >= options.min_us &&
+                    it->second > base_us * (1.0 + options.max_regress);
+    if (row.regressed && !options.warn_only) result.ok = false;
+    result.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, us] : fresh) {
+    (void)us;
+    if (baseline.find(name) == baseline.end()) {
+      result.only_in_fresh.push_back(name);
+    }
+  }
+  return result;
+}
+
+void write_perf_gate_report(std::ostream& out, const PerfGateResult& result,
+                            const PerfGateOptions& options) {
+  char buf[160];
+  out << "perf gate (max regress " << options.max_regress * 100.0
+      << "%, noise floor " << options.min_us << " us"
+      << (options.warn_only ? ", warn-only" : "") << ")\n";
+  for (const PerfGateRow& row : result.rows) {
+    std::snprintf(buf, sizeof(buf), "  %-40s %12.1f us -> %12.1f us  x%.3f%s\n",
+                  row.name.c_str(), row.baseline_us, row.fresh_us, row.ratio,
+                  row.regressed ? "  REGRESSED" : "");
+    out << buf;
+  }
+  for (const std::string& name : result.only_in_baseline) {
+    out << "  " << name << ": only in baseline (removed?)\n";
+  }
+  for (const std::string& name : result.only_in_fresh) {
+    out << "  " << name << ": only in fresh record (new scope)\n";
+  }
+  const bool any_regressed =
+      std::any_of(result.rows.begin(), result.rows.end(),
+                  [](const PerfGateRow& r) { return r.regressed; });
+  if (!any_regressed) {
+    out << "PASS: no scope regressed\n";
+  } else if (result.ok) {
+    out << "WARN: regressions found (warn-only mode)\n";
+  } else {
+    out << "FAIL: regressions found\n";
+  }
+}
+
+}  // namespace dcs::exp

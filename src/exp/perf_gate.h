@@ -1,0 +1,72 @@
+// Perf-regression gate: compares a fresh perf record against a checked-in
+// baseline and flags scopes whose wall time regressed beyond a threshold.
+//
+// Two record formats are understood, keyed off their top-level shape:
+//   - the repo's own BENCH_*.json perf records ({"bench", "wall_seconds",
+//     "scopes": {name: {mean_us, ...}}}) — each scope contributes its
+//     mean_us, and the record's wall_seconds contributes a synthetic
+//     "wall" entry;
+//   - google-benchmark --benchmark_out JSON ({"benchmarks": [{name,
+//     real_time, time_unit}]}) — per-benchmark real_time, normalized to
+//     microseconds; aggregate rows (run_type == "aggregate") are skipped in
+//     favor of the raw iterations.
+//
+// The gate is deliberately coarse (ratios of means, generous default
+// threshold, a min_us floor below which timing noise dominates): it exists
+// to catch order-of-magnitude engine regressions in CI, not to benchmark.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace dcs::exp {
+
+struct PerfGateOptions {
+  /// Maximum tolerated relative slowdown: fresh > baseline * (1 + max_regress)
+  /// fails. 0.20 == 20%.
+  double max_regress = 0.20;
+  /// Entries whose baseline time is below this are ignored (noise floor).
+  double min_us = 50.0;
+  /// Report regressions but keep ok == true (first-run / warming mode).
+  bool warn_only = false;
+};
+
+struct PerfGateRow {
+  std::string name;
+  double baseline_us = 0.0;
+  double fresh_us = 0.0;
+  /// fresh / baseline (>1 means slower).
+  double ratio = 0.0;
+  bool regressed = false;
+};
+
+struct PerfGateResult {
+  std::vector<PerfGateRow> rows;           // shared entries, by name
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_fresh;
+  /// False iff any row regressed and !warn_only.
+  bool ok = true;
+};
+
+/// Extracts {entry name -> microseconds} from a parsed perf record in
+/// either supported format. Throws std::invalid_argument when the document
+/// matches neither shape.
+[[nodiscard]] std::map<std::string, double> perf_scope_times_us(
+    const json::Value& record);
+
+/// Compares fresh against baseline entry-by-entry.
+[[nodiscard]] PerfGateResult perf_gate_compare(
+    const std::map<std::string, double>& baseline,
+    const std::map<std::string, double>& fresh,
+    const PerfGateOptions& options = {});
+
+/// Human-readable comparison table plus a PASS/FAIL/WARN verdict line.
+void write_perf_gate_report(std::ostream& out, const PerfGateResult& result,
+                            const PerfGateOptions& options);
+
+}  // namespace dcs::exp

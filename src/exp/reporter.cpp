@@ -154,7 +154,8 @@ void write_summary_json(std::ostream& out, const SweepSummary& summary) {
 }
 
 void write_perf_record_json(std::ostream& out, const SweepSummary& summary,
-                            const obs::ProfileSummary* scopes) {
+                            const obs::ProfileSummary* scopes,
+                            const obs::FoldedStacks* folded) {
   out << "{\"bench\": " << json_escape(summary.name)
       << ", \"wall_seconds\": " << json_number(summary.wall_seconds)
       << ", \"tasks\": " << summary.task_count
@@ -170,6 +171,15 @@ void write_perf_record_json(std::ostream& out, const SweepSummary& summary,
           << stats.count << ", \"total_us\": " << stats.total_us
           << ", \"max_us\": " << stats.max_us
           << ", \"mean_us\": " << json_number(stats.mean_us()) << "}";
+      first = false;
+    }
+    out << "}";
+  }
+  if (folded != nullptr && !folded->empty()) {
+    out << ", \"folded_stacks\": {";
+    bool first = true;
+    for (const auto& [stack, count] : *folded) {
+      out << (first ? "" : ", ") << json_escape(stack) << ": " << count;
       first = false;
     }
     out << "}";
@@ -251,12 +261,21 @@ bool export_sweep(const std::string& dir, const SweepSpec& spec,
 }
 
 bool export_perf_record(const std::string& dir, const SweepSummary& summary,
-                        std::ostream* diag, const obs::ProfileSummary* scopes) {
+                        std::ostream* diag, const obs::ProfileSummary* scopes,
+                        const obs::FoldedStacks* folded) {
   const std::string path = dir + "/BENCH_" + summary.name + ".json";
   std::ofstream out;
   if (!open_or_diag(out, path, diag)) return false;
-  write_perf_record_json(out, summary, scopes);
+  write_perf_record_json(out, summary, scopes, folded);
   wrote(path, diag);
+  if (folded != nullptr && !folded->empty()) {
+    const std::string stacks_path =
+        dir + "/" + summary.name + "_stacks.folded";
+    std::ofstream stacks;
+    if (!open_or_diag(stacks, stacks_path, diag)) return false;
+    obs::write_folded(stacks, *folded);
+    wrote(stacks_path, diag);
+  }
   return true;
 }
 

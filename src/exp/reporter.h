@@ -13,6 +13,7 @@
 #include "exp/sweep.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 #include "util/time_series.h"
 
 namespace dcs::exp {
@@ -31,9 +32,12 @@ void write_summary_json(std::ostream& out, const SweepSummary& summary);
 /// BENCH_*-style perf record: {"bench", "wall_seconds", "tasks",
 /// "runs_per_second", "threads", "cells", "replicates"}. When `scopes` is
 /// non-null a "scopes" object is appended with per-scope wall-clock
-/// aggregates (count, total_us, max_us, mean_us).
+/// aggregates (count, total_us, max_us, mean_us). When `folded` is non-null
+/// and non-empty a "folded_stacks" object is appended mapping
+/// "lane;outer;inner" stacks to sampling-profiler hit counts.
 void write_perf_record_json(std::ostream& out, const SweepSummary& summary,
-                            const obs::ProfileSummary* scopes = nullptr);
+                            const obs::ProfileSummary* scopes = nullptr,
+                            const obs::FoldedStacks* folded = nullptr);
 
 /// Folds a sweep summary into a metrics registry: one gauge per
 /// (cell, metric, stat in {mean, min, max}), named after the sweep metric
@@ -54,9 +58,11 @@ bool export_sweep(const std::string& dir, const SweepSpec& spec,
                   const SweepRun& run, const SweepSummary& summary,
                   std::ostream* diag = nullptr);
 
-/// Writes `<dir>/BENCH_<name>.json`.
+/// Writes `<dir>/BENCH_<name>.json`. With folded stacks, also writes
+/// `<dir>/<name>_stacks.folded` in the textual flame-graph format.
 bool export_perf_record(const std::string& dir, const SweepSummary& summary,
                         std::ostream* diag = nullptr,
-                        const obs::ProfileSummary* scopes = nullptr);
+                        const obs::ProfileSummary* scopes = nullptr,
+                        const obs::FoldedStacks* folded = nullptr);
 
 }  // namespace dcs::exp

@@ -6,6 +6,7 @@
 
 #include "exp/thread_pool.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 #include "util/check.h"
 
 namespace dcs::exp {
@@ -23,6 +24,8 @@ SweepRun run_sweep(const SweepSpec& spec, std::vector<std::string> metrics,
       std::min(resolve_threads(options.threads),
                std::max<std::size_t>(tasks.size(), 1));
 
+  // Wall-domain sampling profiler, active only while DCS_OBS_SAMPLER is set.
+  const obs::ScopedSamplerRun sampler;
   const auto start = std::chrono::steady_clock::now();
   parallel_for(tasks.size(), options.threads, [&](std::size_t i) {
     DCS_OBS_SCOPE("exp.task");

@@ -1,0 +1,15 @@
+#include "obs/counters.h"
+
+#include <cmath>
+
+namespace dcs::obs {
+
+void export_counter_track(Tracer& tracer, std::string_view cat,
+                          std::string_view name, const TimeSeries& series) {
+  for (const Sample& s : series.samples()) {
+    if (!std::isfinite(s.value)) continue;  // no JSON literal for inf/nan
+    tracer.counter(s.time, cat, name, {arg("value", s.value)});
+  }
+}
+
+}  // namespace dcs::obs

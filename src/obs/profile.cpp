@@ -21,6 +21,10 @@ void Profiler::set_enabled(bool enabled) noexcept {
   enabled_.store(enabled, std::memory_order_relaxed);
 }
 
+void Profiler::set_sampling(bool sampling) noexcept {
+  sampling_.store(sampling, std::memory_order_relaxed);
+}
+
 void Profiler::set_thread_lane(std::uint32_t lane) noexcept { t_lane = lane; }
 
 std::uint32_t Profiler::thread_lane() noexcept { return t_lane; }
@@ -40,6 +44,32 @@ Profiler::Buffer& Profiler::local_buffer() {
     buffer = buffers_.back().get();
   }
   return *buffer;
+}
+
+ScopeStack& Profiler::local_stack() {
+  // Storage is owned by the process singleton, so the sampler thread can
+  // keep reading a stack after its owner thread exits.
+  thread_local ScopeStack* stack = nullptr;
+  if (stack == nullptr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stacks_.push_back(std::make_unique<ScopeStack>());
+    stack = stacks_.back().get();
+  }
+  return *stack;
+}
+
+std::vector<Profiler::StackSample> Profiler::snapshot_stacks() const {
+  std::vector<StackSample> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& stack : stacks_) {
+    const char* frames[ScopeStack::kMaxDepth];
+    StackSample sample;
+    const std::size_t depth = stack->read(frames, &sample.lane);
+    if (depth == 0) continue;
+    sample.frames.assign(frames, frames + depth);
+    out.push_back(std::move(sample));
+  }
+  return out;
 }
 
 void Profiler::record(const char* name, double start_us, double dur_us) {

@@ -13,8 +13,13 @@
 // durations are wall clock and belong in perf records only; simulation
 // results must never depend on them (DESIGN.md "Observability").
 //
-// The profiler is disabled by default; a disabled scope is one relaxed
-// atomic load.
+// When the sampling profiler (obs/sampler.h) is active, each scope also
+// pushes its name onto a lock-free per-thread ScopeStack that the sampler
+// thread snapshots periodically — that is how long sweeps get
+// flame-graph-compatible folded stacks without per-event cost.
+//
+// The profiler is disabled by default; a disabled scope is two relaxed
+// atomic loads.
 #pragma once
 
 #include <atomic>
@@ -39,6 +44,44 @@ struct ProfileEvent {
   double dur_us = 0.0;
 };
 
+/// Lock-free stack of the calling thread's active scope names, readable
+/// from the sampler thread. Only the owner thread mutates it; the sampler
+/// reads depth (acquire) then frames (relaxed), so a snapshot taken mid
+/// push/pop may be one frame stale — sampling tolerance, never UB: every
+/// stored pointer is a string literal.
+class ScopeStack {
+ public:
+  static constexpr std::size_t kMaxDepth = 32;
+
+  void push(const char* name, std::uint32_t lane) noexcept {
+    const std::size_t d = depth_.load(std::memory_order_relaxed);
+    if (d < kMaxDepth) frames_[d].store(name, std::memory_order_relaxed);
+    lane_.store(lane, std::memory_order_relaxed);
+    depth_.store(d + 1, std::memory_order_release);
+  }
+  void pop() noexcept {
+    const std::size_t d = depth_.load(std::memory_order_relaxed);
+    if (d > 0) depth_.store(d - 1, std::memory_order_release);
+  }
+
+  /// Sampler-side read: copies up to kMaxDepth frame names bottom-up into
+  /// `out`, stores the owner's lane, returns the depth (0 = idle thread).
+  std::size_t read(const char* out[], std::uint32_t* lane) const noexcept {
+    std::size_t d = depth_.load(std::memory_order_acquire);
+    if (d > kMaxDepth) d = kMaxDepth;
+    for (std::size_t i = 0; i < d; ++i) {
+      out[i] = frames_[i].load(std::memory_order_relaxed);
+    }
+    *lane = lane_.load(std::memory_order_relaxed);
+    return d;
+  }
+
+ private:
+  std::atomic<const char*> frames_[kMaxDepth] = {};
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::uint32_t> lane_{0};
+};
+
 class Profiler {
  public:
   static Profiler& instance();
@@ -46,6 +89,12 @@ class Profiler {
   void set_enabled(bool enabled) noexcept;
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Scope-stack maintenance switch, owned by the Sampler (obs/sampler.h).
+  void set_sampling(bool sampling) noexcept;
+  [[nodiscard]] bool sampling() const noexcept {
+    return sampling_.load(std::memory_order_relaxed);
   }
 
   /// Sets the calling thread's lane (sticky thread-local; main = 0).
@@ -57,6 +106,20 @@ class Profiler {
 
   /// Records one finished span into the calling thread's buffer.
   void record(const char* name, double start_us, double dur_us);
+
+  /// The calling thread's scope stack (registered with the profiler on
+  /// first use; storage lives as long as the process).
+  ScopeStack& local_stack();
+
+  /// One sampled call stack: the owning thread's lane plus the active
+  /// scope names, outermost first.
+  struct StackSample {
+    std::uint32_t lane = 0;
+    std::vector<const char*> frames;
+  };
+  /// Snapshots every registered thread's scope stack (sampler thread).
+  /// Idle (empty) stacks are skipped.
+  [[nodiscard]] std::vector<StackSample> snapshot_stacks() const;
 
   /// Copies every buffered span, merged in (lane, start_us, dur_us desc)
   /// order. Does not clear; pair with reset() between runs.
@@ -74,9 +137,12 @@ class Profiler {
   Buffer& local_buffer();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> sampling_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;  // guards buffers_ (registration + collect)
+  mutable std::mutex mu_;  // guards buffers_ and stacks_ (registration,
+                           // collect, snapshot)
   std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<std::unique_ptr<ScopeStack>> stacks_;
 };
 
 /// RAII timer behind DCS_OBS_SCOPE. `name` must be a string literal.
@@ -88,8 +154,13 @@ class ScopeTimer {
       name_ = name;
       start_us_ = p.now_us();
     }
+    if (p.sampling()) {
+      stack_ = &p.local_stack();
+      stack_->push(name, Profiler::thread_lane());
+    }
   }
   ~ScopeTimer() {
+    if (stack_ != nullptr) stack_->pop();
     if (name_ != nullptr) {
       Profiler& p = Profiler::instance();
       p.record(name_, start_us_, p.now_us() - start_us_);
@@ -100,6 +171,7 @@ class ScopeTimer {
 
  private:
   const char* name_ = nullptr;
+  ScopeStack* stack_ = nullptr;
   double start_us_ = 0.0;
 };
 

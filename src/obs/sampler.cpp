@@ -1,0 +1,121 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "obs/profile.h"
+#include "util/check.h"
+
+namespace dcs::obs {
+namespace {
+
+std::string lane_label(std::uint32_t lane) {
+  return lane == 0 ? "main" : "worker-" + std::to_string(lane);
+}
+
+}  // namespace
+
+Sampler& Sampler::instance() {
+  static Sampler sampler;
+  return sampler;
+}
+
+void Sampler::start(Duration period) {
+  DCS_REQUIRE(period.sec() > 0.0, "sampler period must be positive");
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (++refs_ > 1) return;  // nested sweeps share the first thread
+  Profiler::instance().set_sampling(true);
+  stop_requested_ = false;
+  thread_ = std::thread([this, period] { loop(period); });
+}
+
+void Sampler::stop() {
+  std::thread to_join;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    DCS_REQUIRE(refs_ > 0, "Sampler::stop without a matching start");
+    if (--refs_ > 0) return;
+    stop_requested_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  to_join.join();
+  Profiler::instance().set_sampling(false);
+}
+
+bool Sampler::active() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return refs_ > 0;
+}
+
+void Sampler::loop(Duration period) {
+  const auto wait =
+      std::chrono::duration<double>(period.sec());
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, wait, [this] { return stop_requested_; });
+    if (stop_requested_) return;
+    lock.unlock();
+    const std::vector<Profiler::StackSample> stacks =
+        Profiler::instance().snapshot_stacks();
+    {
+      const std::lock_guard<std::mutex> samples_lock(samples_mu_);
+      ++sample_count_;
+      for (const Profiler::StackSample& s : stacks) {
+        std::string key = lane_label(s.lane);
+        for (const char* frame : s.frames) {
+          key += ';';
+          key += frame;
+        }
+        ++samples_[key];
+      }
+    }
+    lock.lock();
+  }
+}
+
+std::size_t Sampler::sample_count() const {
+  const std::lock_guard<std::mutex> lock(samples_mu_);
+  return sample_count_;
+}
+
+FoldedStacks Sampler::folded() const {
+  const std::lock_guard<std::mutex> lock(samples_mu_);
+  return samples_;
+}
+
+void Sampler::reset() {
+  const std::lock_guard<std::mutex> lock(samples_mu_);
+  samples_.clear();
+  sample_count_ = 0;
+}
+
+double Sampler::env_hz() {
+  const char* value = std::getenv("DCS_OBS_SAMPLER");
+  if (value == nullptr || *value == '\0') return 0.0;
+  char* end = nullptr;
+  const double hz = std::strtod(value, &end);
+  if (end == value || hz <= 0.0) return 0.0;
+  return hz;
+}
+
+void write_folded(std::ostream& out, const FoldedStacks& folded) {
+  for (const auto& [stack, count] : folded) {
+    out << stack << ' ' << count << '\n';
+  }
+}
+
+ScopedSamplerRun::ScopedSamplerRun() {
+  const double hz = Sampler::env_hz();
+  if (hz <= 0.0) return;
+  Sampler::instance().start(Duration::seconds(1.0 / hz));
+  started_ = true;
+}
+
+ScopedSamplerRun::~ScopedSamplerRun() {
+  if (started_) Sampler::instance().stop();
+}
+
+}  // namespace dcs::obs

@@ -1,0 +1,93 @@
+// Sampling profiler for long sweeps: a wall-domain background thread that
+// periodically snapshots every worker's active scope stack (obs/profile.h)
+// and accumulates flame-graph-compatible folded stacks
+// ("main;exp.task;sim.run" -> sample count).
+//
+// Cost model: the RAII scopes answer "how long did each scope take"
+// exactly, but only at scope granularity and only after the scope exits; a
+// day-long sweep wants "where is the time going *right now*" without
+// recording millions of spans. Sampling at DCS_OBS_SAMPLER Hz costs
+// O(threads) per sample regardless of event rate.
+//
+// Activation: exp::run_sweep holds a ScopedSamplerRun, which starts the
+// process-wide sampler iff the DCS_OBS_SAMPLER environment variable is set
+// to a sampling frequency in Hz (e.g. DCS_OBS_SAMPLER=97; prime rates avoid
+// lockstep with periodic work). Starts are refcounted, so nested sweeps
+// (oracle search inside a task) share one sampling thread.
+//
+// Everything sampled is wall-domain: folded stacks land in BENCH_*.json
+// perf records and *_stacks.folded files, never in simulation results.
+#pragma once
+
+#include <cstddef>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "util/units.h"
+
+namespace dcs::obs {
+
+/// Folded flame-graph stacks: "lane;outer;inner" -> sample count. Feed the
+/// textual form (write_folded) straight to flamegraph.pl / speedscope.
+using FoldedStacks = std::map<std::string, std::size_t>;
+
+class Sampler {
+ public:
+  static Sampler& instance();
+
+  /// Starts sampling every `period` (refcounted: nested starts share the
+  /// thread; the period of the first start wins).
+  void start(Duration period);
+  /// Decrements the refcount; the last stop joins the sampler thread.
+  void stop();
+  [[nodiscard]] bool active() const;
+
+  /// Total snapshots taken (including ones where every thread was idle).
+  [[nodiscard]] std::size_t sample_count() const;
+  /// Copies the accumulated folded stacks.
+  [[nodiscard]] FoldedStacks folded() const;
+  /// Drops accumulated samples (between runs; keeps the thread if active).
+  void reset();
+
+  /// Parses DCS_OBS_SAMPLER as a sampling frequency in Hz; 0 when unset,
+  /// unparsable or non-positive.
+  [[nodiscard]] static double env_hz();
+
+ private:
+  Sampler() = default;
+
+  void loop(Duration period);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::size_t refs_ = 0;
+  bool stop_requested_ = false;
+
+  mutable std::mutex samples_mu_;
+  FoldedStacks samples_;
+  std::size_t sample_count_ = 0;
+};
+
+/// Writes folded stacks in the textual flame-graph format, one
+/// "stack count" line per entry, sorted by stack (map order).
+void write_folded(std::ostream& out, const FoldedStacks& folded);
+
+/// RAII activation used by exp::run_sweep: starts the sampler for this
+/// scope when DCS_OBS_SAMPLER is set, no-op otherwise.
+class ScopedSamplerRun {
+ public:
+  ScopedSamplerRun();
+  ~ScopedSamplerRun();
+  ScopedSamplerRun(const ScopedSamplerRun&) = delete;
+  ScopedSamplerRun& operator=(const ScopedSamplerRun&) = delete;
+
+ private:
+  bool started_ = false;
+};
+
+}  // namespace dcs::obs

@@ -1,0 +1,145 @@
+// Streaming trace sinks: bounded-memory, crash-safe file writers behind the
+// obs::TraceSink interface, so day-long traces (fig01's 24 h of per-tick
+// counter tracks, 100k+-event sweeps) no longer have to fit in the Tracer.
+//
+// Both sinks buffer at most `buffer_events` events before rendering them to
+// the file, so peak memory is O(buffer_events) regardless of trace length.
+//
+// Crash safety: JSONL is line-oriented and therefore always valid up to the
+// last flushed line. The Chrome sink keeps the file a *complete* JSON
+// document at every flush by writing the `]}` trailer after each batch,
+// flushing, and seeking back over the trailer before the next batch — if
+// the process dies mid-sweep the file on disk still loads in Perfetto.
+//
+// Sinks are not thread-safe (same contract as Tracer): one sink fed by one
+// thread, typically the merge thread of a sweep or a single-run bench.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dcs::obs {
+
+struct StreamSinkOptions {
+  /// Events buffered before rendering to the file (bounds peak memory).
+  std::size_t buffer_events = 4096;
+};
+
+/// Common machinery of the file-backed sinks: bounded event buffer, flush
+/// bookkeeping, and open/finalize diagnostics.
+class FileStreamSink : public TraceSink {
+ public:
+  ~FileStreamSink() override;
+
+  void write(const TraceEvent& event) final;
+  void finalize() final;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t events_written() const noexcept {
+    return events_written_;
+  }
+  /// High-water mark of the internal buffer — tests assert this stays at or
+  /// below StreamSinkOptions::buffer_events.
+  [[nodiscard]] std::size_t peak_buffered() const noexcept {
+    return peak_buffered_;
+  }
+  [[nodiscard]] std::size_t flush_count() const noexcept { return flushes_; }
+
+ protected:
+  FileStreamSink(std::string path, StreamSinkOptions options);
+
+  /// Renders one buffered event into the file.
+  virtual void render(const TraceEvent& event) = 0;
+  /// Called once before the first rendered event / once after the last
+  /// flush of a finalize.
+  virtual void begin() {}
+  virtual void end() {}
+  /// Called after every intermediate flush batch (crash-safe trailer).
+  virtual void after_flush() {}
+
+  std::ofstream out_;
+  bool ok_ = false;
+
+ private:
+  void flush_buffer(bool final_flush);
+
+  std::string path_;
+  StreamSinkOptions options_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t events_written_ = 0;
+  std::size_t peak_buffered_ = 0;
+  std::size_t flushes_ = 0;
+  bool begun_ = false;
+  bool finalized_ = false;
+};
+
+/// Streams Chrome trace-event JSON ({"traceEvents": [...]}) to `path`.
+/// Lane/process metadata events are emitted inline as they are learned
+/// (valid anywhere in the array per the trace-event format).
+class ChromeStreamSink final : public FileStreamSink {
+ public:
+  explicit ChromeStreamSink(std::string path, StreamSinkOptions options = {});
+  ~ChromeStreamSink() override;
+
+  /// Queued through the normal event buffer as a synthetic 'M' event, so
+  /// ordering, memory bounds and crash safety stay uniform.
+  void write_lane_name(Domain domain, std::uint32_t lane,
+                       const std::string& name) override;
+
+ private:
+  void render(const TraceEvent& event) override;
+  void begin() override;
+  void end() override;
+  void after_flush() override;
+
+  std::ostream& element();
+  void ensure_process_metadata(Domain domain);
+
+  bool first_element_ = true;
+  bool have_process_[2] = {false, false};
+  std::map<std::pair<Domain, std::uint32_t>, std::string> lanes_named_;
+};
+
+/// Streams the JSONL export (one object per line, append order) to `path`.
+/// Lane names have no JSONL representation and are dropped, matching
+/// Tracer::write_jsonl.
+class JsonlStreamSink final : public FileStreamSink {
+ public:
+  explicit JsonlStreamSink(std::string path, StreamSinkOptions options = {});
+  ~JsonlStreamSink() override;
+
+  void write_lane_name(Domain domain, std::uint32_t lane,
+                       const std::string& name) override;
+
+ private:
+  void render(const TraceEvent& event) override;
+};
+
+/// Fans one event stream out to several sinks (bench glue writes the Chrome
+/// file and the JSONL file from one Tracer). Does not own the sinks.
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void write(const TraceEvent& event) override {
+    for (TraceSink* s : sinks_) s->write(event);
+  }
+  void write_lane_name(Domain domain, std::uint32_t lane,
+                       const std::string& name) override {
+    for (TraceSink* s : sinks_) s->write_lane_name(domain, lane, name);
+  }
+  void finalize() override {
+    for (TraceSink* s : sinks_) s->finalize();
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace dcs::obs

@@ -7,7 +7,7 @@
 #include "util/check.h"
 
 namespace dcs::obs {
-namespace {
+namespace detail {
 
 std::string render_number(double v) {
   char buf[40];
@@ -37,12 +37,10 @@ std::string render_string(std::string_view s) {
   return out;
 }
 
+namespace {
+
 constexpr int kSimPid = 1;
 constexpr int kWallPid = 2;
-
-int pid_of(Domain domain) noexcept {
-  return domain == Domain::kSim ? kSimPid : kWallPid;
-}
 
 void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
   out << "{";
@@ -51,6 +49,12 @@ void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
         << args[i].value;
   }
   out << "}";
+}
+
+}  // namespace
+
+int pid_of(Domain domain) noexcept {
+  return domain == Domain::kSim ? kSimPid : kWallPid;
 }
 
 void write_event_json(std::ostream& out, const TraceEvent& e) {
@@ -67,18 +71,44 @@ void write_event_json(std::ostream& out, const TraceEvent& e) {
   out << "}";
 }
 
-}  // namespace
+void write_jsonl_event(std::ostream& out, const TraceEvent& e) {
+  out << "{\"domain\": \"" << to_string(e.domain) << "\", "
+      << "\"ph\": \"" << e.phase << "\", \"ts\": " << render_number(e.ts_us);
+  if (e.phase == 'X') out << ", \"dur\": " << render_number(e.dur_us);
+  out << ", \"lane\": " << e.lane << ", \"cat\": " << render_string(e.cat)
+      << ", \"name\": " << render_string(e.name);
+  if (!e.args.empty()) {
+    out << ", \"args\": ";
+    write_args(out, e.args);
+  }
+  out << "}\n";
+}
+
+void write_lane_metadata_json(std::ostream& out, Domain domain,
+                              std::uint32_t lane, const std::string& name) {
+  out << "{\"ph\": \"M\", \"pid\": " << pid_of(domain) << ", \"tid\": " << lane
+      << ", \"name\": \"thread_name\", \"args\": {\"name\": "
+      << render_string(name) << "}}";
+}
+
+void write_process_metadata_json(std::ostream& out, Domain domain) {
+  out << "{\"ph\": \"M\", \"pid\": " << pid_of(domain)
+      << ", \"name\": \"process_name\", \"args\": {\"name\": "
+      << render_string(to_string(domain)) << "}}";
+}
+
+}  // namespace detail
 
 std::string_view to_string(Domain domain) noexcept {
   return domain == Domain::kSim ? "sim" : "wall";
 }
 
 TraceArg arg(std::string key, double value) {
-  return TraceArg{std::move(key), render_number(value)};
+  return TraceArg{std::move(key), detail::render_number(value)};
 }
 
 TraceArg arg(std::string key, std::string_view value) {
-  return TraceArg{std::move(key), render_string(value)};
+  return TraceArg{std::move(key), detail::render_string(value)};
 }
 
 TraceArg arg(std::string key, bool value) {
@@ -95,7 +125,7 @@ void Tracer::instant(Duration t, std::string_view cat, std::string_view name,
   e.cat = cat;
   e.name = name;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  append(std::move(e));
 }
 
 void Tracer::counter(Duration t, std::string_view cat, std::string_view name,
@@ -108,50 +138,48 @@ void Tracer::counter(Duration t, std::string_view cat, std::string_view name,
   e.cat = cat;
   e.name = name;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  append(std::move(e));
 }
 
-void Tracer::append(TraceEvent event) { events_.push_back(std::move(event)); }
+void Tracer::append(TraceEvent event) {
+  ++counts_[static_cast<int>(event.domain)];
+  if (sink_ != nullptr) {
+    sink_->write(event);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
 
 void Tracer::merge_from(Tracer&& other) {
-  events_.reserve(events_.size() + other.events_.size());
-  for (TraceEvent& e : other.events_) events_.push_back(std::move(e));
-  for (auto& [key, name] : other.lane_names_) {
-    lane_names_.insert_or_assign(key, std::move(name));
+  DCS_REQUIRE(&other != this, "cannot merge a tracer into itself");
+  if (sink_ == nullptr) {
+    events_.reserve(events_.size() + other.events_.size());
   }
+  for (TraceEvent& e : other.events_) append(std::move(e));
+  for (auto& [key, name] : other.lane_names_) {
+    name_lane(key.first, key.second, std::move(name));
+  }
+  // Leave the source empty so a double merge cannot silently duplicate the
+  // stream (it would previously re-append every event).
   other.clear();
 }
 
 void Tracer::name_lane(Domain domain, std::uint32_t lane, std::string name) {
-  lane_names_.insert_or_assign({domain, lane}, std::move(name));
-}
-
-std::size_t Tracer::count(Domain domain) const noexcept {
-  std::size_t n = 0;
-  for (const TraceEvent& e : events_) {
-    if (e.domain == domain) ++n;
+  if (sink_ != nullptr) {
+    sink_->write_lane_name(domain, lane, name);
+    return;
   }
-  return n;
+  lane_names_.insert_or_assign({domain, lane}, std::move(name));
 }
 
 void Tracer::clear() {
   events_.clear();
   lane_names_.clear();
+  counts_[0] = counts_[1] = 0;
 }
 
 void Tracer::write_jsonl(std::ostream& out) const {
-  for (const TraceEvent& e : events_) {
-    out << "{\"domain\": \"" << to_string(e.domain) << "\", "
-        << "\"ph\": \"" << e.phase << "\", \"ts\": " << render_number(e.ts_us);
-    if (e.phase == 'X') out << ", \"dur\": " << render_number(e.dur_us);
-    out << ", \"lane\": " << e.lane << ", \"cat\": " << render_string(e.cat)
-        << ", \"name\": " << render_string(e.name);
-    if (!e.args.empty()) {
-      out << ", \"args\": ";
-      write_args(out, e.args);
-    }
-    out << "}\n";
-  }
+  for (const TraceEvent& e : events_) detail::write_jsonl_event(out, e);
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
@@ -162,22 +190,19 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     first = false;
     return out;
   };
-  const bool have[2] = {count(Domain::kSim) > 0, count(Domain::kWall) > 0};
   for (const Domain domain : {Domain::kSim, Domain::kWall}) {
-    if (!have[static_cast<int>(domain)]) continue;
-    sep() << "{\"ph\": \"M\", \"pid\": " << pid_of(domain)
-          << ", \"name\": \"process_name\", \"args\": {\"name\": "
-          << render_string(to_string(domain)) << "}}";
+    bool have = count(domain) > 0;
+    for (const auto& [key, name] : lane_names_) {
+      have = have || key.first == domain;
+    }
+    if (!have) continue;
+    detail::write_process_metadata_json(sep(), domain);
   }
   for (const auto& [key, name] : lane_names_) {
-    sep() << "{\"ph\": \"M\", \"pid\": " << pid_of(key.first)
-          << ", \"tid\": " << key.second
-          << ", \"name\": \"thread_name\", \"args\": {\"name\": "
-          << render_string(name) << "}}";
+    detail::write_lane_metadata_json(sep(), key.first, key.second, name);
   }
   for (const TraceEvent& e : events_) {
-    sep();
-    write_event_json(out, e);
+    detail::write_event_json(sep(), e);
   }
   out << "\n]}\n";
 }

@@ -3,13 +3,18 @@
 //
 // Two clock domains share one Tracer:
 //  * kSim — events stamped with *simulated* time (controller phase
-//    transitions, fault injection, watchdog violations). These are part of
-//    the deterministic result surface: for a fixed configuration the
-//    sim-event stream is bit-identical for any thread count. Sweeps get
-//    this by giving each task its own Tracer (the task owns its slot, same
-//    contract as the runner's result rows) and merging in task order.
+//    transitions, fault injection, watchdog violations, recorder counter
+//    tracks). These are part of the deterministic result surface: for a
+//    fixed configuration the sim-event stream is bit-identical for any
+//    thread count. Sweeps get this by giving each task its own Tracer (the
+//    task owns its slot, same contract as the runner's result rows) and
+//    merging in task order.
 //  * kWall — wall-clock profiling spans from obs/profile.h. They carry
 //    "where did the time go", never results, and are not deterministic.
+//
+// A Tracer either buffers events in memory (the default — events() exposes
+// them for tests and task-order merging) or forwards them to a TraceSink
+// (obs/sink.h) for bounded-memory streaming of traces larger than RAM.
 //
 // The Tracer itself is not thread-safe: one Tracer per run/task, merged
 // afterwards on one thread.
@@ -59,12 +64,36 @@ struct TraceEvent {
   std::vector<TraceArg> args;
 };
 
+/// Consumer of a Tracer's event stream. Implementations decide what storing
+/// an event means: the Tracer's built-in buffer, a bounded-memory file
+/// stream (obs/sink.h), a tee, ... Sinks see events in append order; lane
+/// metadata may arrive at any point before finalize().
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+  virtual void write_lane_name(Domain domain, std::uint32_t lane,
+                               const std::string& name) = 0;
+  /// Flushes buffered events and completes the output (for file sinks: a
+  /// valid, loadable trace). Idempotent; writing after finalize() is a
+  /// contract violation.
+  virtual void finalize() = 0;
+};
+
 class Tracer {
  public:
+  Tracer() = default;
+  /// A streaming Tracer: every appended event is forwarded to `sink`
+  /// instead of being buffered (events() stays empty, count() still
+  /// tracks totals). `sink` must outlive the Tracer; the caller finalizes.
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
   /// Lane stamped on subsequently appended sim events (sweeps set this to
   /// the task index so merged traces keep one lane per task).
   void set_lane(std::uint32_t lane) noexcept { lane_ = lane; }
   [[nodiscard]] std::uint32_t lane() const noexcept { return lane_; }
+
+  [[nodiscard]] TraceSink* sink() const noexcept { return sink_; }
 
   /// Appends a sim-domain instant event at simulated time `t`.
   void instant(Duration t, std::string_view cat, std::string_view name,
@@ -76,17 +105,26 @@ class Tracer {
   void append(TraceEvent event);
 
   /// Appends every event of `other` in order (task-order sweep merging).
-  /// Lane names are merged too; `other` is left empty.
+  /// Lane names are merged too; `other` is left empty, so a second merge
+  /// from the same source is a no-op rather than a silent duplication.
+  /// Self-merge is a precondition violation.
   void merge_from(Tracer&& other);
 
   /// Names a lane in the Chrome export ("thread_name" metadata).
   void name_lane(Domain domain, std::uint32_t lane, std::string name);
 
+  /// Buffered events (empty in streaming mode — the sink consumed them).
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
   }
-  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
-  [[nodiscard]] std::size_t count(Domain domain) const noexcept;
+  [[nodiscard]] bool empty() const noexcept {
+    return counts_[0] + counts_[1] == 0;
+  }
+  /// Events appended so far per domain — maintained in both buffered and
+  /// streaming mode.
+  [[nodiscard]] std::size_t count(Domain domain) const noexcept {
+    return counts_[static_cast<int>(domain)];
+  }
   void clear();
 
   /// One JSON object per line, every event in append order.
@@ -97,6 +135,8 @@ class Tracer {
 
  private:
   std::uint32_t lane_ = 0;
+  TraceSink* sink_ = nullptr;
+  std::size_t counts_[2] = {0, 0};
   std::vector<TraceEvent> events_;
   std::map<std::pair<Domain, std::uint32_t>, std::string> lane_names_;
 };
@@ -105,5 +145,18 @@ class Tracer {
 /// Returns false (after a diagnostic on `diag`) when a file cannot open.
 bool export_trace(const std::string& dir, const std::string& name,
                   const Tracer& tracer, std::ostream* diag = nullptr);
+
+namespace detail {
+// Shared JSON rendering between the buffered writers above and the
+// streaming sinks in obs/sink.h.
+[[nodiscard]] std::string render_number(double v);
+[[nodiscard]] std::string render_string(std::string_view s);
+[[nodiscard]] int pid_of(Domain domain) noexcept;
+void write_event_json(std::ostream& out, const TraceEvent& e);
+void write_jsonl_event(std::ostream& out, const TraceEvent& e);
+void write_lane_metadata_json(std::ostream& out, Domain domain,
+                              std::uint32_t lane, const std::string& name);
+void write_process_metadata_json(std::ostream& out, Domain domain);
+}  // namespace detail
 
 }  // namespace dcs::obs

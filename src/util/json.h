@@ -1,0 +1,91 @@
+// Minimal JSON reader for the repo's own machine-readable records
+// (BENCH_*.json perf records, google-benchmark output, trace files in
+// tests). Parses a full document into an immutable Value tree; no external
+// dependencies, no streaming — the records this reads are small.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double n) : type_(Type::kNumber), number_(n) {}
+  explicit Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors; DCS_REQUIRE on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member or nullptr when absent (or when this is not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+  /// Object member; DCS_REQUIRE when absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  /// Array element count (0 for non-arrays).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return type_ == Type::kArray ? array_->size() : 0;
+  }
+  [[nodiscard]] const Value& operator[](std::size_t i) const {
+    return as_array()[i];
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // shared_ptr keeps Value cheap to copy and the tree immutable-by-use.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, anything else
+/// after the document throws). Throws std::invalid_argument with an offset
+/// on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Reads and parses `path`; throws std::invalid_argument when the file
+/// cannot be read or does not parse.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace dcs::json

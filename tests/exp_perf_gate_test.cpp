@@ -1,0 +1,139 @@
+// Perf-regression gate: record parsing for both supported formats and the
+// compare/verdict logic the CI step relies on.
+#include "exp/perf_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+namespace dcs::exp {
+namespace {
+
+constexpr const char* kBenchRecord = R"({
+  "bench": "fig09_strategies", "wall_seconds": 0.5, "tasks": 11,
+  "runs_per_second": 22.0, "threads": 4, "cells": 11, "replicates": 1,
+  "scopes": {
+    "exp.task": {"count": 11, "total_us": 110000, "max_us": 12000,
+                 "mean_us": 10000},
+    "sim.run": {"count": 22, "total_us": 44000, "max_us": 3000,
+                "mean_us": 2000}
+  }
+})";
+
+constexpr const char* kGoogleBenchmark = R"({
+  "context": {"host_name": "ci"},
+  "benchmarks": [
+    {"name": "BM_FullMsRun/8", "run_type": "iteration",
+     "real_time": 1.5, "time_unit": "ms"},
+    {"name": "BM_FullMsRun/8", "run_type": "aggregate",
+     "aggregate_name": "mean", "real_time": 99.0, "time_unit": "ms"},
+    {"name": "BM_BreakerStep", "real_time": 120.0, "time_unit": "ns"}
+  ]
+})";
+
+TEST(ExpPerfGate, ParsesBenchRecordScopesAndWall) {
+  const auto times = perf_scope_times_us(json::parse(kBenchRecord));
+  EXPECT_DOUBLE_EQ(times.at("exp.task"), 10000.0);
+  EXPECT_DOUBLE_EQ(times.at("sim.run"), 2000.0);
+  EXPECT_DOUBLE_EQ(times.at("wall"), 0.5e6);
+}
+
+TEST(ExpPerfGate, ParsesGoogleBenchmarkOutputSkippingAggregates) {
+  const auto times = perf_scope_times_us(json::parse(kGoogleBenchmark));
+  EXPECT_DOUBLE_EQ(times.at("BM_FullMsRun/8"), 1500.0);
+  EXPECT_DOUBLE_EQ(times.at("BM_BreakerStep"), 0.12);
+  EXPECT_EQ(times.size(), 2u);
+}
+
+TEST(ExpPerfGate, RejectsUnknownRecordShapes) {
+  EXPECT_THROW(perf_scope_times_us(json::parse("{\"other\": 1}")),
+               std::invalid_argument);
+}
+
+TEST(ExpPerfGate, IdenticalRecordsPass) {
+  const auto times = perf_scope_times_us(json::parse(kBenchRecord));
+  const PerfGateResult result = perf_gate_compare(times, times);
+  EXPECT_TRUE(result.ok);
+  for (const PerfGateRow& row : result.rows) {
+    EXPECT_FALSE(row.regressed);
+    EXPECT_DOUBLE_EQ(row.ratio, 1.0);
+  }
+}
+
+TEST(ExpPerfGate, InjectedTwoXSlowdownFailsTheGate) {
+  const auto baseline = perf_scope_times_us(json::parse(kBenchRecord));
+  auto fresh = baseline;
+  fresh["sim.run"] *= 2.0;
+  const PerfGateResult result =
+      perf_gate_compare(baseline, fresh, {.max_regress = 0.20});
+  EXPECT_FALSE(result.ok);
+  bool found = false;
+  for (const PerfGateRow& row : result.rows) {
+    if (row.name == "sim.run") {
+      EXPECT_TRUE(row.regressed);
+      EXPECT_DOUBLE_EQ(row.ratio, 2.0);
+      found = true;
+    } else {
+      EXPECT_FALSE(row.regressed);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExpPerfGate, NoiseFloorIgnoresTinyScopes) {
+  const std::map<std::string, double> baseline{{"tiny", 10.0}};
+  const std::map<std::string, double> fresh{{"tiny", 40.0}};  // 4x but tiny
+  const PerfGateResult result =
+      perf_gate_compare(baseline, fresh, {.max_regress = 0.20, .min_us = 50});
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_FALSE(result.rows[0].regressed);
+}
+
+TEST(ExpPerfGate, WarnOnlyReportsButPasses) {
+  const std::map<std::string, double> baseline{{"slow", 1000.0}};
+  const std::map<std::string, double> fresh{{"slow", 3000.0}};
+  const PerfGateResult result = perf_gate_compare(
+      baseline, fresh, {.max_regress = 0.20, .warn_only = true});
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0].regressed);
+
+  std::ostringstream out;
+  write_perf_gate_report(out, result, {.warn_only = true});
+  EXPECT_NE(out.str().find("WARN"), std::string::npos);
+}
+
+TEST(ExpPerfGate, TracksEntriesPresentOnOnlyOneSide) {
+  const std::map<std::string, double> baseline{{"removed", 100.0},
+                                               {"kept", 100.0}};
+  const std::map<std::string, double> fresh{{"added", 100.0},
+                                            {"kept", 100.0}};
+  const PerfGateResult result = perf_gate_compare(baseline, fresh);
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.only_in_baseline.size(), 1u);
+  EXPECT_EQ(result.only_in_baseline[0], "removed");
+  ASSERT_EQ(result.only_in_fresh.size(), 1u);
+  EXPECT_EQ(result.only_in_fresh[0], "added");
+}
+
+TEST(ExpPerfGate, ReportPrintsPassAndFailVerdicts) {
+  const std::map<std::string, double> times{{"a", 100.0}};
+  std::ostringstream pass_out;
+  write_perf_gate_report(pass_out, perf_gate_compare(times, times), {});
+  EXPECT_NE(pass_out.str().find("PASS"), std::string::npos);
+
+  const std::map<std::string, double> slow{{"a", 300.0}};
+  std::ostringstream fail_out;
+  write_perf_gate_report(fail_out, perf_gate_compare(times, slow), {});
+  EXPECT_NE(fail_out.str().find("FAIL"), std::string::npos);
+  EXPECT_NE(fail_out.str().find("REGRESSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcs::exp

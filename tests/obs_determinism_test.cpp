@@ -13,7 +13,10 @@
 #include "exp/runner.h"
 #include "exp/sweep.h"
 #include "faults/schedule.h"
+#include "obs/counters.h"
 #include "obs/trace.h"
+#include "sim/recorder.h"
+#include "util/json.h"
 #include "workload/yahoo_trace.h"
 
 namespace dcs {
@@ -99,6 +102,71 @@ TEST(ObsDeterminism, RepeatedRunsAreByteIdentical) {
   const std::string a = traced_sweep_jsonl(4);
   const std::string b = traced_sweep_jsonl(4);
   EXPECT_EQ(a, b);
+}
+
+/// Builds a small recorder (with equal-time overwrites, which the recorder
+/// resolves to last-writer-wins), exports its channels as counter tracks
+/// through per-task tracers on `threads` workers, and returns the merged
+/// Chrome trace text.
+std::string counter_sweep_chrome(std::size_t threads) {
+  exp::SweepSpec spec("counter_determinism");
+  spec.add_axis("run", {"a", "b", "c", "d"});
+
+  std::vector<obs::Tracer> task_tracers(spec.tasks().size());
+  exp::run_sweep(
+      spec, {"ok"},
+      [&](const exp::SweepSpec::Task& task) {
+        sim::Recorder recorder;
+        const double offset = static_cast<double>(task.index);
+        for (int i = 0; i < 50; ++i) {
+          const Duration t = Duration::seconds(i);
+          recorder.record("ups_soc", t, 1.0 - 0.01 * i + offset);
+          recorder.record("room_c", t, 22.0 + 0.05 * i);
+          // Equal-time overwrite: the exported sample must be this value.
+          recorder.record("room_c", t, 23.0 + 0.05 * i);
+        }
+        obs::Tracer& tracer = task_tracers[task.index];
+        tracer.set_lane(static_cast<std::uint32_t>(task.index));
+        obs::export_counters(recorder, tracer,
+                             {.channels = {"ups_soc", "room_c", "absent"}});
+        return std::vector<double>{1.0};
+      },
+      {.threads = threads});
+
+  obs::Tracer merged;
+  for (const exp::SweepSpec::Task& task : spec.tasks()) {
+    merged.merge_from(std::move(task_tracers[task.index]));
+  }
+  std::ostringstream out;
+  merged.write_chrome_trace(out);
+  return out.str();
+}
+
+TEST(ObsDeterminism, CounterTracksAreByteIdenticalAcrossThreadCounts) {
+  const std::string serial = counter_sweep_chrome(1);
+  const std::string parallel = counter_sweep_chrome(8);
+  EXPECT_EQ(serial, parallel);
+
+  // Round trip: the export is valid Chrome JSON whose counter events carry
+  // the overwritten (last-writer-wins) sample values.
+  const json::Value doc = json::parse(serial);
+  const json::Value& events = doc.at("traceEvents");
+  std::size_t counters = 0;
+  bool found_overwritten = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events[i];
+    if (e.at("ph").as_string() != "C") continue;
+    ++counters;
+    EXPECT_EQ(e.at("cat").as_string(), "recorder");
+    if (e.at("name").as_string() == "room_c" &&
+        e.at("ts").as_number() == 0.0) {
+      EXPECT_DOUBLE_EQ(e.at("args").at("value").as_number(), 23.0);
+      found_overwritten = true;
+    }
+  }
+  // 4 tasks x 2 present channels x 50 samples; "absent" is skipped.
+  EXPECT_EQ(counters, 4u * 2u * 50u);
+  EXPECT_TRUE(found_overwritten);
 }
 
 }  // namespace

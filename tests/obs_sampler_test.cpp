@@ -1,0 +1,119 @@
+// Sampling profiler: refcounted lifecycle, folded-stack accumulation from
+// the lock-free scope stacks, and env-driven activation.
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "obs/profile.h"
+
+namespace dcs::obs {
+namespace {
+
+/// Sampler and Profiler are process-wide singletons; every test starts from
+/// a clean, stopped state and leaves it that way.
+class ObsSampler : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(Sampler::instance().active());
+    Sampler::instance().reset();
+    Profiler::instance().reset();
+    Profiler::set_thread_lane(0);
+  }
+  void TearDown() override {
+    ASSERT_FALSE(Sampler::instance().active());
+    Sampler::instance().reset();
+    Profiler::instance().reset();
+    Profiler::set_thread_lane(0);
+  }
+};
+
+TEST_F(ObsSampler, StartStopIsRefcounted) {
+  Sampler& s = Sampler::instance();
+  s.start(Duration::seconds(0.001));
+  s.start(Duration::seconds(0.001));  // nested sweep shares the thread
+  EXPECT_TRUE(s.active());
+  EXPECT_TRUE(Profiler::instance().sampling());
+  s.stop();
+  EXPECT_TRUE(s.active());
+  s.stop();
+  EXPECT_FALSE(s.active());
+  EXPECT_FALSE(Profiler::instance().sampling());
+}
+
+TEST_F(ObsSampler, CapturesNestedScopeStacks) {
+  Sampler& s = Sampler::instance();
+  s.start(Duration::seconds(0.0005));
+  {
+    DCS_OBS_SCOPE("outer");
+    DCS_OBS_SCOPE("inner");
+    // Hold the stack open until at least a few samples landed.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (s.sample_count() < 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  s.stop();
+  const FoldedStacks folded = s.folded();
+  ASSERT_FALSE(folded.empty());
+  EXPECT_GT(folded.count("main;outer;inner"), 0u);
+  for (const auto& [stack, count] : folded) {
+    EXPECT_EQ(stack.rfind("main;", 0), 0u) << stack;
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST_F(ObsSampler, ResetDropsSamplesAndWriteFoldedFormats) {
+  FoldedStacks folded{{"main;exp.task;sim.run", 7}, {"worker-1;exp.task", 2}};
+  std::ostringstream out;
+  write_folded(out, folded);
+  EXPECT_EQ(out.str(), "main;exp.task;sim.run 7\nworker-1;exp.task 2\n");
+
+  Sampler& s = Sampler::instance();
+  s.start(Duration::seconds(0.0005));
+  {
+    DCS_OBS_SCOPE("busy");
+    while (s.sample_count() < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  s.stop();
+  s.reset();
+  EXPECT_EQ(s.sample_count(), 0u);
+  EXPECT_TRUE(s.folded().empty());
+}
+
+TEST_F(ObsSampler, EnvHzParsesTheSamplerVariable) {
+  ASSERT_EQ(setenv("DCS_OBS_SAMPLER", "97", 1), 0);
+  EXPECT_DOUBLE_EQ(Sampler::env_hz(), 97.0);
+  ASSERT_EQ(setenv("DCS_OBS_SAMPLER", "not-a-rate", 1), 0);
+  EXPECT_DOUBLE_EQ(Sampler::env_hz(), 0.0);
+  ASSERT_EQ(setenv("DCS_OBS_SAMPLER", "-5", 1), 0);
+  EXPECT_DOUBLE_EQ(Sampler::env_hz(), 0.0);
+  ASSERT_EQ(unsetenv("DCS_OBS_SAMPLER"), 0);
+  EXPECT_DOUBLE_EQ(Sampler::env_hz(), 0.0);
+}
+
+TEST_F(ObsSampler, ScopedRunIsNoopWithoutEnv) {
+  ASSERT_EQ(unsetenv("DCS_OBS_SAMPLER"), 0);
+  {
+    const ScopedSamplerRun run;
+    EXPECT_FALSE(Sampler::instance().active());
+  }
+  ASSERT_EQ(setenv("DCS_OBS_SAMPLER", "200", 1), 0);
+  {
+    const ScopedSamplerRun run;
+    EXPECT_TRUE(Sampler::instance().active());
+  }
+  EXPECT_FALSE(Sampler::instance().active());
+  ASSERT_EQ(unsetenv("DCS_OBS_SAMPLER"), 0);
+}
+
+}  // namespace
+}  // namespace dcs::obs

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace dcs::obs {
 namespace {
@@ -100,6 +102,28 @@ TEST(ObsTrace, MergeFromAppendsInOrderAndTransfersLaneNames) {
   std::ostringstream out;
   a.write_chrome_trace(out);
   EXPECT_NE(out.str().find("task-7"), std::string::npos);
+}
+
+TEST(ObsTrace, MergeClearsTheSourceSoDoubleMergeDoesNotDuplicate) {
+  Tracer a;
+  Tracer b;
+  b.instant(Duration::seconds(1), "x", "only-once");
+  a.merge_from(std::move(b));
+  ASSERT_EQ(a.events().size(), 1u);
+  // The moved-from tracer is contractually empty; merging it again must be
+  // a no-op, not a silent duplication of the stream.
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): contract
+  a.merge_from(std::move(b));
+  EXPECT_EQ(a.events().size(), 1u);
+  EXPECT_EQ(a.count(Domain::kSim), 1u);
+}
+
+TEST(ObsTrace, SelfMergeIsAPreconditionViolation) {
+  Tracer a;
+  a.instant(Duration::seconds(1), "x", "e");
+  EXPECT_THROW(a.merge_from(std::move(a)), std::invalid_argument);
+  // The tracer is untouched by the rejected merge.
+  EXPECT_EQ(a.events().size(), 1u);  // NOLINT(bugprone-use-after-move)
 }
 
 TEST(ObsTrace, CountByDomainAndClear) {

@@ -1,0 +1,92 @@
+// CI perf-regression gate. Usage:
+//
+//   perf_gate <fresh.json> <baseline.json> [--max-regress=0.20]
+//             [--min-us=50] [--warn-only]
+//
+// Both files may be repo BENCH_*.json perf records or google-benchmark
+// --benchmark_out JSON. Exit codes: 0 = no regression (or baseline file
+// missing — first-run warming, prints a warning), 1 = at least one scope
+// regressed beyond the threshold, 2 = usage or unreadable/invalid input.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "exp/perf_gate.h"
+#include "util/json.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: perf_gate <fresh.json> <baseline.json>\n"
+         "                 [--max-regress=FRACTION] [--min-us=US] "
+         "[--warn-only]\n";
+}
+
+bool parse_double_flag(const char* arg, const char* prefix, double* out) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  char* end = nullptr;
+  const double v = std::strtod(arg + n, &end);
+  if (end == arg + n || *end != '\0') {
+    throw std::invalid_argument(std::string("bad value in ") + arg);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fresh_path;
+  std::string baseline_path;
+  dcs::exp::PerfGateOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--warn-only") == 0) {
+        options.warn_only = true;
+      } else if (parse_double_flag(arg, "--max-regress=",
+                                   &options.max_regress) ||
+                 parse_double_flag(arg, "--min-us=", &options.min_us)) {
+        // handled
+      } else if (arg[0] == '-') {
+        usage(std::cerr);
+        return 2;
+      } else if (fresh_path.empty()) {
+        fresh_path = arg;
+      } else if (baseline_path.empty()) {
+        baseline_path = arg;
+      } else {
+        usage(std::cerr);
+        return 2;
+      }
+    }
+    if (fresh_path.empty() || baseline_path.empty()) {
+      usage(std::cerr);
+      return 2;
+    }
+
+    // A missing baseline is the expected first-run state: warn and pass so
+    // the CI step that generates the baseline can bootstrap itself.
+    if (!std::ifstream(baseline_path)) {
+      std::cout << "perf_gate: baseline " << baseline_path
+                << " not found; skipping comparison (record a baseline to "
+                   "arm the gate)\n";
+      return 0;
+    }
+
+    const auto fresh =
+        dcs::exp::perf_scope_times_us(dcs::json::parse_file(fresh_path));
+    const auto baseline =
+        dcs::exp::perf_scope_times_us(dcs::json::parse_file(baseline_path));
+    const dcs::exp::PerfGateResult result =
+        dcs::exp::perf_gate_compare(baseline, fresh, options);
+    dcs::exp::write_perf_gate_report(std::cout, result, options);
+    return result.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "perf_gate: " << e.what() << "\n";
+    return 2;
+  }
+}
