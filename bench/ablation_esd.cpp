@@ -17,7 +17,6 @@ int main(int argc, char** argv) {
   using namespace dcs;
   using namespace dcs::core;
   const Config args = bench::parse_args(argc, argv);
-  const std::size_t threads = bench::bench_threads(args);
   bench::obs_setup(args);
 
   workload::YahooTraceParams yp;
@@ -41,13 +40,14 @@ int main(int argc, char** argv) {
         return std::vector<double>{r.performance_factor, r.min_ups_soc,
                                    r.sprint_time.min()};
       },
-      {.threads = threads});
+      bench::runner_options(args, ups_spec));
 
   std::cout << "=== Ablation: UPS battery capacity (paper default 0.5 Ah"
                " ~ 6 min at peak normal) ===\n";
   TablePrinter ups({"Ah/server", "runtime @55W", "greedy perf", "min SoC",
                     "sprint min"});
   for (std::size_t i = 0; i < amp_hours.size(); ++i) {
+    if (ups_run.rows[i].empty()) continue;  // slot owned by another shard
     const DataCenterConfig config = bench::bench_config(args);
     const Duration runtime =
         Charge::amp_hours(amp_hours[i])
@@ -74,12 +74,13 @@ int main(int argc, char** argv) {
         return std::vector<double>{r.performance_factor, r.min_tes_soc,
                                    r.sprint_time.min()};
       },
-      {.threads = threads});
+      bench::runner_options(args, tes_spec));
 
   std::cout << "\n=== Ablation: TES capacity (paper default 12 min of"
                " peak-normal cooling) ===\n";
   TablePrinter tes({"TES minutes", "greedy perf", "min TES SoC", "sprint min"});
   for (std::size_t i = 0; i < tes_minutes.size(); ++i) {
+    if (tes_run.rows[i].empty()) continue;  // slot owned by another shard
     tes.add_row(format_double(tes_minutes[i], 0),
                 {tes_run.rows[i][0], tes_run.rows[i][1], tes_run.rows[i][2]});
   }
@@ -105,12 +106,13 @@ int main(int argc, char** argv) {
         return std::vector<double>{r.performance_factor, r.sprint_time.min(),
                                    r.peak_room_temperature.c()};
       },
-      {.threads = threads});
+      bench::runner_options(args, no_spec));
 
   std::cout << "\n=== Ablation: no TES at all (Section V: sprinting still"
                " works, shorter) ===\n";
   TablePrinter t({"config", "perf", "sprint min", "peak room C"});
   for (std::size_t i = 0; i < tes_configs.size(); ++i) {
+    if (no_run.rows[i].empty()) continue;  // slot owned by another shard
     t.add_row(tes_configs[i],
               {no_run.rows[i][0], no_run.rows[i][1], no_run.rows[i][2]});
   }

@@ -128,7 +128,6 @@ Outcome run_scenario(const DataCenterConfig& config, const TimeSeries& trace,
 
 int main(int argc, char** argv) {
   const Config args = bench::parse_args(argc, argv, {"seeds"});
-  const std::size_t threads = bench::bench_threads(args);
   bench::obs_setup(args);
   const bool tracing = !args.get_string("trace", "").empty();
 
@@ -175,7 +174,7 @@ int main(int argc, char** argv) {
             static_cast<double>(o.result.max_degradation),
             static_cast<double>(o.result.watchdog.violations)};
       },
-      {.threads = threads});
+      bench::runner_options(args, grid));
 
   obs::Tracer tracer;
   if (tracing) {
@@ -193,10 +192,13 @@ int main(int argc, char** argv) {
   TablePrinter table({"scenario", "strategy", "survived", "perf", "retained %",
                       "max ladder", "watchdog"});
   for (std::size_t st = 0; st < strategy_names.size(); ++st) {
-    // The nominal (fault-free) cell anchors the "performance retained" column.
-    const double base_perf = grid_run.rows[st * scenarios.size()][1];
+    // The nominal (fault-free) cell anchors the "performance retained"
+    // column; under sharding it may live in another shard's slot.
+    const std::vector<double>& nominal = grid_run.rows[st * scenarios.size()];
+    const double base_perf = nominal.empty() ? 0.0 : nominal[1];
     for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
       const std::vector<double>& row = grid_run.rows[st * scenarios.size() + sc];
+      if (row.empty()) continue;  // slot owned by another shard
       const double retained =
           base_perf > 0.0 ? 100.0 * row[1] / base_perf : 0.0;
       table.add_row({scenarios[sc].name, strategy_names[st],
@@ -226,7 +228,7 @@ int main(int argc, char** argv) {
             o.result.tripped ? o.result.trip_time.min() : -1.0,
             o.result.performance_factor};
       },
-      {.threads = threads});
+      bench::runner_options(args, unc_spec));
 
   std::cout << "\n=== Baseline: uncontrolled sprinting under the same"
                " scenarios (trips expected) ===\n";
@@ -234,6 +236,7 @@ int main(int argc, char** argv) {
   std::size_t uncontrolled_trips = 0;
   for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
     const std::vector<double>& row = unc_run.rows[sc];
+    if (row.empty()) continue;  // slot owned by another shard
     if (row[0] > 0.0) ++uncontrolled_trips;
     unc.add_row({scenarios[sc].name, row[0] > 0.0 ? "yes" : "no",
                  row[0] > 0.0 ? format_double(row[1], 2) : "-",
@@ -263,7 +266,7 @@ int main(int argc, char** argv) {
             o.survived ? 1.0 : 0.0, o.result.performance_factor,
             static_cast<double>(o.result.watchdog.violations)};
       },
-      {.threads = threads});
+      bench::runner_options(args, surv));
   const exp::SweepSummary surv_summary = exp::aggregate(surv, surv_run);
 
   std::cout << "\n=== Survival sweep: " << seeds

@@ -17,7 +17,6 @@ int main(int argc, char** argv) {
   using namespace dcs;
   using namespace dcs::core;
   const Config args = bench::parse_args(argc, argv);
-  const std::size_t threads = bench::bench_threads(args);
 
   std::cout << "=== Ablation: DC headroom sweep (0-20% of peak normal) ===\n";
   const TimeSeries ms = workload::generate_ms_trace();
@@ -44,15 +43,19 @@ int main(int argc, char** argv) {
             dc.run(trace, &greedy).performance_factor,
             oracle_search(dc, trace, 4, /*threads=*/1).best_performance};
       },
-      {.threads = threads});
+      bench::runner_options(args, spec));
 
   TablePrinter table({"headroom %", "MS greedy", "MS oracle", "Yahoo greedy",
                       "Yahoo oracle"});
   for (std::size_t h = 0; h < headrooms.size(); ++h) {
-    const std::vector<double>& ms_row = run.rows[h * traces.size() + 0];
-    const std::vector<double>& yahoo_row = run.rows[h * traces.size() + 1];
+    // row_value renders nan for slots another shard owns.
+    const std::size_t ms_cell = h * traces.size() + 0;
+    const std::size_t yahoo_cell = h * traces.size() + 1;
     table.add_row(spec.axes()[0].labels[h],
-                  {ms_row[0], ms_row[1], yahoo_row[0], yahoo_row[1]});
+                  {bench::row_value(run, ms_cell, 0),
+                   bench::row_value(run, ms_cell, 1),
+                   bench::row_value(run, yahoo_cell, 0),
+                   bench::row_value(run, yahoo_cell, 1)});
   }
   table.print(std::cout);
 

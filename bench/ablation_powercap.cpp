@@ -18,7 +18,6 @@ int main(int argc, char** argv) {
   using namespace dcs;
   using namespace dcs::core;
   const Config args = bench::parse_args(argc, argv);
-  const std::size_t threads = bench::bench_threads(args);
   bench::obs_setup(args);
   const DataCenterConfig config = bench::bench_config(args);
 
@@ -45,14 +44,15 @@ int main(int argc, char** argv) {
             trace, mode == Mode::kControlled ? &greedy : nullptr, {.mode = mode});
         return std::vector<double>{r.performance_factor};
       },
-      {.threads = threads});
+      bench::runner_options(args, spec));
 
   std::cout << "=== Ablation: sprinting vs power capping vs no sprint ===\n";
   TablePrinter table({"burst degree", "no-sprint", "DVFS-capped",
                       "core-capped", "DCS greedy", "uncontrolled"});
   for (std::size_t d = 0; d < degrees.size(); ++d) {
+    // row_value renders nan for slots another shard owns.
     const auto perf = [&](std::size_t m) {
-      return run.rows[d * mode_names.size() + m][0];
+      return bench::row_value(run, d * mode_names.size() + m, 0);
     };
     table.add_row(format_double(degrees[d], 1),
                   {perf(0), perf(1), perf(2), perf(3), perf(4)});

@@ -1,9 +1,11 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -27,13 +29,15 @@
 namespace dcs::bench {
 
 /// Keys every bench understands: the shared data-center knobs plus the
-/// sweep-runner knobs (threads=<n>, csv=<dir>, perf=<dir>) and the
-/// observability knobs (trace=<dir> for Chrome trace JSON + JSONL,
-/// sink=buffer|stream to pick the in-memory Tracer or the bounded-memory
-/// streaming sinks, metrics=<dir> for CSV/JSON/Prometheus snapshots).
+/// sweep-runner knobs (threads=<n>, csv=<dir>, perf=<dir>, checkpoint=<dir>
+/// for crash-safe resume files, shard=<i>/<N> to run one contiguous slice
+/// of every grid) and the observability knobs (trace=<dir> for Chrome
+/// trace JSON + JSONL, sink=buffer|stream to pick the in-memory Tracer or
+/// the bounded-memory streaming sinks, metrics=<dir> for CSV/JSON/
+/// Prometheus snapshots).
 inline constexpr std::string_view kCommonKeys[] = {
     "pdus", "dc_headroom", "pue", "csv", "perf", "threads", "trace",
-    "metrics", "sink"};
+    "metrics", "sink", "checkpoint", "shard"};
 
 /// Default recorder channels bridged into Perfetto counter tracks by the
 /// traced benches: physical state (state of charge, breaker trip margin,
@@ -70,6 +74,50 @@ inline std::size_t bench_threads(const Config& args) {
     std::exit(2);
   }
   return static_cast<std::size_t>(threads);
+}
+
+/// Parses shard=<i>/<N> ("0/4" .. "3/4"). Aborts on malformed values.
+inline exp::Shard parse_shard(const std::string& text) {
+  exp::Shard shard;
+  unsigned long index = 0;
+  unsigned long count = 0;
+  char trailing = '\0';
+  if (std::sscanf(text.c_str(), "%lu/%lu%c", &index, &count, &trailing) != 2 ||
+      count == 0 || index >= count) {
+    std::cerr << "error: shard must be i/N with 0 <= i < N, got '" << text
+              << "'\n";
+    std::exit(2);
+  }
+  shard.index = static_cast<std::size_t>(index);
+  shard.count = static_cast<std::size_t>(count);
+  return shard;
+}
+
+/// Sweep-runner options for one spec: threads=<n>, plus checkpoint=<dir>
+/// (the resume file lands at <dir>/<sweep>.ckpt.jsonl, one per sweep so
+/// multi-sweep benches keep their grids apart) and shard=<i>/<N> (each
+/// sweep of the bench is sliced the same way).
+inline exp::RunnerOptions runner_options(const Config& args,
+                                         const exp::SweepSpec& spec) {
+  exp::RunnerOptions options;
+  options.threads = bench_threads(args);
+  const std::string dir = args.get_string("checkpoint", "");
+  if (!dir.empty()) {
+    options.checkpoint_path = dir + "/" + spec.name() + ".ckpt.jsonl";
+  }
+  const std::string shard = args.get_string("shard", "");
+  if (!shard.empty()) options.shard = parse_shard(shard);
+  return options;
+}
+
+/// Metric `m` of task `index`, or NaN when the slot was not executed (a
+/// sharded run printed before its shards merge). Keeps the partial console
+/// tables rendering without touching complete runs.
+inline double row_value(const exp::SweepRun& run, std::size_t index,
+                        std::size_t m) {
+  return index < run.rows.size() && m < run.rows[index].size()
+             ? run.rows[index][m]
+             : std::numeric_limits<double>::quiet_NaN();
 }
 
 /// The default experiment configuration: the paper's data center, simulated

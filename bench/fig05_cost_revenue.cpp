@@ -16,7 +16,6 @@
 int main(int argc, char** argv) {
   using namespace dcs;
   const Config args = bench::parse_args(argc, argv);
-  const std::size_t threads = bench::bench_threads(args);
   bench::obs_setup(args);
 
   const econ::ProfitabilityAnalysis analysis{econ::CostModel{},
@@ -40,7 +39,7 @@ int main(int argc, char** argv) {
             r75.total_revenue_usd() / 1e6, r100.total_revenue_usd() / 1e6,
             r100.profit_usd() / 1e6};
       },
-      {.threads = threads});
+      bench::runner_options(args, spec));
 
   std::cout << "=== Figure 5: cost and revenue of Data Center Sprinting ===\n";
   for (std::size_t u = 0; u < ut_over_u0.size(); ++u) {
@@ -50,6 +49,7 @@ int main(int argc, char** argv) {
                         "R100 $M", "profit@R100 $M"});
     for (std::size_t d = 0; d < max_degrees.size(); ++d) {
       const std::vector<double>& row = run.rows[u * max_degrees.size() + d];
+      if (row.empty()) continue;  // slot owned by another shard
       table.add_row(format_double(max_degrees[d], 1),
                     {row[0], row[1], row[2], row[3], row[4]});
     }

@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
             task_dc.run(trace, &heuristic, heuristic_opts).performance_factor,
             oracle.best_performance};
       },
-      {.threads = threads});
+      bench::runner_options(args, spec));
 
   bench::StreamTraceSinks stream =
       bench::maybe_stream_sinks(args, "fig09_strategies");
@@ -141,6 +141,7 @@ int main(int argc, char** argv) {
   TablePrinter table_out(
       {"error %", "Greedy", "Prediction", "Heuristic", "Oracle"});
   for (std::size_t i = 0; i < run.rows.size(); ++i) {
+    if (run.rows[i].empty()) continue;  // slot owned by another shard
     table_out.add_row(spec.axes()[0].labels[i], run.rows[i]);
   }
   table_out.print(std::cout);

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
             task_dc.run(trace, &heuristic).performance_factor,
             oracle.best_performance};
       },
-      {.threads = threads});
+      bench::runner_options(args, spec));
 
   for (std::size_t d = 0; d < sweep_minutes.size(); ++d) {
     std::cout << "\n--- Fig. 10" << (d == 0 ? "a" : "b") << ": "
@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
     TablePrinter out({"burst degree", "G", "P", "H", "O"});
     for (std::size_t g = 0; g < sweep_degrees.size(); ++g) {
       const std::size_t cell = d * sweep_degrees.size() + g;
+      if (run.rows[cell].empty()) continue;  // slot owned by another shard
       out.add_row(spec.axes()[1].labels[g], run.rows[cell]);
     }
     out.print(std::cout);

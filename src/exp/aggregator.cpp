@@ -20,6 +20,10 @@ SweepSummary aggregate(const SweepSpec& spec, const SweepRun& run) {
   summary.task_count = run.rows.size();
   summary.threads_used = run.threads_used;
   summary.wall_seconds = run.wall_seconds;
+  summary.executed_tasks = run.executed_tasks;
+  summary.resumed_tasks = run.resumed_tasks;
+  summary.shard_index = run.shard_index;
+  summary.shard_count = run.shard_count;
 
   summary.cells.reserve(spec.cell_count());
   for (std::size_t cell = 0; cell < spec.cell_count(); ++cell) {
@@ -36,21 +40,26 @@ SweepSummary aggregate(const SweepSpec& spec, const SweepRun& run) {
       std::vector<double> values;
       values.reserve(reps);
       for (std::size_t rep = 0; rep < reps; ++rep) {
-        const double v = run.rows[cell * reps + rep][m];
-        stats.add(v);
-        values.push_back(v);
+        // Empty slots (task outside the executed shard / not yet resumed)
+        // contribute nothing; count reflects the replicates that ran.
+        const std::vector<double>& row = run.rows[cell * reps + rep];
+        if (row.empty()) continue;
+        stats.add(row[m]);
+        values.push_back(row[m]);
       }
       MetricSummary ms;
-      ms.count = stats.count();
-      ms.mean = stats.mean();
-      ms.stddev = stats.stddev();
-      ms.min = stats.min();
-      ms.max = stats.max();
-      ms.p50 = percentile(values, 50.0);
-      ms.p95 = percentile(std::move(values), 95.0);
-      ms.ci95 = ms.count >= 2 ? 1.96 * ms.stddev /
-                                    std::sqrt(static_cast<double>(ms.count))
-                              : 0.0;
+      if (!values.empty()) {
+        ms.count = stats.count();
+        ms.mean = stats.mean();
+        ms.stddev = stats.stddev();
+        ms.min = stats.min();
+        ms.max = stats.max();
+        ms.p50 = percentile(values, 50.0);
+        ms.p95 = percentile(std::move(values), 95.0);
+        ms.ci95 = ms.count >= 2 ? 1.96 * ms.stddev /
+                                      std::sqrt(static_cast<double>(ms.count))
+                                : 0.0;
+      }
       cs.metrics.push_back(ms);
     }
     summary.cells.push_back(std::move(cs));

@@ -39,19 +39,27 @@ struct SweepSummary {
   std::vector<std::string> metrics;
   std::size_t replicates = 1;
   std::vector<CellSummary> cells;
-  // Perf record of the producing run.
+  // Perf record of the producing run (executed/resumed/shard mirror
+  // SweepRun's provenance fields).
   std::size_t task_count = 0;
   std::size_t threads_used = 1;
   double wall_seconds = 0.0;
+  std::size_t executed_tasks = 0;
+  std::size_t resumed_tasks = 0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   [[nodiscard]] double tasks_per_second() const noexcept {
     return wall_seconds > 0.0
-               ? static_cast<double>(task_count) / wall_seconds
+               ? static_cast<double>(executed_tasks) / wall_seconds
                : 0.0;
   }
 };
 
 /// Collapses the replicate axis of `run` (produced from `spec`) into
-/// per-cell statistics. Cell order matches the spec's cell indexing.
+/// per-cell statistics. Cell order matches the spec's cell indexing. Empty
+/// row slots (sharded or partially resumed runs) are skipped, so a cell's
+/// `count` reflects the replicates that actually ran; a cell with no rows
+/// keeps default (zero) statistics.
 [[nodiscard]] SweepSummary aggregate(const SweepSpec& spec,
                                      const SweepRun& run);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace dcs::exp {
@@ -45,7 +46,13 @@ std::map<std::string, double> from_bench_record(const json::Value& record) {
   if (const json::Value* scopes = record.find("scopes");
       scopes != nullptr && scopes->is_object()) {
     for (const auto& [name, stats] : scopes->as_object()) {
-      out.emplace(name, stats.at("mean_us").as_number());
+      // Non-finite stats serialize as null (JSON has no inf/nan); such a
+      // scope carries no comparable timing, so it is skipped rather than
+      // failing the whole record parse.
+      const json::Value* mean = stats.find("mean_us");
+      if (mean != nullptr && mean->is_number()) {
+        out.emplace(name, mean->as_number());
+      }
     }
   }
   return out;
@@ -68,14 +75,21 @@ PerfGateResult perf_gate_compare(const std::map<std::string, double>& baseline,
   for (const auto& [name, base_us] : baseline) {
     const auto it = fresh.find(name);
     if (it == fresh.end()) {
+      // A baseline entry the fresh record no longer produces: in strict
+      // mode that fails the gate — otherwise deleting a regressed
+      // benchmark would turn it green.
       result.only_in_baseline.push_back(name);
+      if (!options.warn_only) result.ok = false;
       continue;
     }
     PerfGateRow row;
     row.name = name;
     row.baseline_us = base_us;
     row.fresh_us = it->second;
-    row.ratio = base_us > 0.0 ? it->second / base_us : 0.0;
+    // A zero baseline yields an infinite ratio, not 0.0 — 0.0 would read
+    // as a 1000x win.
+    row.ratio = base_us > 0.0 ? it->second / base_us
+                              : std::numeric_limits<double>::infinity();
     row.regressed = base_us >= options.min_us &&
                     it->second > base_us * (1.0 + options.max_regress);
     if (row.regressed && !options.warn_only) result.ok = false;
@@ -103,7 +117,8 @@ void write_perf_gate_report(std::ostream& out, const PerfGateResult& result,
     out << buf;
   }
   for (const std::string& name : result.only_in_baseline) {
-    out << "  " << name << ": only in baseline (removed?)\n";
+    out << "  " << name << ": only in baseline (removed?)"
+        << (options.warn_only ? "" : "  MISSING") << "\n";
   }
   for (const std::string& name : result.only_in_fresh) {
     out << "  " << name << ": only in fresh record (new scope)\n";
@@ -111,12 +126,22 @@ void write_perf_gate_report(std::ostream& out, const PerfGateResult& result,
   const bool any_regressed =
       std::any_of(result.rows.begin(), result.rows.end(),
                   [](const PerfGateRow& r) { return r.regressed; });
-  if (!any_regressed) {
+  const bool any_missing = !result.only_in_baseline.empty();
+  if (!any_regressed && !any_missing) {
     out << "PASS: no scope regressed\n";
   } else if (result.ok) {
-    out << "WARN: regressions found (warn-only mode)\n";
+    out << "WARN: "
+        << (any_regressed ? "regressions found" : "baseline scopes missing")
+        << " (warn-only mode)\n";
   } else {
-    out << "FAIL: regressions found\n";
+    out << "FAIL:";
+    if (any_regressed) out << " regressions found";
+    if (any_missing) {
+      out << (any_regressed ? ";" : "") << " "
+          << result.only_in_baseline.size()
+          << " baseline scope(s) missing from the fresh record";
+    }
+    out << "\n";
   }
 }
 

@@ -49,7 +49,9 @@ struct PerfGateResult {
   std::vector<PerfGateRow> rows;           // shared entries, by name
   std::vector<std::string> only_in_baseline;
   std::vector<std::string> only_in_fresh;
-  /// False iff any row regressed and !warn_only.
+  /// False iff !warn_only and either a row regressed or a baseline entry
+  /// is missing from the fresh record (a deleted benchmark must not turn
+  /// the gate green).
   bool ok = true;
 };
 

@@ -73,6 +73,9 @@ void write_rows_csv(std::ostream& out, const SweepSpec& spec,
 
   const std::vector<SweepSpec::Task> tasks = spec.tasks();
   for (const SweepSpec::Task& task : tasks) {
+    // Sharded / partially resumed runs leave unexecuted slots empty; their
+    // rows live in other shards' files until merged.
+    if (run.rows[task.index].empty()) continue;
     std::vector<std::string> row;
     for (std::size_t a = 0; a < spec.axes().size(); ++a) {
       row.push_back(spec.label(task, a));
@@ -162,14 +165,21 @@ void write_perf_record_json(std::ostream& out, const SweepSummary& summary,
       << ", \"runs_per_second\": " << json_number(summary.tasks_per_second())
       << ", \"threads\": " << summary.threads_used
       << ", \"cells\": " << summary.cells.size()
-      << ", \"replicates\": " << summary.replicates;
+      << ", \"replicates\": " << summary.replicates
+      << ", \"shard\": \"" << summary.shard_index << "/"
+      << summary.shard_count << "\", \"executed_tasks\": "
+      << summary.executed_tasks
+      << ", \"resumed_tasks\": " << summary.resumed_tasks;
   if (scopes != nullptr && !scopes->empty()) {
     out << ", \"scopes\": {";
     bool first = true;
     for (const auto& [name, stats] : *scopes) {
+      // json_number throughout: raw operator<< would truncate to 6
+      // significant figures and emit bare inf/nan, which breaks the
+      // util/json parse in perf_gate.
       out << (first ? "" : ", ") << json_escape(name) << ": {\"count\": "
-          << stats.count << ", \"total_us\": " << stats.total_us
-          << ", \"max_us\": " << stats.max_us
+          << stats.count << ", \"total_us\": " << json_number(stats.total_us)
+          << ", \"max_us\": " << json_number(stats.max_us)
           << ", \"mean_us\": " << json_number(stats.mean_us()) << "}";
       first = false;
     }

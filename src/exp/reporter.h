@@ -30,7 +30,9 @@ void write_summary_csv(std::ostream& out, const SweepSummary& summary);
 void write_summary_json(std::ostream& out, const SweepSummary& summary);
 
 /// BENCH_*-style perf record: {"bench", "wall_seconds", "tasks",
-/// "runs_per_second", "threads", "cells", "replicates"}. When `scopes` is
+/// "runs_per_second", "threads", "cells", "replicates"} plus the
+/// provenance of partitioned runs ("shard": "i/N", "executed_tasks",
+/// "resumed_tasks" — 0/1 and 0 for a plain single-process run). When `scopes` is
 /// non-null a "scopes" object is appended with per-scope wall-clock
 /// aggregates (count, total_us, max_us, mean_us). When `folded` is non-null
 /// and non-empty a "folded_stacks" object is appended mapping

@@ -44,7 +44,15 @@ void FileStreamSink::flush_buffer(bool final_flush) {
   events_written_ += buffer_.size();
   buffer_.clear();
   ++flushes_;
-  if (!final_flush) after_flush();
+  if (!final_flush) {
+    after_flush();
+    out_.flush();
+  }
+  // Re-check the stream at every flush boundary: a failed write (disk
+  // full, unlinked directory) must drop the sink to the failed state now —
+  // otherwise it keeps buffering and rendering forever and ok() reports
+  // healthy until finalize().
+  if (!out_) ok_ = false;
 }
 
 void FileStreamSink::finalize() {

@@ -1,8 +1,11 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -233,6 +236,26 @@ Value parse_file(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return parse(buf.str());
+}
+
+std::string number_to_string(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0.0 ? "\"inf\"" : "\"-inf\"";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double read_number(const Value& v) {
+  if (v.is_number()) return v.as_number();
+  DCS_REQUIRE(v.is_string(), "json value is neither a number nor a "
+                             "non-finite marker string");
+  const std::string& s = v.as_string();
+  if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+  if (s == "inf") return std::numeric_limits<double>::infinity();
+  if (s == "-inf") return -std::numeric_limits<double>::infinity();
+  DCS_REQUIRE(false, "unknown non-finite number marker '" + s + "'");
+  return 0.0;
 }
 
 }  // namespace dcs::json

@@ -88,4 +88,15 @@ class Value {
 /// cannot be read or does not parse.
 [[nodiscard]] Value parse_file(const std::string& path);
 
+/// Serializes a double so `parse` + `read_number` return it bit-for-bit:
+/// finite values render as `%.17g` numbers (strtod round-trips those
+/// exactly), non-finite values as the strings "inf" / "-inf" / "nan"
+/// (JSON has no literals for them). The exp checkpoint files rely on this
+/// to reproduce rows byte-identically after a resume.
+[[nodiscard]] std::string number_to_string(double v);
+
+/// Reads a value written by `number_to_string`: a plain number, or one of
+/// the non-finite marker strings. DCS_REQUIRE on anything else.
+[[nodiscard]] double read_number(const Value& v);
+
 }  // namespace dcs::json

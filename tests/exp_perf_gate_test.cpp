@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "exp/aggregator.h"
+#include "exp/reporter.h"
+#include "obs/profile.h"
 #include "util/json.h"
 
 namespace dcs::exp {
@@ -115,11 +120,84 @@ TEST(ExpPerfGate, TracksEntriesPresentOnOnlyOneSide) {
   const std::map<std::string, double> fresh{{"added", 100.0},
                                             {"kept", 100.0}};
   const PerfGateResult result = perf_gate_compare(baseline, fresh);
-  EXPECT_TRUE(result.ok);
+  // Strict mode: a baseline scope the fresh record no longer produces
+  // fails the gate — deleting a regressed benchmark must not turn it green.
+  EXPECT_FALSE(result.ok);
   ASSERT_EQ(result.only_in_baseline.size(), 1u);
   EXPECT_EQ(result.only_in_baseline[0], "removed");
   ASSERT_EQ(result.only_in_fresh.size(), 1u);
   EXPECT_EQ(result.only_in_fresh[0], "added");
+
+  std::ostringstream out;
+  write_perf_gate_report(out, result, {});
+  EXPECT_NE(out.str().find("FAIL"), std::string::npos);
+  EXPECT_NE(out.str().find("missing"), std::string::npos);
+  EXPECT_NE(out.str().find("removed"), std::string::npos);
+}
+
+TEST(ExpPerfGate, MissingBaselineScopeOnlyWarnsInWarnOnlyMode) {
+  const std::map<std::string, double> baseline{{"removed", 100.0}};
+  const std::map<std::string, double> fresh{};
+  const PerfGateResult result =
+      perf_gate_compare(baseline, fresh, {.warn_only = true});
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.only_in_baseline.size(), 1u);
+
+  std::ostringstream out;
+  write_perf_gate_report(out, result, {.warn_only = true});
+  EXPECT_NE(out.str().find("WARN"), std::string::npos);
+  EXPECT_EQ(out.str().find("FAIL"), std::string::npos);
+}
+
+TEST(ExpPerfGate, ZeroBaselineReportsInfiniteRatioNotAWin) {
+  const std::map<std::string, double> baseline{{"scope", 0.0}};
+  const std::map<std::string, double> fresh{{"scope", 50.0}};
+  const PerfGateResult result = perf_gate_compare(baseline, fresh);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(std::isinf(result.rows[0].ratio));
+  EXPECT_GT(result.rows[0].ratio, 0.0);
+}
+
+TEST(ExpPerfGate, SkipsScopesWithNullMeanInsteadOfThrowing) {
+  const auto times = perf_scope_times_us(json::parse(R"({
+    "bench": "b", "wall_seconds": 0.1,
+    "scopes": {
+      "dead": {"count": 1, "total_us": null, "max_us": null, "mean_us": null},
+      "live": {"count": 1, "total_us": 7.0, "max_us": 7.0, "mean_us": 7.0}
+    }
+  })"));
+  EXPECT_EQ(times.count("dead"), 0u);
+  EXPECT_DOUBLE_EQ(times.at("live"), 7.0);
+}
+
+TEST(ExpPerfGate, PerfRecordRoundTripsNonFiniteScopeStats) {
+  SweepSummary summary;
+  summary.name = "roundtrip";
+  summary.wall_seconds = 0.25;
+  summary.task_count = 4;
+  summary.executed_tasks = 4;
+
+  obs::ProfileSummary scopes;
+  scopes["finite"] = {.count = 2, .total_us = 123.456789012345,
+                      .max_us = 100.0};
+  scopes["poisoned"] = {.count = 1,
+                        .total_us = std::numeric_limits<double>::infinity(),
+                        .max_us = std::numeric_limits<double>::quiet_NaN()};
+
+  std::ostringstream record;
+  write_perf_record_json(record, summary, &scopes);
+
+  // The record must stay parseable JSON — bare inf/nan from raw streaming
+  // used to break the util/json parse in perf_gate.
+  const json::Value doc = json::parse(record.str());
+  EXPECT_EQ(doc.at("bench").as_string(), "roundtrip");
+  EXPECT_EQ(doc.at("shard").as_string(), "0/1");
+  EXPECT_DOUBLE_EQ(doc.at("resumed_tasks").as_number(), 0.0);
+
+  const auto times = perf_scope_times_us(doc);
+  EXPECT_DOUBLE_EQ(times.at("finite"), 123.456789012345 / 2.0);
+  EXPECT_EQ(times.count("poisoned"), 0u) << "non-finite scopes are skipped";
+  EXPECT_DOUBLE_EQ(times.at("wall"), 0.25e6);
 }
 
 TEST(ExpPerfGate, ReportPrintsPassAndFailVerdicts) {

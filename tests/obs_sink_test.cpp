@@ -197,6 +197,31 @@ TEST(ObsSink, MergeIntoStreamingTracerDrainsBufferedSource) {
   std::remove(path.c_str());
 }
 
+TEST(ObsSink, StreamFailureMidRunDropsSinkToNotOk) {
+  // /dev/full opens fine but every flush fails with ENOSPC — the mid-run
+  // disk-full case. ok() must flip at the flush boundary, not stay healthy
+  // until finalize().
+  {
+    std::ofstream probe("/dev/full");
+    if (!probe.is_open()) {
+      GTEST_SKIP() << "/dev/full not available on this platform";
+    }
+  }
+  JsonlStreamSink sink("/dev/full", {.buffer_events = 8});
+  ASSERT_TRUE(sink.ok());
+  std::size_t i = 0;
+  for (; i < 64 && sink.ok(); ++i) {
+    sink.write(instant_at(static_cast<double>(i), "doomed"));
+  }
+  EXPECT_FALSE(sink.ok()) << "the failed flush must drop the sink state";
+  EXPECT_LE(i, 16u) << "ok() must flip at the first failing flush boundary";
+  const std::size_t written = sink.events_written();
+  sink.write(instant_at(999.0, "after-failure"));  // dropped, no crash
+  EXPECT_EQ(sink.events_written(), written);
+  sink.finalize();  // must not crash
+  EXPECT_FALSE(sink.ok());
+}
+
 TEST(ObsSink, UnwritablePathReportsNotOk) {
   ChromeStreamSink sink("/nonexistent-dir/trace.json");
   EXPECT_FALSE(sink.ok());

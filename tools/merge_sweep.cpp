@@ -1,0 +1,63 @@
+// Merge sharded sweep checkpoints into one checkpoint file. Usage:
+//
+//   merge_sweep <out.ckpt.jsonl> <in1.ckpt.jsonl> [in2.ckpt.jsonl ...]
+//
+// Every input must exist and carry the same sweep fingerprint (name, base
+// seed, task count, metrics); an index covered by two inputs must hold
+// bit-identical rows. The merged checkpoint is spec-agnostic — re-running
+// the bench with checkpoint= pointed at it executes zero tasks and writes
+// the final rows/summary CSVs, byte-identical to an unsharded run.
+//
+// Exit codes: 0 = merged and complete (every task index covered), 1 =
+// merged but incomplete (prints which count is missing), 2 = usage or
+// unreadable/conflicting input.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/checkpoint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: merge_sweep <out.ckpt.jsonl> <in1.ckpt.jsonl> "
+                 "[in2.ckpt.jsonl ...]\n";
+    return 2;
+  }
+  try {
+    std::vector<dcs::exp::CheckpointData> shards;
+    for (int i = 2; i < argc; ++i) {
+      dcs::exp::CheckpointData data = dcs::exp::load_checkpoint(argv[i]);
+      if (!data.present) {
+        std::cerr << "merge_sweep: " << argv[i] << " not found\n";
+        return 2;
+      }
+      shards.push_back(std::move(data));
+    }
+    const dcs::exp::CheckpointData merged =
+        dcs::exp::merge_checkpoints(shards);
+
+    std::ofstream out(argv[1], std::ios::trunc);
+    dcs::exp::write_checkpoint(out, merged);
+    out.flush();
+    if (!out) {
+      std::cerr << "merge_sweep: failed writing " << argv[1] << "\n";
+      return 2;
+    }
+
+    std::cout << "merge_sweep: sweep '" << merged.sweep << "' "
+              << merged.rows.size() << "/" << merged.task_count
+              << " tasks from " << shards.size() << " checkpoint(s) -> "
+              << argv[1] << "\n";
+    if (!merged.complete()) {
+      std::cout << "merge_sweep: incomplete ("
+                << merged.task_count - merged.rows.size()
+                << " task(s) missing)\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "merge_sweep: " << e.what() << "\n";
+    return 2;
+  }
+}
