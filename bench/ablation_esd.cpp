@@ -134,5 +134,6 @@ int main(int argc, char** argv) {
   bench::maybe_export_obs(args, "ablation_esd", nullptr, &metrics);
   std::cerr << "[exp] " << tasks << " tasks in " << format_double(wall, 2)
             << " s on " << ups_run.threads_used << " thread(s)\n";
+  bench::drain_exit_if_requested();
   return 0;
 }

@@ -308,5 +308,6 @@ int main(int argc, char** argv) {
                                  surv_run.wall_seconds,
                              2)
             << " s on " << grid_run.threads_used << " thread(s)\n";
+  bench::drain_exit_if_requested();
   return 0;
 }

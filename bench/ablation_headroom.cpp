@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
   std::cout << "\nMore available headroom lets the breakers carry more of"
                " the sprint;\neven 0% headroom sprints on stored energy"
                " alone.\n";
+  bench::drain_exit_if_requested();
   return 0;
 }

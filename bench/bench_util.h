@@ -1,6 +1,10 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
@@ -93,10 +97,50 @@ inline exp::Shard parse_shard(const std::string& text) {
   return shard;
 }
 
+/// Worker-mode drain contract (dispatcher-initiated kills, Ctrl-C on a
+/// checkpointed run). SIGTERM/SIGINT set `shutdown_requested`; the sweep
+/// runner stops picking up new tasks and finishes (and checkpoints) the
+/// in-flight ones, the bench's normal tail then finalizes stream trace
+/// sinks, and `drain_exit_if_requested` — the last line of every sweep
+/// bench — exits 128+signal so a supervisor can never mistake the partial
+/// run for a complete shard. A second signal exits immediately.
+inline std::atomic<bool>& shutdown_requested() {
+  static std::atomic<bool> requested{false};
+  return requested;
+}
+
+inline std::atomic<int>& shutdown_signal() {
+  static std::atomic<int> signal_number{0};
+  return signal_number;
+}
+
+namespace detail {
+inline void drain_signal_handler(int sig) {
+  // Async-signal-safe: lock-free atomic stores only. The actual flushing
+  // already happened — checkpoint rows and JSONL trace lines are flushed as
+  // written, and the Chrome stream sink keeps its file complete per batch.
+  if (shutdown_requested().exchange(true)) ::_exit(128 + sig);
+  shutdown_signal().store(sig);
+}
+}  // namespace detail
+
+/// Installs the SIGTERM/SIGINT drain handlers (idempotent). Benches enter
+/// worker mode automatically when checkpoint= is given — see
+/// runner_options — because that is when a drained run is resumable.
+inline void install_drain_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = detail::drain_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;  // keep checkpoint writes EINTR-free
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
 /// Sweep-runner options for one spec: threads=<n>, plus checkpoint=<dir>
 /// (the resume file lands at <dir>/<sweep>.ckpt.jsonl, one per sweep so
 /// multi-sweep benches keep their grids apart) and shard=<i>/<N> (each
-/// sweep of the bench is sliced the same way).
+/// sweep of the bench is sliced the same way). A checkpointed bench runs in
+/// worker mode: drain signals stop the sweep cleanly instead of killing it.
 inline exp::RunnerOptions runner_options(const Config& args,
                                          const exp::SweepSpec& spec) {
   exp::RunnerOptions options;
@@ -104,10 +148,26 @@ inline exp::RunnerOptions runner_options(const Config& args,
   const std::string dir = args.get_string("checkpoint", "");
   if (!dir.empty()) {
     options.checkpoint_path = dir + "/" + spec.name() + ".ckpt.jsonl";
+    install_drain_handlers();
   }
+  options.stop = &shutdown_requested();
   const std::string shard = args.get_string("shard", "");
   if (!shard.empty()) options.shard = parse_shard(shard);
   return options;
+}
+
+/// Worker-mode exit-status contract: call as the last statement of a sweep
+/// bench's main(). No-op when no drain signal arrived; after a drain it
+/// flushes the standard streams and exits 128+signal (143 for SIGTERM), so
+/// exit 0 always means "my shard slice is complete in the checkpoint".
+inline void drain_exit_if_requested() {
+  if (!shutdown_requested().load()) return;
+  const int sig = shutdown_signal().load();
+  std::cerr << "[bench] drained after signal " << sig
+            << "; checkpoint is resumable\n";
+  std::cout.flush();
+  std::cerr.flush();
+  std::exit(128 + (sig == 0 ? SIGTERM : sig));
 }
 
 /// Metric `m` of task `index`, or NaN when the slot was not executed (a

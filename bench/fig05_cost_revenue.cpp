@@ -87,5 +87,6 @@ int main(int argc, char** argv) {
   std::cerr << "[exp] " << run.rows.size() << " tasks in "
             << format_double(run.wall_seconds, 2) << " s on "
             << run.threads_used << " thread(s)\n";
+  bench::drain_exit_if_requested();
   return 0;
 }

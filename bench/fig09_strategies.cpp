@@ -157,5 +157,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper: overall band 1.62-1.76; Prediction/Heuristic near"
                " Oracle at zero error;\nunderestimated duration or"
                " overestimated degree degrades toward Greedy.\n";
+  bench::drain_exit_if_requested();
   return 0;
 }

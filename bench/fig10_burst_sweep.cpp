@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
                " bursts -> Greedy significantly degraded,\nPrediction >"
                " Heuristic > Greedy; overall Yahoo band 1.75-2.45 (ours is"
                " slightly lower, see EXPERIMENTS.md).\n";
+  bench::drain_exit_if_requested();
   return 0;
 }

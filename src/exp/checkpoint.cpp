@@ -109,6 +109,10 @@ CheckpointData load_checkpoint(const std::string& path) {
   CheckpointData data;
   std::ifstream in(path);
   if (!in) return data;  // missing file: fresh start
+  // An existing but empty file is also a fresh start, not an error: a
+  // worker killed between opening the file and flushing the header leaves
+  // exactly this state, and must restart cleanly.
+  if (in.peek() == std::ifstream::traits_type::eof()) return data;
   data.present = true;
 
   std::string line;
@@ -184,6 +188,29 @@ void write_checkpoint(std::ostream& out, const CheckpointData& data) {
     out << row_line(index, seed != data.seeds.end() ? seed->second : 0, row)
         << "\n";
   }
+}
+
+bool write_checkpoint_atomic(const std::string& path,
+                             const CheckpointData& data) {
+  // Write the whole document to a sibling temp file first: rename(2) within
+  // one directory is atomic, so readers (and later resumes) only ever see
+  // the previous file or the complete new one, never a truncated hybrid —
+  // even if we crash or the disk fills mid-write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) write_checkpoint(out, data);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 CheckpointData merge_checkpoints(const std::vector<CheckpointData>& shards) {

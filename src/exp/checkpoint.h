@@ -51,8 +51,10 @@ struct CheckpointData {
   }
 };
 
-/// Loads a checkpoint file. A missing file returns `present == false`; a
-/// present file with a malformed header throws std::invalid_argument. A
+/// Loads a checkpoint file. A missing file — or an existing but empty one,
+/// the state a worker killed between open and header flush leaves behind —
+/// returns `present == false` (a fresh start, not an error); a non-empty
+/// file with a malformed header throws std::invalid_argument. A
 /// torn trailing line (crash mid-append) stops the scan and is not an
 /// error; on duplicate indices (e.g. two resumed attempts) the last row
 /// wins — deterministic seeding makes them identical anyway.
@@ -68,6 +70,14 @@ void require_matches(const CheckpointData& data, const SweepSpec& spec,
 /// Writes a full checkpoint document (header plus rows in index order);
 /// tools/merge_sweep uses this to emit the merged file.
 void write_checkpoint(std::ostream& out, const CheckpointData& data);
+
+/// Writes `data` to `path` via a sibling `.tmp` file and an atomic rename,
+/// so a crash or full disk mid-write can never leave a truncated checkpoint
+/// that a later resume would adopt as valid — either the old file survives
+/// untouched or the complete new one appears. Returns false (removing the
+/// temp file, leaving any previous `path` intact) when the write fails.
+[[nodiscard]] bool write_checkpoint_atomic(const std::string& path,
+                                           const CheckpointData& data);
 
 /// Merges shard checkpoints into one CheckpointData covering the union of
 /// their rows. All inputs must be present and share the header fingerprint;

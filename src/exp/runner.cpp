@@ -1,6 +1,7 @@
 #include "exp/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <utility>
@@ -63,15 +64,22 @@ SweepRun run_sweep(const SweepSpec& spec, std::vector<std::string> metrics,
     for (std::size_t i = first; i < last; ++i) pending.push_back(i);
   }
 
-  run.executed_tasks = pending.size();
   run.threads_used =
       std::min(resolve_threads(options.threads),
                std::max<std::size_t>(pending.size(), 1));
 
   // Wall-domain sampling profiler, active only while DCS_OBS_SAMPLER is set.
   const obs::ScopedSamplerRun sampler;
+  std::atomic<std::size_t> executed{0};
   const auto start = std::chrono::steady_clock::now();
   parallel_for(pending.size(), options.threads, [&](std::size_t p) {
+    // Cooperative drain (SIGTERM from a dispatcher, Ctrl-C): slots not yet
+    // started are skipped; the checkpoint keeps every finished row, so a
+    // resumed run re-executes exactly the skipped slots.
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      return;
+    }
     DCS_OBS_SCOPE("exp.task");
     const std::size_t i = pending[p];
     std::vector<double> row = fn(tasks[i]);
@@ -82,10 +90,15 @@ SweepRun run_sweep(const SweepSpec& spec, std::vector<std::string> metrics,
                     std::to_string(run.metrics.size()));
     if (checkpoint != nullptr) checkpoint->append(i, tasks[i].seed, row);
     run.rows[i] = std::move(row);
+    executed.fetch_add(1, std::memory_order_relaxed);
   });
   run.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  run.executed_tasks = executed.load();
+  run.drained = options.stop != nullptr &&
+                options.stop->load(std::memory_order_relaxed) &&
+                run.executed_tasks < pending.size();
   return run;
 }
 

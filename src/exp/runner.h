@@ -19,6 +19,7 @@
 // process (or which attempt) executes it.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -51,6 +52,11 @@ struct RunnerOptions {
   std::string checkpoint_path;
   /// Restrict execution to this shard's contiguous task-index slice.
   Shard shard;
+  /// Cooperative drain: when non-null and set (e.g. by a SIGTERM handler),
+  /// workers stop picking up new tasks; tasks already started finish —
+  /// and checkpoint — normally. The run returns with `drained == true` and
+  /// the unexecuted slots empty, leaving a resumable checkpoint behind.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Raw sweep output: one row of metric values per task, in task order.
@@ -69,6 +75,9 @@ struct SweepRun {
   /// Provenance of the executed slice (shard_count == 1: whole range).
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// True when RunnerOptions::stop cut the run short; some slots in the
+  /// shard's slice were skipped and remain empty.
+  bool drained = false;
 
   [[nodiscard]] double tasks_per_second() const noexcept {
     return wall_seconds > 0.0

@@ -116,6 +116,70 @@ TEST(ExpCheckpoint, MissingFileIsAFreshStart) {
   EXPECT_FALSE(data.complete());
 }
 
+TEST(ExpCheckpoint, EmptyFileIsAFreshStart) {
+  // A worker killed between open() and the header flush leaves a zero-byte
+  // file; it must read as absent and the next attempt must start clean.
+  const std::string path = unique_path("empty.ckpt.jsonl");
+  { std::ofstream out(path); }
+  const CheckpointData data = load_checkpoint(path);
+  EXPECT_FALSE(data.present);
+  EXPECT_TRUE(data.rows.empty());
+
+  const SweepSpec spec = small_spec();
+  const SweepRun resumed = run_sweep(spec, {"index", "x"}, seed_row,
+                                     {.threads = 2, .checkpoint_path = path});
+  EXPECT_EQ(resumed.executed_tasks, spec.task_count());
+  EXPECT_TRUE(load_checkpoint(path).complete());
+  std::remove(path.c_str());
+}
+
+TEST(ExpCheckpoint, HeaderOnlyFileIsPresentWithZeroRows) {
+  // Killed after the header flush but before any row: the fingerprint
+  // survives, the row set is empty, and nothing throws.
+  const SweepSpec spec = small_spec();
+  const std::string path = unique_path("header_only.ckpt.jsonl");
+  {
+    CheckpointWriter writer(path, spec, {"index", "x"});
+    ASSERT_TRUE(writer.ok());
+  }
+  const CheckpointData data = load_checkpoint(path);
+  EXPECT_TRUE(data.present);
+  EXPECT_EQ(data.sweep, spec.name());
+  EXPECT_TRUE(data.rows.empty());
+  EXPECT_FALSE(data.complete());
+
+  const SweepRun resumed = run_sweep(spec, {"index", "x"}, seed_row,
+                                     {.threads = 2, .checkpoint_path = path});
+  EXPECT_EQ(resumed.executed_tasks, spec.task_count());
+  std::remove(path.c_str());
+}
+
+TEST(ExpCheckpoint, AtomicWriteRoundTripsAndNeverLeavesTemp) {
+  const SweepSpec spec = small_spec();
+  // threads=1 so the incremental writer appends in index order, matching
+  // the index-sorted order write_checkpoint_atomic emits.
+  const std::string direct = unique_path("atomic_direct.ckpt.jsonl");
+  (void)run_sweep(spec, {"index", "x"}, seed_row,
+                  {.threads = 1, .checkpoint_path = direct});
+  const CheckpointData data = load_checkpoint(direct);
+
+  const std::string atomic = unique_path("atomic_out.ckpt.jsonl");
+  ASSERT_TRUE(write_checkpoint_atomic(atomic, data));
+  // Identical bytes to the plain writer, and the staging file is gone.
+  std::ifstream a(direct), b(atomic);
+  std::ostringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_FALSE(std::ifstream(atomic + ".tmp").good());
+
+  // An unwritable destination reports failure instead of throwing.
+  EXPECT_FALSE(
+      write_checkpoint_atomic(unique_path("no_such_dir/x.ckpt.jsonl"), data));
+  std::remove(direct.c_str());
+  std::remove(atomic.c_str());
+}
+
 TEST(ExpCheckpoint, ResumeExecutesOnlyMissingSlots) {
   const SweepSpec spec = small_spec();
   const std::string path = unique_path("ckpt_resume.jsonl");

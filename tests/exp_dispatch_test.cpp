@@ -1,0 +1,328 @@
+// Supervisor tests against the scriptable fake worker (tests/fake_worker.cpp,
+// path injected by CMake as FAKE_WORKER_PATH): clean completion, crash and
+// restart under the retry budget, stall-timeout kills, retry-budget
+// exhaustion with a partial-merge report, chaos-mode determinism of the
+// merged checkpoint, and a cooperative drain.
+#include "exp/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/checkpoint.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "util/json.h"
+
+namespace dcs::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/dispatch_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The fake worker's grid and task function, duplicated here so tests can
+/// produce the unsharded, uninterrupted reference checkpoint in-process.
+/// Must match fake_worker.cpp.
+SweepSpec fake_spec(std::size_t tasks) {
+  SweepSpec spec("fake", /*base_seed=*/0xFA4EULL);
+  std::vector<double> values(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) values[i] = static_cast<double>(i);
+  spec.add_axis("x", values, 0);
+  return spec;
+}
+
+std::string reference_checkpoint(std::size_t tasks) {
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/dispatch_reference_" + std::to_string(tasks) +
+                           ".ckpt.jsonl";
+  fs::remove(path);
+  RunnerOptions options;
+  options.threads = 1;
+  options.checkpoint_path = path;
+  (void)run_sweep(
+      fake_spec(tasks), {"value"},
+      [](const SweepSpec::Task& task) {
+        return std::vector<double>{
+            static_cast<double>(task.seed % 10007) / 3.0};
+      },
+      options);
+  return path;
+}
+
+DispatchOptions base_options(const std::string& dir, std::size_t tasks,
+                             std::size_t shards) {
+  DispatchOptions options;
+  options.command = {FAKE_WORKER_PATH, "sweep=fake",
+                     "tasks=" + std::to_string(tasks),
+                     "attempt_dir=" + dir};
+  options.shards = shards;
+  options.work_dir = dir;
+  options.poll_interval_s = 0.02;
+  options.backoff_base_s = 0.05;
+  options.backoff_max_s = 0.2;
+  options.stall_timeout_s = 20.0;  // generous; stall tests tighten it
+  return options;
+}
+
+TEST(ExpDispatch, CleanCompletionMergesByteIdentical) {
+  const std::string dir = fresh_dir("clean");
+  const std::size_t tasks = 24;
+  const DispatchReport report =
+      dispatch_sweep(base_options(dir, tasks, /*shards=*/4));
+
+  EXPECT_EQ(report.status, "complete");
+  EXPECT_EQ(report.exit_code(), 0);
+  ASSERT_EQ(report.shard_status.size(), 4u);
+  for (const ShardStatus& s : report.shard_status) {
+    EXPECT_EQ(s.state, "completed");
+    EXPECT_EQ(s.restarts, 0u);
+    ASSERT_EQ(s.attempts.size(), 1u);
+    EXPECT_EQ(s.attempts[0].exit_code, 0);
+    EXPECT_EQ(s.attempts[0].outcome, "completed");
+  }
+  ASSERT_EQ(report.merged.size(), 1u);
+  EXPECT_TRUE(report.merged[0].complete());
+  EXPECT_EQ(report.merged[0].rows, tasks);
+  EXPECT_TRUE(report.merged[0].missing.empty());
+
+  // The merged checkpoint must be byte-identical to an unsharded,
+  // uninterrupted in-process run of the same grid.
+  EXPECT_EQ(slurp(report.merged[0].path), slurp(reference_checkpoint(tasks)));
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, CrashedWorkersRestartWithBackoffAndFinish) {
+  const std::string dir = fresh_dir("crash");
+  const std::size_t tasks = 16;
+  DispatchOptions options = base_options(dir, tasks, /*shards=*/2);
+  // Every shard crashes twice (after 2 fresh rows each attempt), then
+  // succeeds on the third attempt — inside the budget of 3.
+  options.command.push_back("crash_attempts=2");
+  options.command.push_back("crash_rows=2");
+  options.max_restarts = 3;
+
+  const DispatchReport report = dispatch_sweep(options);
+  EXPECT_EQ(report.status, "complete");
+  for (const ShardStatus& s : report.shard_status) {
+    EXPECT_EQ(s.state, "completed");
+    EXPECT_EQ(s.restarts, 2u);
+    ASSERT_EQ(s.attempts.size(), 3u);
+    EXPECT_EQ(s.attempts[0].outcome, "crashed");
+    EXPECT_EQ(s.attempts[0].exit_code, 42);
+    EXPECT_EQ(s.attempts[1].outcome, "crashed");
+    EXPECT_EQ(s.attempts[2].outcome, "completed");
+    // Crash-only recovery: each attempt resumed past its predecessor.
+    EXPECT_GT(s.attempts[1].checkpoint_bytes, s.attempts[0].checkpoint_bytes);
+  }
+  ASSERT_EQ(report.merged.size(), 1u);
+  EXPECT_EQ(slurp(report.merged[0].path), slurp(reference_checkpoint(tasks)));
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, StalledWorkerIsKilledAndRestarted) {
+  const std::string dir = fresh_dir("stall");
+  const std::size_t tasks = 8;
+  DispatchOptions options = base_options(dir, tasks, /*shards=*/2);
+  // Attempt 1 of each shard writes one row and hangs; the supervisor must
+  // kill it on the stall timeout and the restart completes the slice.
+  options.command.push_back("stall_attempts=1");
+  options.stall_timeout_s = 0.3;
+  options.max_restarts = 2;
+
+  const DispatchReport report = dispatch_sweep(options);
+  EXPECT_EQ(report.status, "complete");
+  for (const ShardStatus& s : report.shard_status) {
+    EXPECT_EQ(s.state, "completed");
+    EXPECT_EQ(s.restarts, 1u);
+    ASSERT_EQ(s.attempts.size(), 2u);
+    EXPECT_EQ(s.attempts[0].outcome, "stalled");
+    EXPECT_EQ(s.attempts[0].term_signal, SIGKILL);
+    EXPECT_EQ(s.attempts[1].outcome, "completed");
+  }
+  ASSERT_EQ(report.merged.size(), 1u);
+  EXPECT_EQ(slurp(report.merged[0].path), slurp(reference_checkpoint(tasks)));
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, RetryBudgetExhaustionDegradesWithPartialMerge) {
+  const std::string dir = fresh_dir("budget");
+  const std::size_t tasks = 12;
+  DispatchOptions options = base_options(dir, tasks, /*shards=*/2);
+  // Shard 1 fails on every attempt; with a zero retry budget its first
+  // failure is final. Shard 0 completes normally.
+  options.command.push_back("fail_attempts=1000000");
+  options.command.push_back("fail_shard=1");
+  options.max_restarts = 0;
+
+  const DispatchReport report = dispatch_sweep(options);
+  EXPECT_EQ(report.status, "degraded");
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_EQ(report.shard_status[0].state, "completed");
+  EXPECT_EQ(report.shard_status[1].state, "failed");
+  EXPECT_EQ(report.shard_status[1].attempts.size(), 1u);
+
+  // Graceful degradation: shard 0's half is merged and usable, and the
+  // report names exactly the failed shard's task indices as missing.
+  ASSERT_EQ(report.merged.size(), 1u);
+  const MergedSweep& merged = report.merged[0];
+  EXPECT_FALSE(merged.complete());
+  const auto [first, last] = shard_range(tasks, {1, 2});
+  std::vector<std::size_t> expected_missing;
+  for (std::size_t t = first; t < last; ++t) expected_missing.push_back(t);
+  EXPECT_EQ(merged.missing, expected_missing);
+  EXPECT_EQ(merged.rows, tasks - expected_missing.size());
+
+  // The partial merged checkpoint still loads and resumes.
+  const CheckpointData partial = load_checkpoint(merged.path);
+  ASSERT_TRUE(partial.present);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.rows.size(), merged.rows);
+
+  // The machine-readable report names the missing indices too.
+  const json::Value doc = json::parse(dispatch_report_json(report));
+  EXPECT_EQ(doc.at("status").as_string(), "degraded");
+  const json::Value& missing = doc.at("merged")[0].at("missing");
+  ASSERT_EQ(missing.size(), expected_missing.size());
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(missing[i].as_number()),
+              expected_missing[i]);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, ChaosKillsAreFreeAndMergeDeterministically) {
+  const std::string dir = fresh_dir("chaos");
+  const std::size_t tasks = 60;
+  DispatchOptions options = base_options(dir, tasks, /*shards=*/4);
+  // ~15 rows/shard at 15 ms each ≈ 225 ms of work against an 80 ms poll
+  // with certain kills: every shard is chaos-killed at least twice before
+  // it can finish, yet each attempt lands a few more rows first.
+  options.command.push_back("sleep_ms=15");
+  options.poll_interval_s = 0.08;
+  options.chaos_kill_prob = 1.0;
+  options.chaos_seed = 7;
+  // Chaos kills are self-inflicted and must consume no retry budget: a
+  // zero budget still completes.
+  options.max_restarts = 0;
+
+  const DispatchReport report = dispatch_sweep(options);
+  EXPECT_EQ(report.status, "complete");
+  EXPECT_GE(report.chaos_kills, 3u)
+      << "the chaos schedule must actually kill workers";
+  for (const ShardStatus& s : report.shard_status) {
+    EXPECT_EQ(s.state, "completed");
+    EXPECT_EQ(s.restarts, 0u) << "chaos kills must not consume the budget";
+  }
+  ASSERT_EQ(report.merged.size(), 1u);
+  EXPECT_TRUE(report.merged[0].complete());
+  // Determinism under fire: the chaos-ridden merge is byte-identical to an
+  // unsharded, uninterrupted run.
+  EXPECT_EQ(slurp(report.merged[0].path), slurp(reference_checkpoint(tasks)));
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, DrainInterruptsAndLeavesResumableState) {
+  const std::string dir = fresh_dir("drain");
+  const std::size_t tasks = 40;
+  DispatchOptions options = base_options(dir, tasks, /*shards=*/2);
+  options.command.push_back("sleep_ms=100");  // slow enough to interrupt
+  options.grace_period_s = 2.0;
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+
+  std::thread trigger([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    stop.store(true);
+  });
+  const DispatchReport report = dispatch_sweep(options);
+  trigger.join();
+
+  EXPECT_EQ(report.status, "interrupted");
+  EXPECT_EQ(report.exit_code(), 3);
+  // Whatever was checkpointed before the drain still merges and loads —
+  // the resumable state the report advertises.
+  for (const ShardStatus& s : report.shard_status) {
+    EXPECT_TRUE(s.state == "interrupted" || s.state == "completed");
+  }
+  if (!report.merged.empty() && report.merged[0].error.empty()) {
+    const CheckpointData partial = load_checkpoint(report.merged[0].path);
+    EXPECT_TRUE(partial.present || partial.rows.empty());
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, ReportJsonRoundTrips) {
+  DispatchReport report;
+  report.status = "degraded";
+  report.shards = 2;
+  report.chaos_kills = 1;
+  report.wall_s = 1.5;
+  ShardStatus shard;
+  shard.shard = 0;
+  shard.state = "failed";
+  shard.restarts = 3;
+  AttemptResult attempt;
+  attempt.exit_code = 42;
+  attempt.outcome = "crashed";
+  attempt.wall_s = 0.25;
+  shard.attempts.push_back(attempt);
+  report.shard_status.push_back(shard);
+  MergedSweep merged;
+  merged.sweep = "fake";
+  merged.task_count = 4;
+  merged.rows = 2;
+  merged.missing = {2, 3};
+  report.merged.push_back(merged);
+
+  const json::Value doc = json::parse(dispatch_report_json(report));
+  EXPECT_EQ(doc.at("status").as_string(), "degraded");
+  EXPECT_EQ(doc.at("shards").as_number(), 2.0);
+  EXPECT_EQ(doc.at("shard_status")[0].at("attempts")[0].at("exit_code")
+                .as_number(),
+            42.0);
+  EXPECT_EQ(doc.at("merged")[0].at("missing").size(), 2u);
+  EXPECT_FALSE(doc.at("merged")[0].at("complete").as_bool());
+
+  const std::string dir = fresh_dir("report");
+  const std::string path = dir + "/report.json";
+  ASSERT_TRUE(write_dispatch_report(path, report));
+  EXPECT_EQ(slurp(path), dispatch_report_json(report));
+  EXPECT_FALSE(write_dispatch_report(dir + "/no_such_dir/report.json",
+                                     report));
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, RejectsUnusableOptions) {
+  DispatchOptions options;
+  EXPECT_THROW((void)dispatch_sweep(options), std::invalid_argument);
+  options.command = {"/bin/true"};
+  EXPECT_THROW((void)dispatch_sweep(options), std::invalid_argument);
+  options.work_dir = fresh_dir("reject");
+  options.shards = 0;
+  EXPECT_THROW((void)dispatch_sweep(options), std::invalid_argument);
+  fs::remove_all(options.work_dir);
+}
+
+}  // namespace
+}  // namespace dcs::exp

@@ -37,10 +37,9 @@ int main(int argc, char** argv) {
     const dcs::exp::CheckpointData merged =
         dcs::exp::merge_checkpoints(shards);
 
-    std::ofstream out(argv[1], std::ios::trunc);
-    dcs::exp::write_checkpoint(out, merged);
-    out.flush();
-    if (!out) {
+    // Temp-file + atomic rename: a crash or full disk mid-merge must never
+    // leave a truncated output that a later resume would adopt as valid.
+    if (!dcs::exp::write_checkpoint_atomic(argv[1], merged)) {
       std::cerr << "merge_sweep: failed writing " << argv[1] << "\n";
       return 2;
     }
