@@ -2,11 +2,15 @@
 // PDU groups, coordinated with the paper's Section V-B parent/child breaker
 // rule. Shows the fairness split when zones compete and the advantage of a
 // concentrated burst (idle neighbours' substation budget flows to it).
+#include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/zonal_controller.h"
+#include "obs/counters.h"
+#include "sim/recorder.h"
 #include "util/table.h"
 #include "workload/yahoo_trace.h"
 
@@ -15,6 +19,27 @@ int main(int argc, char** argv) {
   using namespace dcs::core;
   const Config args = bench::parse_args(argc, argv);
   DataCenterConfig config = bench::bench_config(args);
+  const bool tracing = !args.get_string("trace", "").empty();
+
+  // Per-scenario counter lanes: each zonal run records its per-zone
+  // channels into its own recorder, exported as one named lane so Perfetto
+  // shows every zone's breaker margin / degree / UPS state side by side.
+  bench::StreamTraceSinks stream =
+      bench::maybe_stream_sinks(args, "ablation_zonal");
+  obs::Tracer tracer =
+      stream.active() ? obs::Tracer(stream.sink()) : obs::Tracer();
+  std::uint32_t next_lane = 0;
+  const auto export_zonal = [&](const sim::Recorder& recorder,
+                                std::size_t zones, const std::string& label) {
+    if (!tracing) return;
+    tracer.set_lane(next_lane);
+    tracer.name_lane(obs::Domain::kSim, next_lane, label);
+    obs::export_counters(
+        recorder, tracer,
+        {.channels = obs::with_zonal_channels({"dc_load_mw", "cooling_mw"},
+                                              zones)});
+    ++next_lane;
+  };
 
   std::cout << "=== Zonal sprinting (Section V-B CB coordination) ===\n";
 
@@ -32,7 +57,10 @@ int main(int argc, char** argv) {
   for (std::size_t hot_pdus : {1u, 2u, 4u}) {
     config.fleet.pdu_count = 8;
     ZonalController ctl(config, {{hot_pdus, &hot}, {8 - hot_pdus, &idle}});
+    sim::Recorder recorder;
+    if (tracing) ctl.set_recorder(&recorder);
     const ZonalRunResult r = ctl.run();
+    export_zonal(recorder, 2, "hot=" + std::to_string(hot_pdus) + "/8");
     t1.add_row(std::to_string(hot_pdus) + "/8",
                {r.performance_factor[0], r.performance_factor[1],
                 r.total_performance_factor, r.sprint_time.min()});
@@ -52,7 +80,10 @@ int main(int argc, char** argv) {
   const TimeSeries heavy = workload::generate_yahoo_trace(heavy_p);
   const TimeSeries light = workload::generate_yahoo_trace(light_p);
   ZonalController competing(config, {{4, &heavy}, {4, &light}});
+  sim::Recorder competing_recorder;
+  if (tracing) competing.set_recorder(&competing_recorder);
   const ZonalRunResult r = competing.run();
+  export_zonal(competing_recorder, 2, "competing heavy-vs-light");
   TablePrinter t2({"zone", "burst", "perf"});
   t2.add_row({"heavy", "3.6x / 15 min", format_double(r.performance_factor[0], 3)});
   t2.add_row({"light", "2.0x / 15 min", format_double(r.performance_factor[1], 3)});
@@ -60,5 +91,7 @@ int main(int argc, char** argv) {
   std::cout << "\nMax-min fairness: the light zone is served in full before"
                " the heavy zone's excess\nis granted; no breaker trips even"
                " at zero headroom.\n";
+  bench::maybe_export_obs(args, "ablation_zonal", tracing ? &tracer : nullptr,
+                          nullptr, &stream);
   return 0;
 }

@@ -204,8 +204,15 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
         rec.record("measured_demand", now, step.measured_demand);
       }
     }
+
+    if (options.on_step) options.on_step(now, tick_dt, step);
   });
   engine.add(&driver);
+  // Extra components (e.g. the request-level serving layer) tick after the
+  // driver, so they see the period's committed StepResult via on_step.
+  for (sim::Component* component : options.components) {
+    engine.add(component);
+  }
   engine.run_until(end);
 
   const double total_sec = (end - Duration::zero()).sec();

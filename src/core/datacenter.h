@@ -13,7 +13,9 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include <cstdint>
 
@@ -25,6 +27,7 @@
 #include "faults/watchdog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/component.h"
 #include "sim/recorder.h"
 #include "util/time_series.h"
 #include "util/units.h"
@@ -57,6 +60,16 @@ struct RunOptions {
   /// transition counters, ...); must outlive the run. Registries are not
   /// thread-safe — give each concurrent run its own.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Extra components registered with the run's engine *after* the control
+  /// driver, so each ticks with the period's committed StepResult already
+  /// published through on_step (e.g. a serving::ServingLayer whose service
+  /// rates follow the active core set). Must outlive the run.
+  std::vector<sim::Component*> components;
+  /// Invoked at the end of every control period with the committed step —
+  /// the hook that feeds the realized capacity degree (and anything else in
+  /// StepResult) to the extra components without core depending on them.
+  std::function<void(Duration now, Duration dt, const StepResult& step)>
+      on_step;
 };
 
 struct RunResult {

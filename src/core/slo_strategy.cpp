@@ -1,0 +1,50 @@
+#include "core/slo_strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::core {
+
+SloSprintStrategy::SloSprintStrategy(SloSprintParams params)
+    : params_(params) {
+  DCS_REQUIRE(params_.target_p99_s > 0.0, "target_p99_s must be positive");
+  DCS_REQUIRE(params_.gain >= 0.0, "gain must be non-negative");
+  DCS_REQUIRE(params_.reserve_fraction >= 0.0 && params_.reserve_fraction < 1.0,
+              "reserve_fraction must lie in [0, 1)");
+  DCS_REQUIRE(params_.hysteresis > 0.0 && params_.hysteresis <= 1.0,
+              "hysteresis must lie in (0, 1]");
+}
+
+void SloSprintStrategy::observe_latency(double p99_s) noexcept {
+  p99_ = std::max(p99_s, 0.0);
+  if (p99_ > params_.target_p99_s) {
+    violating_ = true;
+  } else if (p99_ < params_.hysteresis * params_.target_p99_s) {
+    violating_ = false;
+  }
+}
+
+void SloSprintStrategy::on_burst_start() {
+  // Latency, not demand, decides onset: a burst that the queues absorb
+  // within the SLO never sprints. Nothing to reset here — the latch
+  // carries across bursts by design.
+}
+
+double SloSprintStrategy::upper_bound(const SprintContext& ctx) {
+  // Energy arbitration: below the reserve, degrade via admission control
+  // (request drops) instead of spending the budget needed for a safe burst
+  // tail.
+  if (ctx.remaining_energy_fraction < params_.reserve_fraction) return 1.0;
+  if (!violating_) return 1.0;
+  // While latched, cover at least the demand (so the backlog that caused
+  // the violation stops growing and the latch can release without
+  // chattering); the pressure term asks for extra headroom in proportion
+  // to how far past the target the p99 currently is.
+  const double pressure = p99_ / params_.target_p99_s - 1.0;
+  const double bound = std::max(ctx.demand,
+                                1.0 + params_.gain * std::max(pressure, 0.0));
+  return std::clamp(bound, 1.0, ctx.max_degree);
+}
+
+}  // namespace dcs::core

@@ -1,0 +1,59 @@
+// SLO-driven sprinting: triggers sprint onset on tail-latency-violation
+// pressure instead of raw throughput deficit.
+//
+// The serving layer (src/serving) publishes its sliding-window p99 through
+// observe_latency() — wired by the bench/test layer, so core never links
+// against serving. While the p99 meets the SLO the strategy returns bound
+// 1.0 even during a burst: queueing and admission control absorb the load
+// and the energy budget is preserved. When the p99 crosses the target the
+// violation latch opens and the bound scales with the violation pressure
+// (p99 / target - 1), releasing only after the p99 recovers below
+// hysteresis x target so the sprint does not chatter around the threshold.
+//
+// Arbitration against admission control: once the remaining additional-
+// energy budget falls below reserve_fraction, the strategy stops sprinting
+// regardless of latency — from there the system degrades by dropping
+// requests (workload/admission, the paper's "last resort") instead of
+// spending energy it may need to end the burst safely.
+#pragma once
+
+#include "core/strategy.h"
+
+namespace dcs::core {
+
+struct SloSprintParams {
+  /// Tail-latency objective for the serving layer's window p99 (seconds).
+  double target_p99_s = 0.25;
+  /// Bound slope per unit of violation pressure (p99 / target - 1).
+  double gain = 4.0;
+  /// Energy floor: below this remaining-budget fraction the strategy
+  /// cedes to admission control and never sprints.
+  double reserve_fraction = 0.10;
+  /// The violation latch releases at hysteresis x target (in (0, 1]).
+  double hysteresis = 0.9;
+};
+
+class SloSprintStrategy final : public Strategy {
+ public:
+  explicit SloSprintStrategy(SloSprintParams params = {});
+
+  /// Feeds the serving layer's current window p99 (seconds); updates the
+  /// violation latch. Call every control period.
+  void observe_latency(double p99_s) noexcept;
+
+  [[nodiscard]] double upper_bound(const SprintContext& ctx) override;
+  void on_burst_start() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "slo";
+  }
+
+  [[nodiscard]] bool violating() const noexcept { return violating_; }
+  [[nodiscard]] double last_p99_s() const noexcept { return p99_; }
+
+ private:
+  SloSprintParams params_;
+  double p99_ = 0.0;
+  bool violating_ = false;
+};
+
+}  // namespace dcs::core

@@ -1,12 +1,18 @@
 #include "core/zonal_controller.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.h"
 
 namespace dcs::core {
 namespace {
 const Power kPowerEps = Power::watts(1e-6);
+
+/// Cap for the recorded zone<k>/cb_trip_margin_s channels, matching the
+/// facility-wide channel in datacenter.cpp: an infinite time-to-trip
+/// records as one hour.
+constexpr double kTripMarginCapSec = 3600.0;
 }
 
 ZonalController::ZonalController(const DataCenterConfig& config,
@@ -204,6 +210,31 @@ ZonalStepResult ZonalController::step(Duration now, Duration dt) {
   result.tes_active = cstep.tes_active;
   result.tripped = flows.dc_tripped || flows.any_pdu_tripped;
   DCS_ENSURE(!result.tripped, "zonal sprinting must never trip a breaker");
+
+  if (recorder_ != nullptr) {
+    // Per-zone breakdown after the physical commit, so the breaker margin
+    // reflects this tick's thermal state at this tick's committed load.
+    for (std::size_t z = 0; z < zones_.size(); ++z) {
+      const ZoneRuntime& rt = zones_[z];
+      const ZoneState& state = result.zones[z];
+      const std::string prefix = "zone" + std::to_string(z) + "/";
+      recorder_->record(prefix + "demand", now, state.demand);
+      recorder_->record(prefix + "degree", now, state.degree);
+      recorder_->record(prefix + "grid_mw", now, state.grid_power.mw());
+      recorder_->record(prefix + "ups_soc", now,
+                        topology_.pdus()[rt.first_pdu].ups().soc());
+      const auto n = static_cast<double>(rt.spec.pdu_count);
+      const Duration margin =
+          topology_.pdus()[rt.first_pdu].breaker().time_to_trip_at(
+              state.grid_power / n);
+      recorder_->record(prefix + "cb_trip_margin_s", now,
+                        margin.is_infinite()
+                            ? kTripMarginCapSec
+                            : std::min(margin.sec(), kTripMarginCapSec));
+    }
+    recorder_->record("dc_load_mw", now, result.dc_load.mw());
+    recorder_->record("cooling_mw", now, result.cooling_power.mw());
+  }
   return result;
 }
 

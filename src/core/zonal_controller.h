@@ -21,6 +21,7 @@
 #include "core/cb_budget.h"
 #include "core/config.h"
 #include "power/topology.h"
+#include "sim/recorder.h"
 #include "thermal/cooling_plant.h"
 #include "thermal/room_model.h"
 #include "thermal/tes_tank.h"
@@ -72,6 +73,16 @@ class ZonalController {
   /// One control period (exposed for tests).
   [[nodiscard]] ZonalStepResult step(Duration now, Duration dt);
 
+  /// Optional per-tick channel sink (must outlive the controller). Each
+  /// step then records, per zone k, `zone<k>/demand`, `zone<k>/degree`,
+  /// `zone<k>/grid_mw`, `zone<k>/ups_soc` and `zone<k>/cb_trip_margin_s`
+  /// (the zone's representative PDU breaker time-to-trip at its committed
+  /// load, capped at 3600 s), plus facility-wide `dc_load_mw` /
+  /// `cooling_mw` — the channels obs::with_zonal_channels names for
+  /// Perfetto counter-track export. Null (the default) keeps the unrecorded
+  /// fast path.
+  void set_recorder(sim::Recorder* recorder) noexcept { recorder_ = recorder; }
+
  private:
   struct ZoneRuntime {
     ZoneSpec spec;
@@ -91,6 +102,7 @@ class ZonalController {
   thermal::CoolingPlant cooling_;
   thermal::RoomModel room_;
   std::vector<ZoneRuntime> zones_;
+  sim::Recorder* recorder_ = nullptr;
   Duration sprint_time_ = Duration::zero();
   Energy ups_energy_ = Energy::zero();
   bool any_burst_seen_ = false;

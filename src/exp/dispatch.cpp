@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "exp/checkpoint.h"
+#include "exp/runner.h"
 #include "util/check.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -142,6 +143,7 @@ class Dispatcher {
   DispatchReport run() {
     const auto start = Clock::now();
     prepare();
+    if (!options_.resume_report_path.empty()) seed_from_report();
     supervise();
     DispatchReport report = finalize();
     report.wall_s = seconds_since(start);
@@ -163,6 +165,81 @@ class Dispatcher {
       DCS_REQUIRE(!ec, "dispatch: cannot create " +
                            shard_dir(options_.work_dir, i) + ": " +
                            ec.message());
+    }
+  }
+
+  /// Resume support: seed every cleanly merged sweep checkpoint from a prior
+  /// run's dispatch report into the new shard dirs, then skip shards whose
+  /// task slice has nothing left to do.
+  ///
+  /// The merged checkpoint is a superset of any single shard's rows, so
+  /// copying it into every shard dir is always safe: workers resume from it
+  /// (RunnerOptions checkpoint load) and only compute rows absent from it.
+  /// Missing task indices in the report are global, so they remain valid even
+  /// when this run uses a different shard count than the degraded one.
+  void seed_from_report() {
+    const json::Value report = json::parse_file(options_.resume_report_path);
+    DCS_REQUIRE(report.find("dispatch_report") != nullptr,
+                "dispatch: " + options_.resume_report_path +
+                    " is not a dispatch report");
+    const json::Value* merged = report.find("merged");
+    DCS_REQUIRE(merged != nullptr && merged->is_array(),
+                "dispatch: report has no merged[] array");
+
+    // Per shard, whether any seeded sweep still has pending tasks in its
+    // slice. A sweep that could not be seeded cleanly (merge error, missing
+    // checkpoint file) forces every shard to run: we cannot prove any slice
+    // is done.
+    std::vector<bool> has_pending(options_.shards, false);
+    bool all_sweeps_seeded = !merged->as_array().empty();
+    for (std::size_t m = 0; m < merged->size(); ++m) {
+      const json::Value& sweep = (*merged)[m];
+      const std::string& name = sweep.at("sweep").as_string();
+      const std::string& path = sweep.at("path").as_string();
+      const auto task_count =
+          static_cast<std::size_t>(sweep.at("task_count").as_number());
+      std::error_code ec;
+      if (sweep.find("error") != nullptr || path.empty() ||
+          !fs::is_regular_file(path, ec) || task_count == 0) {
+        log("resume: sweep " + name +
+            " has no clean merged checkpoint; all shards must run");
+        all_sweeps_seeded = false;
+        std::fill(has_pending.begin(), has_pending.end(), true);
+        continue;
+      }
+      std::size_t seeded = 0;
+      for (std::size_t i = 0; i < options_.shards; ++i) {
+        fs::copy_file(path,
+                      shard_dir(options_.work_dir, i) + "/" + name +
+                          ".ckpt.jsonl",
+                      fs::copy_options::overwrite_existing, ec);
+        DCS_REQUIRE(!ec, "dispatch: cannot seed " + path + " into shard " +
+                             std::to_string(i) + ": " + ec.message());
+        ++seeded;
+      }
+      const json::Value& missing = sweep.at("missing");
+      std::size_t pending_total = 0;
+      for (std::size_t t = 0; t < missing.size(); ++t) {
+        const auto task = static_cast<std::size_t>(missing[t].as_number());
+        for (std::size_t i = 0; i < options_.shards; ++i) {
+          const auto [first, last] =
+              shard_range(task_count, Shard{i, options_.shards});
+          if (task >= first && task < last) has_pending[i] = true;
+        }
+        ++pending_total;
+      }
+      log("resume: seeded " + name + " into " + std::to_string(seeded) +
+          " shard dir(s), " + std::to_string(pending_total) + "/" +
+          std::to_string(task_count) + " task(s) pending");
+    }
+
+    if (!all_sweeps_seeded) return;
+    for (Worker& w : workers_) {
+      if (!has_pending[w.shard]) {
+        w.state = Worker::State::kCompleted;
+        log("shard " + std::to_string(w.shard) +
+            ": nothing pending after resume seed, skipping");
+      }
     }
   }
 

@@ -82,6 +82,16 @@ struct DispatchOptions {
   /// Total chaos kills after which chaos disarms (0 = unlimited). A capped
   /// chaos run is guaranteed to terminate even at kill probability 1.
   std::size_t chaos_kill_limit = 0;
+  /// Resume from a degraded/interrupted run's dispatch_report.json: every
+  /// cleanly merged sweep checkpoint named in the report is seeded into the
+  /// new shard dirs before workers start, so each worker resumes from the
+  /// *merged* rows and re-runs only the report's missing task indices.
+  /// Shards whose slice has no missing work (across every cleanly seeded
+  /// sweep) are marked completed without spawning a process at all. Empty
+  /// disables. An unreadable or malformed report throws
+  /// std::invalid_argument (better to fail loudly than silently recompute
+  /// the whole sweep).
+  std::string resume_report_path;
   /// Drain request (e.g. wired to a SIGINT/SIGTERM flag by the CLI): when
   /// it turns true the dispatcher forwards SIGTERM to every worker, waits
   /// out the grace period, merges what exists and reports "interrupted".

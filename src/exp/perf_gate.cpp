@@ -1,6 +1,7 @@
 #include "exp/perf_gate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
@@ -143,6 +144,63 @@ void write_perf_gate_report(std::ostream& out, const PerfGateResult& result,
     }
     out << "\n";
   }
+}
+
+PerfTrendResult perf_trend(const std::vector<PerfTrendBaseline>& baselines,
+                           const std::map<std::string, double>& fresh,
+                           const PerfGateOptions& options) {
+  if (baselines.empty()) {
+    throw std::invalid_argument("perf_trend: no baselines given");
+  }
+  PerfTrendResult result;
+  for (const PerfTrendBaseline& b : baselines) result.labels.push_back(b.label);
+
+  // Union of entry names; every series has one slot per baseline plus the
+  // trailing fresh slot, NaN where a record lacks the entry.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::size_t width = baselines.size() + 1;
+  const auto series_of = [&](const std::string& name) -> std::vector<double>& {
+    return result.series_us.try_emplace(name, width, nan).first->second;
+  };
+  for (std::size_t i = 0; i < baselines.size(); ++i) {
+    for (const auto& [name, us] : baselines[i].times_us) {
+      series_of(name)[i] = us;
+    }
+  }
+  for (const auto& [name, us] : fresh) series_of(name)[width - 1] = us;
+
+  result.gate = perf_gate_compare(baselines.back().times_us, fresh, options);
+  return result;
+}
+
+void write_perf_trend_report(std::ostream& out, const PerfTrendResult& result,
+                             const PerfGateOptions& options) {
+  char buf[64];
+  out << "perf trend (" << result.labels.size()
+      << " baseline(s), oldest -> newest -> fresh; only the newest gates)\n";
+  for (const auto& [name, series] : result.series_us) {
+    out << "  " << name << ":";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (std::isnan(series[i])) {
+        out << "  -";
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %.1f", series[i]);
+        out << buf;
+      }
+      if (i + 1 == series.size()) out << " us (fresh)";
+    }
+    // Total drift across the whole window, when both ends exist: the creep
+    // a single-step gate cannot see.
+    const double first = series.front();
+    const double last = series.back();
+    if (!std::isnan(first) && !std::isnan(last) && first > 0.0) {
+      std::snprintf(buf, sizeof(buf), "  [x%.3f over window]", last / first);
+      out << buf;
+    }
+    out << "\n";
+  }
+  out << "gating baseline: " << result.labels.back() << "\n";
+  write_perf_gate_report(out, result.gate, options);
 }
 
 }  // namespace dcs::exp

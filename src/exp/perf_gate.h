@@ -71,4 +71,41 @@ struct PerfGateResult {
 void write_perf_gate_report(std::ostream& out, const PerfGateResult& result,
                             const PerfGateOptions& options);
 
+/// One historical baseline in a trend comparison, labelled (by file stem
+/// when loaded from a baseline directory).
+struct PerfTrendBaseline {
+  std::string label;
+  std::map<std::string, double> times_us;
+};
+
+struct PerfTrendResult {
+  /// Baseline labels, oldest to newest (the order they were given in).
+  std::vector<std::string> labels;
+  /// Per entry: microseconds across the baselines in `labels` order, with
+  /// the fresh record appended last. NaN marks a record that lacks the
+  /// entry.
+  std::map<std::string, std::vector<double>> series_us;
+  /// The gate proper: fresh vs the *newest* baseline only. Older baselines
+  /// contribute drift context, never failures — a slow creep that stays
+  /// inside the per-step threshold is surfaced by the trend table, not the
+  /// exit code.
+  PerfGateResult gate;
+
+  [[nodiscard]] bool ok() const noexcept { return gate.ok; }
+};
+
+/// Compares fresh against a chronological series of baselines: the newest
+/// gates (perf_gate_compare), the rest feed the drift table. Throws
+/// std::invalid_argument when `baselines` is empty (the caller decides what
+/// an empty history means — the CLI warns and passes).
+[[nodiscard]] PerfTrendResult perf_trend(
+    const std::vector<PerfTrendBaseline>& baselines,
+    const std::map<std::string, double>& fresh,
+    const PerfGateOptions& options = {});
+
+/// Drift table (one row per entry, one column per baseline plus fresh)
+/// followed by the vs-newest gate report and verdict.
+void write_perf_trend_report(std::ostream& out, const PerfTrendResult& result,
+                             const PerfGateOptions& options);
+
 }  // namespace dcs::exp

@@ -16,6 +16,7 @@
 // other sim event.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +43,29 @@ struct CounterExportOptions {
 /// per name). Non-finite samples have no JSON literal and are skipped.
 void export_counter_track(Tracer& tracer, std::string_view cat,
                           std::string_view name, const TimeSeries& series);
+
+/// Per-zone channel suffixes recorded by core::ZonalController (under a
+/// `zone<k>/` prefix) — kept here so exporters and the controller agree on
+/// one spelling.
+inline const std::vector<std::string> kZonalChannelSuffixes = {
+    "demand", "degree", "grid_mw", "ups_soc", "cb_trip_margin_s"};
+
+/// Expands a channel selection with the per-zone (per-PDU-group) channels
+/// for `zones` zones: `zone0/demand`, `zone0/degree`, `zone0/grid_mw`,
+/// `zone0/ups_soc`, `zone0/cb_trip_margin_s`, `zone1/...`, ... appended to
+/// `channels`. Feed the result to CounterExportOptions::channels so zonal
+/// runs show one Perfetto counter track per zone per quantity (e.g. each
+/// zone's breaker margin side by side).
+[[nodiscard]] inline std::vector<std::string> with_zonal_channels(
+    std::vector<std::string> channels, std::size_t zones) {
+  for (std::size_t z = 0; z < zones; ++z) {
+    const std::string prefix = "zone" + std::to_string(z) + "/";
+    for (const std::string& suffix : kZonalChannelSuffixes) {
+      channels.push_back(prefix + suffix);
+    }
+  }
+  return channels;
+}
 
 /// Bridges a recorder's channels into `tracer` as counter tracks; see the
 /// file comment for the determinism contract. `RecorderT` is any type with

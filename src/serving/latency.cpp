@@ -1,0 +1,111 @@
+#include "serving/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcs::serving {
+namespace {
+
+/// log10 spacing of one bucket.
+constexpr double kDecadeFraction = 1.0 / static_cast<double>(
+    LatencyHistogram::kPerDecade);
+
+std::size_t bucket_index(double seconds) noexcept {
+  const double pos = std::log10(seconds / LatencyHistogram::kMinSeconds) *
+                     static_cast<double>(LatencyHistogram::kPerDecade);
+  const auto index = static_cast<std::size_t>(std::max(pos, 0.0));
+  return std::min(index, LatencyHistogram::kBuckets - 1);
+}
+
+double bucket_lower_edge(std::size_t index) noexcept {
+  return LatencyHistogram::kMinSeconds *
+         std::pow(10.0, static_cast<double>(index) * kDecadeFraction);
+}
+
+}  // namespace
+
+void LatencyHistogram::observe(double seconds) noexcept {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative guard
+  ++count_;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+  if (seconds < kMinSeconds) {
+    ++underflow_;
+  } else if (seconds >= kMaxSeconds) {
+    ++overflow_;
+  } else {
+    ++buckets_[bucket_index(seconds)];
+  }
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return kMinSeconds;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (target <= next) {
+      // Geometric interpolation between the bucket edges, matching the log
+      // spacing of the buckets themselves.
+      const double fraction =
+          (target - cumulative) / static_cast<double>(buckets_[i]);
+      const double lo = bucket_lower_edge(i);
+      return lo * std::pow(10.0, kDecadeFraction * fraction);
+    }
+    cumulative = next;
+  }
+  return kMaxSeconds;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() noexcept { *this = LatencyHistogram{}; }
+
+bool LatencyHistogram::operator==(const LatencyHistogram& other) const noexcept {
+  return buckets_ == other.buckets_ && underflow_ == other.underflow_ &&
+         overflow_ == other.overflow_ && count_ == other.count_ &&
+         sum_ == other.sum_ && max_ == other.max_;
+}
+
+LatencyTracker::LatencyTracker(std::size_t window_ticks)
+    : window_ticks_(window_ticks == 0 ? 1 : window_ticks) {}
+
+void LatencyTracker::observe(double seconds) noexcept {
+  total_.observe(seconds);
+  window_.observe(seconds);
+}
+
+void LatencyTracker::end_tick() noexcept {
+  if (++ticks_in_window_ < window_ticks_) return;
+  if (window_.count() > 0) last_window_p99_ = window_.quantile(0.99);
+  window_.reset();
+  ticks_in_window_ = 0;
+}
+
+double LatencyTracker::window_p99() const noexcept {
+  return window_.count() > 0 ? window_.quantile(0.99) : last_window_p99_;
+}
+
+void LatencyTracker::export_metrics(obs::MetricsRegistry& registry,
+                                    const std::string& prefix) const {
+  registry.gauge(prefix + "p50_ms").set(p50() * 1e3);
+  registry.gauge(prefix + "p95_ms").set(p95() * 1e3);
+  registry.gauge(prefix + "p99_ms").set(p99() * 1e3);
+  registry.gauge(prefix + "p999_ms").set(p999() * 1e3);
+  registry.gauge(prefix + "mean_ms").set(total_.mean_seconds() * 1e3);
+  registry.gauge(prefix + "max_ms").set(total_.max_seconds() * 1e3);
+  obs::Counter& requests = registry.counter(prefix + "requests_total");
+  requests.inc(static_cast<double>(total_.count()) - requests.value());
+}
+
+}  // namespace dcs::serving

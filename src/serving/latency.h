@@ -1,0 +1,104 @@
+// Streaming latency distributions for the request-level serving layer.
+//
+// LatencyHistogram is a fixed-bucket log histogram (16 buckets per decade
+// over [100 us, 1000 s], plus underflow/overflow) so p50/p95/p99/p999 are
+// O(buckets) to read at any point in a run without storing samples.
+// Observing is pure integer bucketing over deterministic inputs, and
+// merging adds bucket counts, so histograms built from the same sample
+// stream are bit-identical regardless of which thread ran the task — the
+// same contract as every sweep-runner row.
+//
+// LatencyTracker wraps two histograms: the run-total distribution (the
+// figure metric) and a short sliding window whose p99 is the controller's
+// SLO-violation signal (core::SloSprintStrategy::observe_latency).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dcs::serving {
+
+class LatencyHistogram {
+ public:
+  /// Bucket geometry: kDecades decades above kMinSeconds, kPerDecade
+  /// buckets each; samples below kMinSeconds land in the underflow bucket
+  /// and samples at or above the top edge in the overflow bucket.
+  static constexpr double kMinSeconds = 1e-4;
+  static constexpr std::size_t kDecades = 7;  // up to 1000 s
+  static constexpr std::size_t kPerDecade = 16;
+  static constexpr std::size_t kBuckets = kDecades * kPerDecade;
+  static constexpr double kMaxSeconds = 1e3;
+
+  void observe(double seconds) noexcept;
+
+  /// Quantile in seconds, q in [0, 1]; geometric interpolation inside the
+  /// winning bucket. Underflow resolves to kMinSeconds, overflow to
+  /// kMaxSeconds. 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum_seconds() const noexcept { return sum_; }
+  [[nodiscard]] double mean_seconds() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double max_seconds() const noexcept { return max_; }
+
+  /// Adds the other histogram's buckets into this one (commutative on the
+  /// counts; sum/max fold exactly for any merge order).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  void reset() noexcept;
+
+  /// Bucket-exact equality — the bit-identity check used by the serving
+  /// determinism tests.
+  [[nodiscard]] bool operator==(const LatencyHistogram& other) const noexcept;
+
+ private:
+  std::array<std::size_t, kBuckets> buckets_{};
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+class LatencyTracker {
+ public:
+  /// `window_ticks`: control periods per sliding SLO window (the window
+  /// histogram resets every that many end_tick() calls).
+  explicit LatencyTracker(std::size_t window_ticks = 10);
+
+  /// Records one request's response time into the run-total and window
+  /// histograms.
+  void observe(double seconds) noexcept;
+
+  /// Advances the window clock; call once per control period.
+  void end_tick() noexcept;
+
+  /// p99 over the current window (falling back to the last completed
+  /// window while the current one is still empty) — the SLO signal.
+  [[nodiscard]] double window_p99() const noexcept;
+
+  [[nodiscard]] const LatencyHistogram& total() const noexcept { return total_; }
+  [[nodiscard]] double p50() const noexcept { return total_.quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return total_.quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return total_.quantile(0.99); }
+  [[nodiscard]] double p999() const noexcept { return total_.quantile(0.999); }
+
+  /// Gauges `<prefix>p50_ms`/`p95_ms`/`p99_ms`/`p999_ms`/`mean_ms`/`max_ms`
+  /// and counter `<prefix>requests_total` into `registry`.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "latency_") const;
+
+ private:
+  std::size_t window_ticks_;
+  std::size_t ticks_in_window_ = 0;
+  double last_window_p99_ = 0.0;
+  LatencyHistogram total_;
+  LatencyHistogram window_;
+};
+
+}  // namespace dcs::serving

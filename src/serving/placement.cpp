@@ -1,0 +1,50 @@
+#include "serving/placement.h"
+
+#include "util/check.h"
+
+namespace dcs::serving {
+namespace {
+
+double queue_length(const ServerLoad& server) noexcept {
+  return server.backlog + static_cast<double>(server.assigned);
+}
+
+}  // namespace
+
+std::size_t RoundRobinPlacement::pick(const std::vector<ServerLoad>& servers) {
+  const std::size_t index = cursor_ % servers.size();
+  cursor_ = (cursor_ + 1) % servers.size();
+  return index;
+}
+
+std::size_t JoinShortestQueuePlacement::pick(
+    const std::vector<ServerLoad>& servers) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < servers.size(); ++i) {
+    if (queue_length(servers[i]) < queue_length(servers[best])) best = i;
+  }
+  return best;
+}
+
+std::size_t ThermalAwarePlacement::pick(
+    const std::vector<ServerLoad>& servers) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < servers.size(); ++i) {
+    if (servers[i].heat < servers[best].heat ||
+        (servers[i].heat == servers[best].heat &&
+         queue_length(servers[i]) < queue_length(servers[best]))) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(std::string_view name) {
+  if (name == "round_robin") return std::make_unique<RoundRobinPlacement>();
+  if (name == "jsq") return std::make_unique<JoinShortestQueuePlacement>();
+  if (name == "thermal") return std::make_unique<ThermalAwarePlacement>();
+  DCS_REQUIRE(false, "unknown placement (want round_robin, jsq or thermal)");
+  return nullptr;
+}
+
+}  // namespace dcs::serving

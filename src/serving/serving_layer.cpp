@@ -1,0 +1,133 @@
+#include "serving/serving_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs::serving {
+
+ServingLayer::ServingLayer(ServingParams params)
+    : params_(std::move(params)),
+      source_(RequestSourceParams{params_.peak_rps, params_.seed}),
+      placement_(make_placement(params_.placement)),
+      tracker_(params_.window_ticks),
+      base_(Rng(params_.seed).fork(0x5e72f1ceULL)) {
+  DCS_REQUIRE(params_.servers > 0, "need at least one server");
+  DCS_REQUIRE(params_.admit_factor > 0.0, "admit_factor must be positive");
+  DCS_REQUIRE(params_.heat_tau_s > 0.0, "heat_tau_s must be positive");
+  DCS_REQUIRE(params_.demand != nullptr && !params_.demand->empty(),
+              "serving layer needs a demand trace");
+  queues_.reserve(params_.servers);
+  for (std::size_t i = 0; i < params_.servers; ++i) {
+    queues_.push_back(make_queue_model(params_.queue_model, params_.queue));
+  }
+  loads_.resize(params_.servers);
+  per_server_.resize(params_.servers);
+}
+
+void ServingLayer::set_capacity_degree(double degree) noexcept {
+  degree_ = std::max(degree, 0.0);
+}
+
+void ServingLayer::set_slo_callback(
+    std::function<void(const ServingStats&)> callback) {
+  slo_callback_ = std::move(callback);
+}
+
+void ServingLayer::set_recorder(sim::Recorder* recorder) noexcept {
+  recorder_ = recorder;
+}
+
+double ServingLayer::drop_fraction() const noexcept {
+  return offered_total_ > 0 ? static_cast<double>(dropped_total_) /
+                                  static_cast<double>(offered_total_)
+                            : 0.0;
+}
+
+double ServingLayer::backlog_total() const noexcept {
+  double total = 0.0;
+  for (const auto& queue : queues_) total += queue->backlog();
+  return total;
+}
+
+void ServingLayer::tick(Duration now, Duration dt) {
+  const double demand = params_.demand->at(now);
+  const std::size_t offered = source_.arrivals(tick_index_, demand, dt);
+
+  // Request admission control: the capacity the active core set can absorb
+  // this period, with admit_factor of queueing headroom on top. The excess
+  // is denied outright (the paper's "last resort") rather than queued into
+  // an unbounded backlog.
+  const double capacity_rps = degree_ * params_.peak_rps;
+  const double cap = params_.admit_factor * capacity_rps * dt.sec();
+  const auto admitted = std::min(
+      offered, static_cast<std::size_t>(std::max(std::floor(cap), 0.0)));
+  offered_total_ += offered;
+  dropped_total_ += offered - admitted;
+
+  // Placement: policy picks a server per request against the live view.
+  std::fill(per_server_.begin(), per_server_.end(), std::size_t{0});
+  for (std::size_t i = 0; i < admitted; ++i) {
+    const std::size_t server = placement_->pick(loads_);
+    ++loads_[server].assigned;
+    ++per_server_[server];
+  }
+
+  // Service over the currently active core set, one Rng stream per
+  // (tick, server) so the latency sample sequence is reproducible.
+  const double mu = capacity_rps / static_cast<double>(params_.servers);
+  const Rng tick_rng = base_.fork(tick_index_);
+  for (std::size_t s = 0; s < params_.servers; ++s) {
+    Rng server_rng = tick_rng.fork(s);
+    queues_[s]->step(per_server_[s], mu, dt, server_rng, tracker_);
+    loads_[s].backlog = queues_[s]->backlog();
+    loads_[s].assigned = 0;
+    // Thermal proxy: utilization (arrival pressure against the server's
+    // share of capacity) smoothed over heat_tau_s; saturates during
+    // overload so thermal-aware placement steers around hot servers.
+    const double lambda_s = static_cast<double>(per_server_[s]) / dt.sec();
+    const double utilization =
+        mu > 0.0 ? std::min(lambda_s / mu + (queues_[s]->backlog() > 0.0
+                                                 ? 1.0
+                                                 : 0.0),
+                            2.0)
+                 : 2.0;
+    const double alpha = std::min(dt.sec() / params_.heat_tau_s, 1.0);
+    loads_[s].heat += (utilization - loads_[s].heat) * alpha;
+  }
+  tracker_.end_tick();
+
+  ServingStats stats;
+  stats.offered = offered;
+  stats.admitted = admitted;
+  stats.dropped = offered - admitted;
+  stats.p99_s = tracker_.window_p99();
+  stats.backlog = backlog_total();
+
+  if (recorder_ != nullptr) {
+    recorder_->record("serving_p50_ms", now, tracker_.p50() * 1e3);
+    recorder_->record("serving_p99_ms", now, tracker_.p99() * 1e3);
+    recorder_->record("serving_p999_ms", now, tracker_.p999() * 1e3);
+    recorder_->record("serving_window_p99_ms", now, stats.p99_s * 1e3);
+    recorder_->record("serving_backlog", now, stats.backlog);
+    recorder_->record("serving_dropped", now,
+                      static_cast<double>(stats.dropped));
+    recorder_->record("serving_admitted", now,
+                      static_cast<double>(stats.admitted));
+  }
+  if (slo_callback_) slo_callback_(stats);
+  ++tick_index_;
+}
+
+void ServingLayer::export_metrics(obs::MetricsRegistry& registry) const {
+  tracker_.export_metrics(registry, "serving_");
+  obs::Counter& offered = registry.counter("serving_offered_total");
+  offered.inc(static_cast<double>(offered_total_) - offered.value());
+  obs::Counter& dropped = registry.counter("serving_dropped_total");
+  dropped.inc(static_cast<double>(dropped_total_) - dropped.value());
+  registry.gauge("serving_drop_fraction").set(drop_fraction());
+  registry.gauge("serving_backlog").set(backlog_total());
+}
+
+}  // namespace dcs::serving

@@ -1,0 +1,133 @@
+// The request-level serving layer: a sim::Component that sits between the
+// workload traces and the core controller.
+//
+// Each control period it (1) draws discrete Poisson arrivals from the
+// demand trace via RequestSource, (2) applies request admission control —
+// arrivals beyond admit_factor x current capacity are dropped, the
+// request-level face of workload/admission — (3) places each admitted
+// request on a server through the PlacementPolicy, (4) advances every
+// server's QueueModel at the service rate implied by the *currently active
+// core set* (capacity degree published by the controller through
+// set_capacity_degree), and (5) folds the sampled response times into a
+// LatencyTracker whose sliding-window p99 feeds the SLO callback (wired to
+// core::SloSprintStrategy::observe_latency by the bench/test layer — core
+// never links against serving).
+//
+// Determinism: arrivals are a pure function of (seed, tick); response
+// sampling uses Rng forks keyed by (tick, server); placement is
+// deterministic. Runs with the same parameters produce bit-identical
+// latency histograms regardless of thread count or co-scheduled work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serving/latency.h"
+#include "serving/placement.h"
+#include "serving/queue_model.h"
+#include "serving/request_source.h"
+#include "sim/component.h"
+#include "sim/recorder.h"
+#include "util/rng.h"
+#include "util/time_series.h"
+#include "util/units.h"
+
+namespace dcs::serving {
+
+struct ServingParams {
+  /// Modeled servers (queueing stations). The fleet's physical scale
+  /// invariance (core/datacenter.h) means this is a modeling knob, not a
+  /// hardware count.
+  std::size_t servers = 8;
+  /// Request rate at demand 1.0.
+  double peak_rps = 400.0;
+  std::uint64_t seed = 0x5e91ce5eedULL;
+  /// Queue model name: "mg1" | "ps" (serving/queue_model.h).
+  std::string queue_model = "mg1";
+  QueueModelParams queue;
+  /// Placement policy name: "round_robin" | "jsq" | "thermal".
+  std::string placement = "round_robin";
+  /// Admission cap as a multiple of current capacity: arrivals beyond
+  /// admit_factor x degree x peak_rps x dt are dropped.
+  double admit_factor = 2.0;
+  /// Control periods per sliding SLO window (the p99 signal's horizon).
+  std::size_t window_ticks = 10;
+  /// Time constant of the per-server thermal proxy fed to thermal-aware
+  /// placement.
+  double heat_tau_s = 30.0;
+  /// Demand trace driving the arrivals; must outlive the layer. Same
+  /// normalized trace the controller runs.
+  const TimeSeries* demand = nullptr;
+};
+
+/// Per-tick summary handed to the SLO callback.
+struct ServingStats {
+  std::size_t offered = 0;   ///< arrivals this period
+  std::size_t admitted = 0;  ///< after admission control
+  std::size_t dropped = 0;   ///< offered - admitted
+  double p99_s = 0.0;        ///< sliding-window p99 (seconds)
+  double backlog = 0.0;      ///< total queued requests across servers
+};
+
+class ServingLayer final : public sim::Component {
+ public:
+  explicit ServingLayer(ServingParams params);
+
+  /// Publishes the controller's realized capacity multiplier for the
+  /// current period (StepResult::degree); service rates scale with it.
+  void set_capacity_degree(double degree) noexcept;
+
+  /// Invoked at the end of every tick with that period's stats — the SLO
+  /// feedback path into the sprint strategy.
+  void set_slo_callback(std::function<void(const ServingStats&)> callback);
+
+  /// Optional per-tick channels: serving_p50_ms, serving_p99_ms,
+  /// serving_p999_ms, serving_backlog, serving_dropped, serving_admitted.
+  /// Must outlive the run.
+  void set_recorder(sim::Recorder* recorder) noexcept;
+
+  void tick(Duration now, Duration dt) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "serving";
+  }
+
+  [[nodiscard]] const LatencyTracker& latency() const noexcept {
+    return tracker_;
+  }
+  [[nodiscard]] const std::vector<ServerLoad>& server_loads() const noexcept {
+    return loads_;
+  }
+  [[nodiscard]] std::size_t offered_total() const noexcept {
+    return offered_total_;
+  }
+  [[nodiscard]] std::size_t dropped_total() const noexcept {
+    return dropped_total_;
+  }
+  [[nodiscard]] double drop_fraction() const noexcept;
+  [[nodiscard]] double backlog_total() const noexcept;
+
+  /// Latency gauges (serving_ prefix) plus offered/dropped counters.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  ServingParams params_;
+  RequestSource source_;
+  std::vector<std::unique_ptr<QueueModel>> queues_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::vector<ServerLoad> loads_;
+  std::vector<std::size_t> per_server_;
+  LatencyTracker tracker_;
+  Rng base_;
+  std::uint64_t tick_index_ = 0;
+  double degree_ = 1.0;
+  std::size_t offered_total_ = 0;
+  std::size_t dropped_total_ = 0;
+  std::function<void(const ServingStats&)> slo_callback_;
+  sim::Recorder* recorder_ = nullptr;
+};
+
+}  // namespace dcs::serving

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/datacenter.h"
+#include "obs/counters.h"
+#include "sim/recorder.h"
 #include "workload/yahoo_trace.h"
 
 namespace dcs::core {
@@ -177,6 +180,66 @@ TEST(Zonal, StepExposesPerZoneState) {
   EXPECT_DOUBLE_EQ(last.zones[1].degree, 1.0);
   EXPECT_GT(last.zones[0].grid_power, last.zones[1].grid_power);
   EXPECT_GT(last.dc_load, Power::zero());
+}
+
+TEST(Zonal, RecorderCapturesPerZoneChannels) {
+  workload::YahooTraceParams p;
+  p.burst_degree = 3.0;
+  p.burst_duration = Duration::minutes(10);
+  const TimeSeries hot = workload::generate_yahoo_trace(p);
+  const TimeSeries idle = flat(0.4, hot.end_time());
+  ZonalController ctl(small_config(4), {{2, &hot}, {2, &idle}});
+  sim::Recorder recorder;
+  ctl.set_recorder(&recorder);
+  (void)ctl.run();
+
+  // Every channel with_zonal_channels names for a 2-zone run must be
+  // populated (one sample per control period), plus the facility totals.
+  const std::vector<std::string> channels =
+      obs::with_zonal_channels({"dc_load_mw", "cooling_mw"}, 2);
+  const std::size_t ticks = static_cast<std::size_t>(
+      hot.end_time().sec() / DataCenterConfig{}.control_period.sec());
+  for (const std::string& channel : channels) {
+    ASSERT_TRUE(recorder.has(channel)) << channel;
+    EXPECT_EQ(recorder.series(channel).size(), ticks) << channel;
+  }
+
+  // The hot zone sprinted, the idle zone never did, and both margins stay
+  // positive (no breaker ever gets within tripping distance).
+  const TimeSeries& hot_degree = recorder.series("zone0/degree");
+  const TimeSeries& idle_degree = recorder.series("zone1/degree");
+  double hot_max = 0.0, idle_max = 0.0;
+  for (std::size_t i = 0; i < hot_degree.size(); ++i) {
+    hot_max = std::max(hot_max, hot_degree[i].value);
+    idle_max = std::max(idle_max, idle_degree[i].value);
+  }
+  EXPECT_GT(hot_max, 1.0);
+  EXPECT_DOUBLE_EQ(idle_max, 1.0);
+  for (std::size_t z = 0; z < 2; ++z) {
+    const TimeSeries& margin =
+        recorder.series("zone" + std::to_string(z) + "/cb_trip_margin_s");
+    for (std::size_t i = 0; i < margin.size(); ++i) {
+      EXPECT_GT(margin[i].value, 0.0);
+      EXPECT_LE(margin[i].value, 3600.0);
+    }
+  }
+
+  // The recorded channels export as counter tracks without loss.
+  obs::Tracer tracer;
+  obs::export_counters(recorder, tracer, {.channels = channels});
+  EXPECT_GE(tracer.events().size(), channels.size() * ticks);
+}
+
+TEST(Zonal, WithZonalChannelsNamesZonePrefixedTracks) {
+  const std::vector<std::string> channels =
+      obs::with_zonal_channels({"dc_load_mw"}, 3);
+  EXPECT_EQ(channels.size(), 1 + 3 * obs::kZonalChannelSuffixes.size());
+  EXPECT_EQ(channels.front(), "dc_load_mw");
+  EXPECT_EQ(channels[1], "zone0/demand");
+  EXPECT_EQ(channels.back(), "zone2/cb_trip_margin_s");
+  // Zero zones is the identity.
+  EXPECT_EQ(obs::with_zonal_channels({"x"}, 0),
+            std::vector<std::string>{"x"});
 }
 
 }  // namespace

@@ -211,6 +211,84 @@ TEST(ExpDispatch, RetryBudgetExhaustionDegradesWithPartialMerge) {
   fs::remove_all(dir);
 }
 
+TEST(ExpDispatch, ResumeReportRecomputesOnlyMissingTasks) {
+  const std::string dir = fresh_dir("resume_src");
+  const std::size_t tasks = 12;
+  DispatchOptions options = base_options(dir, tasks, /*shards=*/2);
+  // Degraded first run: shard 1 burns its (zero) budget, so its slice
+  // [6, 12) lands in the report as missing.
+  options.command.push_back("fail_attempts=1000000");
+  options.command.push_back("fail_shard=1");
+  options.max_restarts = 0;
+  const DispatchReport degraded = dispatch_sweep(options);
+  ASSERT_EQ(degraded.status, "degraded");
+  const std::string report_path = dir + "/dispatch_report.json";
+  ASSERT_TRUE(write_dispatch_report(report_path, degraded));
+
+  // Resume into a fresh work dir with a *different* shard count: missing
+  // task indices are global, so re-slicing them three ways is still exact.
+  // Slices are [0,4) [4,8) [8,12); only 6..11 are missing, so shard 0 has
+  // nothing to do and must complete without spawning a single attempt.
+  const std::string resume_dir = fresh_dir("resume_dst");
+  DispatchOptions resume = base_options(resume_dir, tasks, /*shards=*/3);
+  resume.resume_report_path = report_path;
+  const DispatchReport report = dispatch_sweep(resume);
+
+  EXPECT_EQ(report.status, "complete");
+  ASSERT_EQ(report.shard_status.size(), 3u);
+  EXPECT_EQ(report.shard_status[0].state, "completed");
+  EXPECT_TRUE(report.shard_status[0].attempts.empty())
+      << "a shard with no pending tasks must be skipped, not spawned";
+  EXPECT_EQ(report.shard_status[1].attempts.size(), 1u);
+  EXPECT_EQ(report.shard_status[2].attempts.size(), 1u);
+  ASSERT_EQ(report.merged.size(), 1u);
+  EXPECT_TRUE(report.merged[0].complete());
+  // Seed + recompute merges byte-identical to an unsharded clean run.
+  EXPECT_EQ(slurp(report.merged[0].path), slurp(reference_checkpoint(tasks)));
+  fs::remove_all(dir);
+  fs::remove_all(resume_dir);
+}
+
+TEST(ExpDispatch, ResumeFromCompleteReportSkipsEveryShard) {
+  const std::string dir = fresh_dir("resume_complete_src");
+  const std::size_t tasks = 8;
+  const DispatchReport clean =
+      dispatch_sweep(base_options(dir, tasks, /*shards=*/2));
+  ASSERT_EQ(clean.status, "complete");
+  const std::string report_path = dir + "/dispatch_report.json";
+  ASSERT_TRUE(write_dispatch_report(report_path, clean));
+
+  const std::string resume_dir = fresh_dir("resume_complete_dst");
+  DispatchOptions resume = base_options(resume_dir, tasks, /*shards=*/2);
+  resume.resume_report_path = report_path;
+  const DispatchReport report = dispatch_sweep(resume);
+
+  EXPECT_EQ(report.status, "complete");
+  for (const ShardStatus& s : report.shard_status) {
+    EXPECT_EQ(s.state, "completed");
+    EXPECT_TRUE(s.attempts.empty());
+  }
+  ASSERT_EQ(report.merged.size(), 1u);
+  EXPECT_TRUE(report.merged[0].complete());
+  EXPECT_EQ(slurp(report.merged[0].path), slurp(reference_checkpoint(tasks)));
+  fs::remove_all(dir);
+  fs::remove_all(resume_dir);
+}
+
+TEST(ExpDispatch, ResumeReportRejectsUnreadableReport) {
+  const std::string dir = fresh_dir("resume_bad");
+  DispatchOptions options = base_options(dir, /*tasks=*/4, /*shards=*/1);
+  options.resume_report_path = dir + "/no_such_report.json";
+  EXPECT_THROW((void)dispatch_sweep(options), std::invalid_argument);
+
+  // A JSON file that is not a dispatch report is rejected too.
+  const std::string not_report = dir + "/not_report.json";
+  { std::ofstream(not_report) << "{\"hello\": 1}\n"; }
+  options.resume_report_path = not_report;
+  EXPECT_THROW((void)dispatch_sweep(options), std::invalid_argument);
+  fs::remove_all(dir);
+}
+
 TEST(ExpDispatch, ChaosKillsAreFreeAndMergeDeterministically) {
   const std::string dir = fresh_dir("chaos");
   const std::size_t tasks = 60;

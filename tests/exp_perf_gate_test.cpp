@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "exp/aggregator.h"
 #include "exp/reporter.h"
@@ -211,6 +212,57 @@ TEST(ExpPerfGate, ReportPrintsPassAndFailVerdicts) {
   write_perf_gate_report(fail_out, perf_gate_compare(times, slow), {});
   EXPECT_NE(fail_out.str().find("FAIL"), std::string::npos);
   EXPECT_NE(fail_out.str().find("REGRESSED"), std::string::npos);
+}
+
+TEST(ExpPerfGate, TrendGatesOnNewestBaselineOnly) {
+  // Slow creep: 100 -> 150 -> 190 us across the history; fresh is 200 us.
+  // Against the newest (190) that is under the 20% step threshold, so the
+  // gate passes even though the whole window doubled — drift belongs in the
+  // table, not the exit code.
+  const std::vector<PerfTrendBaseline> baselines{
+      {"0001", {{"a", 100.0}}}, {"0002", {{"a", 150.0}}},
+      {"0003", {{"a", 190.0}}}};
+  const std::map<std::string, double> fresh{{"a", 200.0}};
+  const PerfTrendResult trend = perf_trend(baselines, fresh, {});
+  EXPECT_TRUE(trend.ok());
+  ASSERT_EQ(trend.labels.size(), 3u);
+  EXPECT_EQ(trend.labels.back(), "0003");
+  const std::vector<double>& series = trend.series_us.at("a");
+  ASSERT_EQ(series.size(), 4u);  // three baselines + fresh
+  EXPECT_DOUBLE_EQ(series[0], 100.0);
+  EXPECT_DOUBLE_EQ(series[3], 200.0);
+
+  // A fresh record that regresses against the newest baseline fails, no
+  // matter how forgiving the older history is.
+  const std::map<std::string, double> slow{{"a", 400.0}};
+  EXPECT_FALSE(perf_trend(baselines, slow, {}).ok());
+
+  // Entries absent from part of the history hold NaN slots, never zeros.
+  const std::vector<PerfTrendBaseline> gappy{
+      {"old", {{"a", 100.0}}}, {"new", {{"a", 100.0}, {"b", 50.0}}}};
+  const PerfTrendResult with_gap =
+      perf_trend(gappy, {{"a", 100.0}, {"b", 50.0}}, {});
+  EXPECT_TRUE(std::isnan(with_gap.series_us.at("b")[0]));
+  EXPECT_DOUBLE_EQ(with_gap.series_us.at("b")[1], 50.0);
+
+  EXPECT_THROW((void)perf_trend({}, fresh, {}), std::invalid_argument);
+}
+
+TEST(ExpPerfGate, TrendReportShowsDriftAndVerdict) {
+  const std::vector<PerfTrendBaseline> baselines{
+      {"0001", {{"a", 100.0}}}, {"0002", {{"a", 190.0}}}};
+  std::ostringstream out;
+  write_perf_trend_report(out, perf_trend(baselines, {{"a", 200.0}}, {}), {});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("perf trend"), std::string::npos);
+  EXPECT_NE(text.find("gating baseline: 0002"), std::string::npos);
+  EXPECT_NE(text.find("x2.000 over window"), std::string::npos);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+
+  std::ostringstream fail_out;
+  write_perf_trend_report(fail_out,
+                          perf_trend(baselines, {{"a", 400.0}}, {}), {});
+  EXPECT_NE(fail_out.str().find("FAIL"), std::string::npos);
 }
 
 }  // namespace

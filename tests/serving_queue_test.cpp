@@ -1,0 +1,395 @@
+// Request-level serving layer: Poisson arrival sampling, the log latency
+// histogram, the M/G/1 and processor-sharing queue models against their
+// closed forms, placement policies, admission drops, and the bit-identity
+// contract (same inputs -> same histograms and sweep rows, regardless of
+// thread count).
+#include "serving/serving_layer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "obs/metrics.h"
+#include "serving/latency.h"
+#include "serving/placement.h"
+#include "serving/queue_model.h"
+#include "serving/request_source.h"
+#include "util/rng.h"
+#include "util/time_series.h"
+
+namespace dcs::serving {
+namespace {
+
+TEST(ServingPoisson, SamplerMatchesMeanAndVariance) {
+  Rng rng(42);
+  EXPECT_EQ(poisson_sample(rng, 0.0), 0u);
+
+  // Small mean (single Knuth chunk) and large mean (chunked path, where a
+  // naive exp(-mean) product would underflow to an infinite loop).
+  for (const double mean : {3.0, 40.0, 400.0}) {
+    const std::size_t n = 20000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto k = static_cast<double>(poisson_sample(rng, mean));
+      sum += k;
+      sum_sq += k * k;
+    }
+    const double sample_mean = sum / static_cast<double>(n);
+    const double sample_var =
+        sum_sq / static_cast<double>(n) - sample_mean * sample_mean;
+    // Poisson: mean == variance == lambda. 5 sigma-ish tolerances.
+    EXPECT_NEAR(sample_mean, mean, 5.0 * std::sqrt(mean / n)) << mean;
+    EXPECT_NEAR(sample_var, mean, 0.1 * mean + 1.0) << mean;
+  }
+}
+
+TEST(ServingPoisson, RequestSourceIsAPureFunctionOfSeedAndTick) {
+  const RequestSource a(RequestSourceParams{400.0, 0xABCD});
+  const RequestSource b(RequestSourceParams{400.0, 0xABCD});
+  const RequestSource other(RequestSourceParams{400.0, 0xABCE});
+  const Duration dt = Duration::seconds(1);
+  bool any_diff = false;
+  for (std::uint64_t tick = 0; tick < 64; ++tick) {
+    // Same (seed, tick, demand) -> same count, on the same instance and
+    // across instances; re-asking does not advance hidden state.
+    const std::size_t n = a.arrivals(tick, 1.0, dt);
+    EXPECT_EQ(n, a.arrivals(tick, 1.0, dt));
+    EXPECT_EQ(n, b.arrivals(tick, 1.0, dt));
+    any_diff = any_diff || n != other.arrivals(tick, 1.0, dt);
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must give different streams";
+  EXPECT_EQ(a.arrivals(0, 0.0, dt), 0u);
+}
+
+TEST(ServingHistogram, BucketsQuantilesAndMerge) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);  // empty
+
+  // 100 samples at 10 ms, 10 at 1 s: p50 lands in the 10 ms bucket, p999
+  // in the 1 s bucket (within one log-bucket of resolution).
+  for (int i = 0; i < 100; ++i) h.observe(0.010);
+  for (int i = 0; i < 10; ++i) h.observe(1.0);
+  EXPECT_EQ(h.count(), 110u);
+  EXPECT_NEAR(h.sum_seconds(), 100 * 0.010 + 10 * 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 1.0);
+  const double step = std::pow(10.0, 1.0 / LatencyHistogram::kPerDecade);
+  EXPECT_NEAR(h.quantile(0.5), 0.010, 0.010 * (step - 1.0) * 1.01);
+  EXPECT_NEAR(h.quantile(0.999), 1.0, 1.0 * (step - 1.0) * 1.01);
+
+  // Underflow and overflow resolve to the histogram edges.
+  LatencyHistogram edges;
+  edges.observe(1e-6);
+  edges.observe(5000.0);
+  EXPECT_DOUBLE_EQ(edges.quantile(0.25), LatencyHistogram::kMinSeconds);
+  EXPECT_DOUBLE_EQ(edges.quantile(1.0), LatencyHistogram::kMaxSeconds);
+  edges.observe(std::nan(""));  // guarded, lands in underflow
+  EXPECT_EQ(edges.count(), 3u);
+
+  // merge(a, b) == observing the union. Dyadic sample values keep the
+  // sum_seconds fold exact in any order (operator== compares it exactly).
+  LatencyHistogram a, b, both;
+  for (int i = 0; i < 50; ++i) {
+    const double s = 0.25 * (1 + i % 7);
+    (i % 2 == 0 ? a : b).observe(s);
+    both.observe(s);
+  }
+  a.merge(b);
+  EXPECT_TRUE(a == both);
+  b.reset();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(ServingTracker, WindowP99FallsBackToLastCompletedWindow) {
+  LatencyTracker tracker(/*window_ticks=*/2);
+  tracker.observe(0.100);
+  tracker.observe(0.100);
+  EXPECT_GT(tracker.window_p99(), 0.0);  // current window has samples
+  tracker.end_tick();
+  tracker.end_tick();  // window completes; snapshot taken, window resets
+  const double snapshot = tracker.window_p99();
+  EXPECT_GT(snapshot, 0.05);  // falls back to the completed window's p99
+  // An empty current window keeps reporting the last completed one.
+  tracker.end_tick();
+  EXPECT_DOUBLE_EQ(tracker.window_p99(), snapshot);
+
+  obs::MetricsRegistry registry;
+  tracker.export_metrics(registry, "serving_");
+  EXPECT_DOUBLE_EQ(registry.counter("serving_requests_total").value(), 2.0);
+  EXPECT_GT(registry.gauge("serving_p99_ms").value(), 0.0);
+  // Re-export must not double-count the counter.
+  tracker.export_metrics(registry, "serving_");
+  EXPECT_DOUBLE_EQ(registry.counter("serving_requests_total").value(), 2.0);
+}
+
+/// Drives a queue with a deterministic `arrivals` per tick for `ticks`
+/// periods and returns the tracker.
+LatencyTracker drive(QueueModel& queue, std::size_t arrivals, double mu,
+                     std::size_t ticks, std::uint64_t seed) {
+  LatencyTracker tracker;
+  const Rng base(seed);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    Rng rng = base.fork(t);
+    queue.step(arrivals, mu, Duration::seconds(1), rng, tracker);
+    tracker.end_tick();
+  }
+  return tracker;
+}
+
+TEST(ServingQueue, Mg1MatchesPollaczekKhinchineMean) {
+  // M/M/1 case (cv2 = 1): W = 1/mu + lambda/(mu^2 (1 - rho)).
+  for (const double cv2 : {1.0, 0.0, 4.0}) {
+    Mg1Queue queue(QueueModelParams{cv2, 0.95});
+    const LatencyTracker t = drive(queue, /*arrivals=*/50, /*mu=*/100.0,
+                                   /*ticks=*/2000, /*seed=*/7);
+    const double expected = mg1_mean_response_s(50.0, 100.0, cv2);
+    // 100k exponential samples: relative standard error ~0.3%.
+    EXPECT_NEAR(t.total().mean_seconds(), expected, 0.05 * expected) << cv2;
+    EXPECT_DOUBLE_EQ(queue.backlog(), 0.0);
+  }
+  // Closed form sanity: the M/M/1 mean at rho=0.5 is 2/mu.
+  EXPECT_NEAR(mg1_mean_response_s(50.0, 100.0, 1.0), 0.02, 1e-12);
+}
+
+TEST(ServingQueue, ProcessorSharingMatchesClosedFormAndIgnoresCv2) {
+  ProcessorSharingQueue queue(QueueModelParams{1.0, 0.95});
+  const LatencyTracker t = drive(queue, 50, 100.0, 2000, 7);
+  const double expected = ps_mean_response_s(50.0, 100.0);  // 1/(mu-lambda)
+  EXPECT_NEAR(t.total().mean_seconds(), expected, 0.05 * expected);
+
+  // PS is insensitive to the service-time distribution beyond its mean: a
+  // different cv2 with the same seed produces a bit-identical histogram.
+  ProcessorSharingQueue other(QueueModelParams{4.0, 0.95});
+  const LatencyTracker u = drive(other, 50, 100.0, 2000, 7);
+  EXPECT_TRUE(t.total() == u.total());
+
+  // Exponential response shape: p99/mean ~ ln(100), read through the log
+  // histogram's ~15% bucket resolution.
+  EXPECT_NEAR(t.p99() / t.total().mean_seconds(), std::log(100.0), 1.0);
+}
+
+TEST(ServingQueue, FluidOverloadIsDeterministicAndMonotoneInMu) {
+  // arrivals > mu * dt: the fluid regime, no sampling at all.
+  Mg1Queue queue;
+  LatencyTracker tracker;
+  Rng rng(1);
+  queue.step(200, 100.0, Duration::seconds(1), rng, tracker);
+  EXPECT_DOUBLE_EQ(queue.backlog(), 100.0);  // 200 in, 100 served
+  // First request waits 1/mu, last waits (199+1)/mu = 2 s.
+  EXPECT_DOUBLE_EQ(tracker.total().max_seconds(), 2.0);
+
+  // The backlog drains at mu when arrivals stop — step() with zero
+  // arrivals must keep integrating.
+  queue.step(0, 100.0, Duration::seconds(1), rng, tracker);
+  EXPECT_DOUBLE_EQ(queue.backlog(), 0.0);
+
+  // More capacity (a deeper sprint) means strictly lower response times —
+  // the monotonicity behind the p99-vs-budget curves.
+  double prev_mean = 1e9;
+  for (const double mu : {100.0, 150.0, 200.0}) {
+    Mg1Queue q;
+    const LatencyTracker t = drive(q, 180, mu, 50, 3);
+    EXPECT_LT(t.total().mean_seconds(), prev_mean) << mu;
+    prev_mean = t.total().mean_seconds();
+  }
+
+  // mu = 0 (fully shed server): requests pend and saturate the histogram.
+  Mg1Queue dead;
+  LatencyTracker sat;
+  dead.step(5, 0.0, Duration::seconds(1), rng, sat);
+  EXPECT_DOUBLE_EQ(dead.backlog(), 5.0);
+  EXPECT_DOUBLE_EQ(sat.total().max_seconds(), LatencyHistogram::kMaxSeconds);
+  dead.reset();
+  EXPECT_DOUBLE_EQ(dead.backlog(), 0.0);
+}
+
+TEST(ServingQueue, FactoryValidatesNamesAndParams) {
+  EXPECT_EQ(make_queue_model("mg1")->name(), "mg1");
+  EXPECT_EQ(make_queue_model("ps")->name(), "ps");
+  EXPECT_THROW((void)make_queue_model("lifo"), std::invalid_argument);
+  EXPECT_THROW((void)make_queue_model("mg1", {-1.0, 0.95}),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_queue_model("mg1", {1.0, 1.5}),
+               std::invalid_argument);
+}
+
+TEST(ServingPlacement, PoliciesPickDeterministically) {
+  const auto loads = [](std::initializer_list<ServerLoad> l) {
+    return std::vector<ServerLoad>(l);
+  };
+
+  RoundRobinPlacement rr;
+  const auto three = loads({{0, 0, 0}, {0, 0, 0}, {0, 0, 0}});
+  EXPECT_EQ(rr.pick(three), 0u);
+  EXPECT_EQ(rr.pick(three), 1u);
+  EXPECT_EQ(rr.pick(three), 2u);
+  EXPECT_EQ(rr.pick(three), 0u);
+  rr.reset();
+  EXPECT_EQ(rr.pick(three), 0u);
+
+  JoinShortestQueuePlacement jsq;
+  EXPECT_EQ(jsq.pick(loads({{2.0, 0, 0}, {0.0, 0, 0}, {1.0, 0, 0}})), 1u);
+  // Requests already assigned this period count toward the queue.
+  EXPECT_EQ(jsq.pick(loads({{0.0, 0, 1}, {0.0, 0, 0}})), 1u);
+  EXPECT_EQ(jsq.pick(loads({{1.0, 0, 0}, {1.0, 0, 0}})), 0u);  // tie: lowest
+
+  ThermalAwarePlacement thermal;
+  EXPECT_EQ(thermal.pick(loads({{0.0, 0.5, 0}, {9.0, 0.1, 0}})), 1u);
+  // Equal heat: fall back to the shorter queue.
+  EXPECT_EQ(thermal.pick(loads({{5.0, 0.1, 0}, {1.0, 0.1, 0}})), 1u);
+
+  EXPECT_THROW((void)make_placement("random"), std::invalid_argument);
+  EXPECT_EQ(make_placement("thermal")->name(), "thermal");
+}
+
+/// A short overloaded demand trace for the layer-level tests.
+TimeSeries burst_trace() {
+  TimeSeries t;
+  t.push_back(Duration::zero(), 0.6);
+  t.push_back(Duration::seconds(60), 1.8);
+  t.push_back(Duration::seconds(200), 1.8);
+  t.push_back(Duration::seconds(240), 0.5);
+  t.push_back(Duration::seconds(300), 0.5);
+  return t;
+}
+
+/// Runs a ServingLayer over the burst trace at a fixed capacity degree.
+ServingLayer run_layer(const TimeSeries& trace, ServingParams params,
+                       double degree) {
+  params.demand = &trace;
+  ServingLayer layer(params);
+  layer.set_capacity_degree(degree);
+  const Duration dt = Duration::seconds(1);
+  for (Duration now = Duration::zero(); now < trace.end_time(); now += dt) {
+    layer.tick(now, dt);
+  }
+  return layer;
+}
+
+TEST(ServingLayer, AdmissionDropsBeyondCapacityHeadroom) {
+  const TimeSeries trace = burst_trace();
+  ServingParams tight;
+  tight.admit_factor = 1.0;  // no queueing headroom
+  const ServingLayer capped = run_layer(trace, tight, 1.0);
+  EXPECT_GT(capped.dropped_total(), 0u);
+  EXPECT_GT(capped.drop_fraction(), 0.0);
+  EXPECT_GT(capped.offered_total(), capped.dropped_total());
+
+  // More admission headroom admits more (queueing instead of dropping),
+  // which buys a lower drop rate at the cost of latency.
+  ServingParams loose;
+  loose.admit_factor = 4.0;
+  const ServingLayer queued = run_layer(trace, loose, 1.0);
+  EXPECT_LT(queued.drop_fraction(), capped.drop_fraction());
+  EXPECT_GE(queued.latency().p99(), capped.latency().p99());
+
+  obs::MetricsRegistry registry;
+  capped.export_metrics(registry);
+  EXPECT_DOUBLE_EQ(registry.counter("serving_offered_total").value(),
+                   static_cast<double>(capped.offered_total()));
+  EXPECT_GT(registry.gauge("serving_drop_fraction").value(), 0.0);
+}
+
+TEST(ServingLayer, MoreCapacityMeansLowerTail) {
+  const TimeSeries trace = burst_trace();
+  const ServingLayer base = run_layer(trace, {}, 1.0);
+  const ServingLayer sprinted = run_layer(trace, {}, 2.0);
+  // Same arrival stream (same seed), twice the service rate: the tail must
+  // come down. This is the serving-side mechanism fig12 sweeps.
+  EXPECT_LT(sprinted.latency().p99(), base.latency().p99());
+  EXPECT_LE(sprinted.backlog_total(), base.backlog_total());
+}
+
+TEST(ServingLayer, HistogramsAreBitIdenticalAcrossRuns) {
+  const TimeSeries trace = burst_trace();
+  for (const char* model : {"mg1", "ps"}) {
+    for (const char* placement : {"round_robin", "jsq", "thermal"}) {
+      ServingParams params;
+      params.queue_model = model;
+      params.placement = placement;
+      const ServingLayer a = run_layer(trace, params, 1.5);
+      const ServingLayer b = run_layer(trace, params, 1.5);
+      EXPECT_TRUE(a.latency().total() == b.latency().total())
+          << model << "/" << placement;
+      EXPECT_EQ(a.offered_total(), b.offered_total());
+      EXPECT_EQ(a.dropped_total(), b.dropped_total());
+    }
+  }
+}
+
+TEST(ServingLayer, SweepRowsBitIdenticalAcrossThreadCounts) {
+  const TimeSeries trace = burst_trace();
+  exp::SweepSpec spec("serving_determinism");
+  spec.add_axis("model", std::vector<std::string>{"mg1", "ps"});
+  spec.add_axis("admit", std::vector<double>{1.0, 2.0, 4.0}, 0);
+
+  const auto task = [&trace](const exp::SweepSpec::Task& t) {
+    ServingParams params;
+    params.queue_model = t.level[0] == 0 ? "mg1" : "ps";
+    params.admit_factor = std::vector<double>{1.0, 2.0, 4.0}[t.level[1]];
+    const ServingLayer layer = run_layer(trace, params, 1.2);
+    return std::vector<double>{layer.latency().p50(), layer.latency().p99(),
+                               layer.drop_fraction(), layer.backlog_total()};
+  };
+  const std::vector<std::string> metrics{"p50", "p99", "drop", "backlog"};
+
+  exp::RunnerOptions serial;
+  serial.threads = 1;
+  exp::RunnerOptions parallel;
+  parallel.threads = 4;
+  const exp::SweepRun a = exp::run_sweep(spec, metrics, task, serial);
+  const exp::SweepRun b = exp::run_sweep(spec, metrics, task, parallel);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i], b.rows[i]) << "task " << i;
+  }
+}
+
+TEST(ServingLayer, SloCallbackSeesWindowP99AndRecorderChannels) {
+  const TimeSeries trace = burst_trace();
+  ServingParams params;
+  params.demand = &trace;
+  ServingLayer layer(params);
+  layer.set_capacity_degree(1.0);
+
+  sim::Recorder recorder;
+  layer.set_recorder(&recorder);
+  std::size_t callbacks = 0;
+  double max_p99 = 0.0;
+  layer.set_slo_callback([&](const ServingStats& stats) {
+    ++callbacks;
+    max_p99 = std::max(max_p99, stats.p99_s);
+    EXPECT_EQ(stats.offered, stats.admitted + stats.dropped);
+  });
+
+  const Duration dt = Duration::seconds(1);
+  std::size_t ticks = 0;
+  for (Duration now = Duration::zero(); now < trace.end_time(); now += dt) {
+    layer.tick(now, dt);
+    ++ticks;
+  }
+  EXPECT_EQ(callbacks, ticks);
+  EXPECT_GT(max_p99, 0.0);
+  for (const char* channel :
+       {"serving_p50_ms", "serving_p99_ms", "serving_p999_ms",
+        "serving_window_p99_ms", "serving_backlog", "serving_dropped",
+        "serving_admitted"}) {
+    ASSERT_TRUE(recorder.has(channel)) << channel;
+    EXPECT_EQ(recorder.series(channel).size(), ticks) << channel;
+  }
+
+  // Parameter validation.
+  EXPECT_THROW((void)ServingLayer(ServingParams{}), std::invalid_argument);
+  ServingParams bad;
+  bad.demand = &trace;
+  bad.servers = 0;
+  EXPECT_THROW((void)ServingLayer(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs::serving

@@ -23,6 +23,11 @@
 //   --chaos-seed=N         chaos RNG seed
 //   --chaos-kill-limit=N   disarm chaos after N kills (0 = unlimited)
 //   --report=PATH          report path (default WORKDIR/dispatch_report.json)
+//   --resume-report=PATH   resume a degraded run: seed the merged sweep
+//                          checkpoints named in PATH (a prior run's
+//                          dispatch_report.json) into the new shard dirs, so
+//                          only the report's missing task indices are
+//                          recomputed; shards with nothing pending never spawn
 //   --quiet                suppress supervision diagnostics
 //
 // SIGINT/SIGTERM drain cleanly: SIGTERM is forwarded to the workers, which
@@ -71,7 +76,8 @@ void usage(std::ostream& out) {
          "[--grace=S]\n"
          "                      [--chaos-kill-prob=P] [--chaos-seed=N] "
          "[--chaos-kill-limit=N]\n"
-         "                      [--report=PATH] [--quiet] -- <command...>\n";
+         "                      [--report=PATH] [--resume-report=PATH] "
+         "[--quiet] -- <command...>\n";
 }
 
 bool parse_value_flag(const char* arg, const char* prefix, std::string* out) {
@@ -138,7 +144,9 @@ int main(int argc, char** argv) {
                  parse_double_flag(arg, "--chaos-kill-prob=",
                                    &options.chaos_kill_prob) ||
                  parse_value_flag(arg, "--dir=", &options.work_dir) ||
-                 parse_value_flag(arg, "--report=", &report_path)) {
+                 parse_value_flag(arg, "--report=", &report_path) ||
+                 parse_value_flag(arg, "--resume-report=",
+                                  &options.resume_report_path)) {
         // handled
       } else if (parse_size_flag(arg, "--chaos-seed=", &chaos_seed)) {
         have_chaos_seed = true;

@@ -1,17 +1,28 @@
 // CI perf-regression gate. Usage:
 //
-//   perf_gate <fresh.json> <baseline.json> [--max-regress=0.20]
+//   perf_gate <fresh.json> <baseline.json | baseline-dir/> [--max-regress=0.20]
 //             [--min-us=50] [--warn-only]
 //
 // Both files may be repo BENCH_*.json perf records or google-benchmark
-// --benchmark_out JSON. Exit codes: 0 = no regression (or baseline file
-// missing — first-run warming, prints a warning), 1 = at least one scope
+// --benchmark_out JSON. When the baseline argument is a *directory*, every
+// `*.json` inside it is loaded in filename order (name baselines so
+// lexicographic == chronological, e.g. `0001.json` or dated stamps): the
+// newest gates exactly as a single-file baseline would, the older ones feed
+// a drift table showing how each scope moved across the whole window. An
+// empty directory behaves like a missing baseline file — warn and pass so
+// the first CI run can bootstrap the history.
+//
+// Exit codes: 0 = no regression (or baseline file missing / directory
+// empty — first-run warming, prints a warning), 1 = at least one scope
 // regressed beyond the threshold, 2 = usage or unreadable/invalid input.
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "exp/perf_gate.h"
 #include "util/json.h"
@@ -19,7 +30,7 @@
 namespace {
 
 void usage(std::ostream& out) {
-  out << "usage: perf_gate <fresh.json> <baseline.json>\n"
+  out << "usage: perf_gate <fresh.json> <baseline.json | baseline-dir/>\n"
          "                 [--max-regress=FRACTION] [--min-us=US] "
          "[--warn-only]\n";
 }
@@ -66,6 +77,39 @@ int main(int argc, char** argv) {
     if (fresh_path.empty() || baseline_path.empty()) {
       usage(std::cerr);
       return 2;
+    }
+
+    namespace fs = std::filesystem;
+    // Trend mode: a baseline directory holds the history, filename order is
+    // chronological, the newest file gates and the rest show drift.
+    if (fs::is_directory(baseline_path)) {
+      std::vector<std::string> paths;
+      for (const fs::directory_entry& entry :
+           fs::directory_iterator(baseline_path)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json") {
+          paths.push_back(entry.path().string());
+        }
+      }
+      if (paths.empty()) {
+        std::cout << "perf_gate: baseline directory " << baseline_path
+                  << " has no *.json records; skipping comparison (record a "
+                     "baseline to arm the gate)\n";
+        return 0;
+      }
+      std::sort(paths.begin(), paths.end());
+      std::vector<dcs::exp::PerfTrendBaseline> baselines;
+      for (const std::string& path : paths) {
+        baselines.push_back(
+            {fs::path(path).stem().string(),
+             dcs::exp::perf_scope_times_us(dcs::json::parse_file(path))});
+      }
+      const auto fresh =
+          dcs::exp::perf_scope_times_us(dcs::json::parse_file(fresh_path));
+      const dcs::exp::PerfTrendResult trend =
+          dcs::exp::perf_trend(baselines, fresh, options);
+      dcs::exp::write_perf_trend_report(std::cout, trend, options);
+      return trend.ok() ? 0 : 1;
     }
 
     // A missing baseline is the expected first-run state: warn and pass so
