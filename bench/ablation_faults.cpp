@@ -129,7 +129,8 @@ Outcome run_scenario(const DataCenterConfig& config, const TimeSeries& trace,
 int main(int argc, char** argv) {
   const Config args = bench::parse_args(argc, argv, {"seeds"});
   bench::obs_setup(args);
-  const bool tracing = !args.get_string("trace", "").empty();
+  bench::telemetry_setup(args, "ablation_faults");
+  const bool tracing = bench::tracing_enabled(args);
 
   workload::YahooTraceParams yp;
   yp.burst_degree = 3.2;
@@ -300,6 +301,7 @@ int main(int argc, char** argv) {
                  nullptr, &metrics);
   }
   bench::maybe_export_obs(args, "ablation_faults", &tracer, &metrics);
+  bench::telemetry_finish(args, tracing ? &tracer : nullptr, &metrics);
   std::cerr << "[exp] "
             << grid_run.rows.size() + unc_run.rows.size() +
                    surv_run.rows.size()

@@ -23,9 +23,11 @@
 #include "exp/sweep.h"
 #include "obs/counters.h"
 #include "obs/metrics.h"
+#include "obs/perfetto.h"
 #include "obs/profile.h"
 #include "obs/sampler.h"
 #include "obs/sink.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/config.h"
 #include "util/time_series.h"
@@ -38,10 +40,11 @@ namespace dcs::bench {
 /// of every grid) and the observability knobs (trace=<dir> for Chrome
 /// trace JSON + JSONL, sink=buffer|stream to pick the in-memory Tracer or
 /// the bounded-memory streaming sinks, metrics=<dir> for CSV/JSON/
-/// Prometheus snapshots).
+/// Prometheus snapshots, telemetry=<path> for the worker telemetry stream
+/// a supervising dispatcher tails and merges — see obs/telemetry.h).
 inline constexpr std::string_view kCommonKeys[] = {
     "pdus", "dc_headroom", "pue", "csv", "perf", "threads", "trace",
-    "metrics", "sink", "checkpoint", "shard"};
+    "metrics", "sink", "checkpoint", "shard", "telemetry"};
 
 /// Default recorder channels bridged into Perfetto counter tracks by the
 /// traced benches: physical state (state of charge, breaker trip margin,
@@ -68,6 +71,44 @@ inline Config parse_args(int argc, char** argv,
               << "\nusage: " << argv[0] << " [key=value ...]\n";
     std::exit(2);
   }
+}
+
+namespace detail {
+inline std::unique_ptr<obs::TelemetrySink>& telemetry_slot() {
+  static std::unique_ptr<obs::TelemetrySink> slot;
+  return slot;
+}
+}  // namespace detail
+
+/// The process-global telemetry stream, or null when telemetry= was not
+/// given (telemetry_setup not called / no-op).
+inline obs::TelemetrySink* telemetry_sink() {
+  return detail::telemetry_slot().get();
+}
+
+/// Opens the worker telemetry stream under telemetry=<path> (appended by
+/// dispatch_sweep --telemetry) and turns the wall-clock profiler on so the
+/// stream carries wall spans for the cross-process timeline. Call once
+/// near the top of main(), right after obs_setup.
+inline void telemetry_setup(const Config& args, const std::string& name) {
+  const std::string path = args.get_string("telemetry", "");
+  if (path.empty()) return;
+  obs::TelemetryOptions options;
+  options.name = name;
+  options.shard = args.get_string("shard", "");
+  detail::telemetry_slot() =
+      std::make_unique<obs::TelemetrySink>(path, options);
+  if (!telemetry_sink()->ok()) {
+    std::cerr << "[obs] cannot write telemetry stream " << path << "\n";
+  }
+  obs::Profiler::instance().set_enabled(true);
+}
+
+/// Whether this run should record sim trace events: a trace= export wants
+/// them, and so does a telemetry stream (they are its "ev" payload).
+inline bool tracing_enabled(const Config& args) {
+  return !args.get_string("trace", "").empty() ||
+         !args.get_string("telemetry", "").empty();
 }
 
 /// Worker threads for the sweep runner (threads=<n>; 0 = all hardware).
@@ -153,6 +194,15 @@ inline exp::RunnerOptions runner_options(const Config& args,
   options.stop = &shutdown_requested();
   const std::string shard = args.get_string("shard", "");
   if (!shard.empty()) options.shard = parse_shard(shard);
+  if (obs::TelemetrySink* telemetry = telemetry_sink();
+      telemetry != nullptr) {
+    // Heartbeats flow from the runner's worker threads into the telemetry
+    // stream, where a supervising dispatcher tails them for live progress.
+    options.on_progress = [telemetry, sweep = spec.name()](
+                              std::size_t done, std::size_t total) {
+      telemetry->heartbeat(sweep, done, total);
+    };
+  }
   return options;
 }
 
@@ -239,11 +289,14 @@ inline void obs_setup(const Config& args) {
 
 /// Streaming trace sinks for one bench (sink=stream under trace=<dir>):
 /// the merged event stream tees into `<dir>/<name>_trace.json` (Chrome,
-/// crash-safe) and `<dir>/<name>_trace.jsonl` with bounded memory. Default
-/// (sink=buffer) keeps the in-memory Tracer path.
+/// crash-safe), `<dir>/<name>_trace.jsonl` and the Perfetto protobuf
+/// stream `<dir>/<name>_trace.perfetto` (trace_processor-queryable) with
+/// bounded memory; an open telemetry stream joins the tee so its events
+/// flow live. Default (sink=buffer) keeps the in-memory Tracer path.
 struct StreamTraceSinks {
   std::unique_ptr<obs::ChromeStreamSink> chrome;
   std::unique_ptr<obs::JsonlStreamSink> jsonl;
+  std::unique_ptr<obs::PerfettoStreamSink> perfetto;
   std::unique_ptr<obs::TeeSink> tee;
 
   [[nodiscard]] bool active() const noexcept { return tee != nullptr; }
@@ -255,7 +308,8 @@ struct StreamTraceSinks {
     if (diag != nullptr) {
       for (const obs::FileStreamSink* s :
            {static_cast<const obs::FileStreamSink*>(chrome.get()),
-            static_cast<const obs::FileStreamSink*>(jsonl.get())}) {
+            static_cast<const obs::FileStreamSink*>(jsonl.get()),
+            static_cast<const obs::FileStreamSink*>(perfetto.get())}) {
         if (s->ok()) {
           *diag << "[obs] streamed " << s->events_written() << " events to "
                 << s->path() << "\n";
@@ -284,8 +338,15 @@ inline StreamTraceSinks maybe_stream_sinks(const Config& args,
       trace_dir + "/" + name + "_trace.json");
   sinks.jsonl = std::make_unique<obs::JsonlStreamSink>(
       trace_dir + "/" + name + "_trace.jsonl");
-  sinks.tee = std::make_unique<obs::TeeSink>(
-      std::vector<obs::TraceSink*>{sinks.chrome.get(), sinks.jsonl.get()});
+  sinks.perfetto = std::make_unique<obs::PerfettoStreamSink>(
+      trace_dir + "/" + name + "_trace.perfetto");
+  std::vector<obs::TraceSink*> children{sinks.chrome.get(), sinks.jsonl.get(),
+                                        sinks.perfetto.get()};
+  if (obs::TelemetrySink* telemetry = telemetry_sink();
+      telemetry != nullptr) {
+    children.push_back(telemetry);  // finalize() only flushes it
+  }
+  sinks.tee = std::make_unique<obs::TeeSink>(std::move(children));
   return sinks;
 }
 
@@ -313,6 +374,34 @@ inline void maybe_export_obs(const Config& args, const std::string& name,
   if (!metrics_dir.empty() && metrics != nullptr) {
     obs::export_metrics(metrics_dir, name, *metrics, &std::cout);
   }
+}
+
+/// Seals the worker's telemetry stream; call after maybe_export_obs, as
+/// the bench's last observability step. For a buffered tracer, replays its
+/// lane names and events into the stream (a streaming tracer already teed
+/// them live); folds in wall spans that no trace= export collected, then
+/// appends the metric snapshot, the sampler's folded stacks and the end
+/// marker. No-op without telemetry=.
+inline void telemetry_finish(const Config& args, obs::Tracer* tracer = nullptr,
+                             const obs::MetricsRegistry* metrics = nullptr) {
+  obs::TelemetrySink* telemetry = telemetry_sink();
+  if (telemetry == nullptr) return;
+  if (tracer != nullptr && tracer->sink() == nullptr) {
+    if (args.get_string("trace", "").empty()) {
+      // telemetry= without trace=: nothing collected the profiler yet.
+      obs::export_to(*tracer, obs::Profiler::instance().collect());
+    }
+    for (const auto& [key, name] : tracer->lane_names()) {
+      telemetry->write_lane_name(key.first, key.second, name);
+    }
+    for (const obs::TraceEvent& event : tracer->events()) {
+      telemetry->write(event);
+    }
+  }
+  if (metrics != nullptr) telemetry->write_metrics(*metrics);
+  const obs::FoldedStacks folded = obs::Sampler::instance().folded();
+  if (!folded.empty()) telemetry->write_stacks(folded);
+  telemetry->close();
 }
 
 }  // namespace dcs::bench

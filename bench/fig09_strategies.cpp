@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   const Config args = bench::parse_args(argc, argv, {"faults"});
   const std::size_t threads = bench::bench_threads(args);
   bench::obs_setup(args);
-  const bool tracing = !args.get_string("trace", "").empty();
+  bench::telemetry_setup(args, "fig09_strategies");
+  const bool tracing = bench::tracing_enabled(args);
   const bool faulted = args.get_int("faults", 0) != 0;
   const DataCenter dc(bench::bench_config(args));
   const TimeSeries trace = workload::generate_ms_trace();
@@ -150,6 +151,7 @@ int main(int argc, char** argv) {
   bench::maybe_export_sweep(args, spec, run, summary);
   bench::maybe_export_obs(args, "fig09_strategies", tracing ? &tracer : nullptr,
                           nullptr, &stream);
+  bench::telemetry_finish(args, tracing ? &tracer : nullptr);
   std::cerr << "[exp] " << run.rows.size() << " tasks in "
             << format_double(run.wall_seconds, 2) << " s on "
             << run.threads_used << " thread(s)\n";

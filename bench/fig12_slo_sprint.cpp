@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
       argc, argv, {"slo", "queue_model", "placement", "rps", "servers",
                    "admit"});
   bench::obs_setup(args);
-  const bool tracing = !args.get_string("trace", "").empty();
+  bench::telemetry_setup(args, "fig12_slo_sprint");
+  const bool tracing = bench::tracing_enabled(args);
 
   const double slo_ms = args.get_double("slo", 250.0);
   serving::ServingParams base_serving;
@@ -263,6 +264,7 @@ int main(int argc, char** argv) {
                           args.get_string("metrics", "").empty() ? nullptr
                                                                  : &metrics,
                           &stream);
+  bench::telemetry_finish(args, tracing ? &tracer : nullptr, &metrics);
   std::cerr << "[exp] " << budget_run.rows.size() + admit_run.rows.size()
             << " tasks in "
             << format_double(budget_run.wall_seconds + admit_run.wall_seconds,

@@ -17,6 +17,10 @@ const Power kPowerEps = Power::watts(1e-6);
 /// (the ladder's kSprintEnded rung); milder faults shed degree instead.
 constexpr double kSevereFaultSeverity = 0.5;
 
+/// Release band of the trip-margin watch edge: once low, the margin must
+/// recover past watch * this factor before a recovered instant fires.
+constexpr double kMarginReleaseFactor = 1.25;
+
 }  // namespace
 
 std::string_view to_string(Mode mode) noexcept {
@@ -62,6 +66,9 @@ SprintingController::SprintingController(const DataCenterConfig& config,
   DCS_REQUIRE(deps_.room != nullptr, "controller needs a room model");
   DCS_REQUIRE(mode_ != Mode::kControlled || strategy_ != nullptr,
               "controlled mode needs a strategy");
+  dc_rated_ = config_.dc_rated();
+  pdu_rated_ = config_.pdu_rated();
+  fleet_peak_sprint_ = config_.fleet_peak_sprint();
 
   // Total additional-energy budget EB_tot (Section V-A): stored UPS energy,
   // the chiller electrical energy the TES can displace, and the transient
@@ -79,7 +86,7 @@ SprintingController::SprintingController(const DataCenterConfig& config,
 
 Power SprintingController::power_per_degree() const {
   const Power normal = config_.fleet_peak_normal();
-  const Power sprint = config_.fleet_peak_sprint();
+  const Power sprint = fleet_peak_sprint_;
   const double span =
       deps_.fleet->server().chip().max_sprint_degree() - 1.0;
   DCS_ENSURE(span > 0.0, "chip has no dark cores to sprint with");
@@ -94,9 +101,9 @@ Energy SprintingController::cb_budget_estimate() const {
   const double c = config_.trip_curve.thermal_coeff_s;
   const double t_plan = Duration::minutes(10).sec();
   const double factor = std::sqrt(c * t_plan);
-  const Power pdu_total = config_.pdu_rated() *
+  const Power pdu_total = pdu_rated_ *
                           static_cast<double>(deps_.topology->pdu_count());
-  const Power binding = std::min(config_.dc_rated(), pdu_total);
+  const Power binding = std::min(dc_rated_, pdu_total);
   return Energy::joules(binding.w() * factor);
 }
 
@@ -303,7 +310,7 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
     if (grid_limited_) generator_->request_start();
     generator_->tick(dt);
   }
-  grid_cap_ = config_.dc_rated() * supply +
+  grid_cap_ = dc_rated_ * supply +
               (generator_ != nullptr ? generator_->available() : Power::zero());
 
   // The controller plans on *measured* values; the plant commits the true
@@ -356,7 +363,7 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
   // the watchdog still sees the true room state.
   if (active && !sprint_terminated_) {
     const Power max_gap =
-        config_.fleet_peak_sprint() - deps_.cooling->thermal_capacity();
+        fleet_peak_sprint_ - deps_.cooling->thermal_capacity();
     if (deps_.room->time_to_threshold_from(Temperature::celsius(measured_rise_c),
                                            max_gap) <= dt) {
       sprint_terminated_ = true;
@@ -433,9 +440,9 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
         op.fleet_total, false, Power::zero());
     const Power dc_used = op.per_pdu * n + nominal_cooling;
     Power dc_room =
-        config_.dc_rated() > dc_used ? config_.dc_rated() - dc_used : Power::zero();
-    const Power pdu_room = config_.pdu_rated() > op.per_pdu
-                               ? config_.pdu_rated() - op.per_pdu
+        dc_rated_ > dc_used ? dc_rated_ - dc_used : Power::zero();
+    const Power pdu_room = pdu_rated_ > op.per_pdu
+                               ? pdu_rated_ - op.per_pdu
                                : Power::zero();
     const Power ups_recharge = std::min(pdu_room, dc_room / n);
     dc_room -= ups_recharge * n;
@@ -660,11 +667,11 @@ StepResult SprintingController::step_dvfs(double demand, Duration dt) {
   };
   const auto fits = [&](double f) {
     const Power per_pdu = server_power(f) * servers;
-    if (per_pdu > config_.pdu_rated()) return false;
+    if (per_pdu > pdu_rated_) return false;
     const Power fleet_power = per_pdu * n_pdus;
     const Power cooling = deps_.cooling->electrical_projection(
         fleet_power, false, Power::zero());
-    return fleet_power + cooling <= config_.dc_rated();
+    return fleet_power + cooling <= dc_rated_;
   };
 
   double f = 1.0;
@@ -749,22 +756,33 @@ void SprintingController::trace_transitions(Duration now,
     prev_phase_ = result.phase;
   }
 
-  const bool dc_overload = result.dc_load > config_.dc_rated() + kPowerEps;
+  const bool dc_overload = result.dc_load > dc_rated_ + kPowerEps;
   if (dc_overload != prev_dc_overload_) {
     tracer_->instant(now, "controller",
                      dc_overload ? "dc-overload-enter" : "dc-overload-exit",
                      {obs::arg("dc_load_w", result.dc_load.w()),
-                      obs::arg("rated_w", config_.dc_rated().w())});
+                      obs::arg("rated_w", dc_rated_.w())});
     prev_dc_overload_ = dc_overload;
   }
 
   // Remaining-trip-time margin on the substation breaker: crossing below
   // twice the governor's reserve is the early warning that the shrinking
-  // overload bound is about to bind.
-  const Duration margin =
-      deps_.topology->dc_breaker().time_to_trip_at(result.dc_load);
-  const bool margin_low = !margin.is_infinite() && margin < config_.cb_reserve * 2.0;
+  // overload bound is about to bind. Two guards keep this off the hot
+  // path: the inline can_trip_at screen skips the curve lookup while the
+  // load is pinned at or below the no-trip boundary (the common case),
+  // and a Schmitt-trigger release band stops the edge from chattering —
+  // the governor holds the load right where the margin hovers at the
+  // watch threshold, which would otherwise toggle an instant every tick.
+  const power::CircuitBreaker& dc_breaker = deps_.topology->dc_breaker();
+  bool margin_low = false;
+  if (dc_breaker.can_trip_at(result.dc_load)) {
+    const Duration watch = config_.cb_reserve * 2.0;
+    margin_low = dc_breaker.trips_within(
+        result.dc_load,
+        prev_margin_low_ ? watch * kMarginReleaseFactor : watch);
+  }
   if (margin_low != prev_margin_low_) {
+    const Duration margin = dc_breaker.time_to_trip_at(result.dc_load);
     tracer_->instant(now, "controller",
                      margin_low ? "trip-margin-low" : "trip-margin-recovered",
                      {obs::arg("margin_s", margin.is_infinite()
@@ -801,13 +819,13 @@ void SprintingController::account(const StepResult& result, Duration dt) {
   phase_time_[static_cast<std::size_t>(result.phase)] += dt;
   tes_saved_ += result.tes_relief * dt;
   const Power pdu_rated_total =
-      config_.pdu_rated() * static_cast<double>(deps_.topology->pdu_count());
+      pdu_rated_ * static_cast<double>(deps_.topology->pdu_count());
   const Power pdu_grid = result.dc_load - result.cooling_power;
   if (pdu_grid > pdu_rated_total) {
     pdu_overload_ += (pdu_grid - pdu_rated_total) * dt;
   }
-  if (result.dc_load > config_.dc_rated()) {
-    dc_overload_ += (result.dc_load - config_.dc_rated()) * dt;
+  if (result.dc_load > dc_rated_) {
+    dc_overload_ += (result.dc_load - dc_rated_) * dt;
   }
 }
 

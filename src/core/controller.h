@@ -207,6 +207,12 @@ class SprintingController {
   Deps deps_;
   Strategy* strategy_;
   Mode mode_;
+  /// Cached config-derived ratings: the DataCenterConfig accessors build a
+  /// throwaway compute::Fleet per call, far too heavy for the per-tick
+  /// paths (grid cap, feasibility checks, overload accounting, tracing).
+  Power dc_rated_;
+  Power pdu_rated_;
+  Power fleet_peak_sprint_;
   compute::DvfsModel dvfs_{};
   const TimeSeries* supply_fraction_ = nullptr;
   power::DieselGenerator* generator_ = nullptr;

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -20,6 +21,9 @@
 
 #include "exp/checkpoint.h"
 #include "exp/runner.h"
+#include "exp/timeline.h"
+#include "obs/profile.h"
+#include "obs/telemetry.h"
 #include "util/check.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -74,15 +78,26 @@ std::uint64_t checkpoint_bytes(const std::string& dir) {
   return total;
 }
 
-/// Spawns one worker: command + `shard=i/N checkpoint=<dir>`, stdout and
-/// stderr redirected to an attempt log. Returns -1 when fork fails.
+/// Per-attempt telemetry stream path; zero-padded so a lexical sort of the
+/// shard dir lists attempts in order (the timeline merge relies on this).
+std::string telemetry_path(const std::string& dir, std::size_t attempt) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04zu", attempt);
+  return dir + "/telemetry_" + buf + ".jsonl";
+}
+
+/// Spawns one worker: command + `shard=i/N checkpoint=<dir>` (and
+/// `telemetry=<path>` when streaming), stdout and stderr redirected to an
+/// attempt log. Returns -1 when fork fails.
 pid_t spawn_worker(const std::vector<std::string>& command, std::size_t shard,
                    std::size_t shards, const std::string& dir,
-                   const std::string& log_path) {
+                   const std::string& log_path,
+                   const std::string& telemetry) {
   std::vector<std::string> argv_strings = command;
   argv_strings.push_back("shard=" + std::to_string(shard) + "/" +
                          std::to_string(shards));
   argv_strings.push_back("checkpoint=" + dir);
+  if (!telemetry.empty()) argv_strings.push_back("telemetry=" + telemetry);
 
   const pid_t pid = ::fork();
   if (pid != 0) return pid;  // parent (or fork failure: -1)
@@ -118,6 +133,12 @@ struct Worker {
   /// Why the supervisor killed the current attempt ("" = it was not us).
   std::string kill_reason;
   std::vector<AttemptResult> attempts;
+  /// Telemetry mode: tail of the current attempt's stream.
+  std::unique_ptr<obs::TelemetryTail> tail;
+  /// Last heartbeat across attempts + the status tick's rate baseline.
+  std::size_t tasks_done = 0;
+  std::size_t tasks_total = 0;
+  std::size_t status_done = 0;
 
   [[nodiscard]] bool live() const noexcept {
     return state == State::kPending || state == State::kRunning ||
@@ -155,6 +176,21 @@ class Dispatcher {
     if (options_.log != nullptr) *options_.log << "[dispatch] " << line << "\n";
   }
 
+  /// Dispatcher self-telemetry: one wall-clock instant in the supervision
+  /// stream (spawn/exit/kill/restart/merge), so the merged timeline shows
+  /// what the supervisor did between worker attempts.
+  void note(const std::string& name, std::vector<obs::TraceArg> args) {
+    if (self_ == nullptr) return;
+    obs::TraceEvent e;
+    e.domain = obs::Domain::kWall;
+    e.phase = 'i';
+    e.ts_us = obs::Profiler::instance().now_us();
+    e.cat = "dispatch";
+    e.name = name;
+    e.args = std::move(args);
+    self_->write(e);
+  }
+
   void prepare() {
     workers_.resize(options_.shards);
     for (std::size_t i = 0; i < options_.shards; ++i) {
@@ -166,6 +202,64 @@ class Dispatcher {
                            shard_dir(options_.work_dir, i) + ": " +
                            ec.message());
     }
+    if (options_.telemetry) {
+      obs::TelemetryOptions topt;
+      topt.name = "dispatcher";
+      self_ = std::make_unique<obs::TelemetrySink>(
+          options_.work_dir + "/dispatcher_telemetry.jsonl", topt);
+      self_->write_lane_name(obs::Domain::kWall, 0, "supervisor");
+      last_status_ = Clock::now();
+    }
+  }
+
+  /// Drains a worker's telemetry stream and records its latest heartbeat.
+  void poll_tail(Worker& w) {
+    if (w.tail == nullptr || !w.tail->poll()) return;
+    if (w.tail->have_heartbeat()) {
+      w.tasks_done = w.tail->heartbeat().done;
+      w.tasks_total = w.tail->heartbeat().total;
+    }
+  }
+
+  /// Aggregated per-shard status line: done/total, throughput since the
+  /// previous tick, ETA at that rate, restart counts.
+  void status_tick() {
+    if (self_ == nullptr || options_.log == nullptr ||
+        options_.status_interval_s <= 0.0) {
+      return;
+    }
+    const double elapsed = seconds_since(last_status_);
+    if (elapsed < options_.status_interval_s) return;
+    last_status_ = Clock::now();
+    std::ostringstream line;
+    line << "status:";
+    for (Worker& w : workers_) {
+      line << " shard" << w.shard << "=";
+      switch (w.state) {
+        case Worker::State::kRunning: {
+          const double rate =
+              static_cast<double>(w.tasks_done - w.status_done) / elapsed;
+          line << w.tasks_done << "/" << w.tasks_total;
+          if (rate > 0.0 && w.tasks_total >= w.tasks_done) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), " (%.1f/s, eta %.0fs)", rate,
+                          static_cast<double>(w.tasks_total - w.tasks_done) /
+                              rate);
+            line << buf;
+          }
+          break;
+        }
+        case Worker::State::kBackoff:
+          line << "backoff";
+          break;
+        default:
+          line << state_name(w.state);
+          break;
+      }
+      if (w.restarts > 0) line << " restarts=" << w.restarts;
+      w.status_done = w.tasks_done;
+    }
+    log(line.str());
   }
 
   /// Resume support: seed every cleanly merged sweep checkpoint from a prior
@@ -245,10 +339,16 @@ class Dispatcher {
 
   void start(Worker& w) {
     const std::string dir = shard_dir(options_.work_dir, w.shard);
+    const std::size_t attempt = w.attempts.size() + 1;
     const std::string log_path =
-        dir + "/attempt_" + std::to_string(w.attempts.size() + 1) + ".log";
+        dir + "/attempt_" + std::to_string(attempt) + ".log";
+    const std::string telemetry =
+        options_.telemetry ? telemetry_path(dir, attempt) : "";
     w.pid = spawn_worker(options_.command, w.shard, options_.shards, dir,
-                         log_path);
+                         log_path, telemetry);
+    w.tail = telemetry.empty()
+                 ? nullptr
+                 : std::make_unique<obs::TelemetryTail>(telemetry);
     w.kill_reason.clear();
     w.attempt_start = w.last_progress = Clock::now();
     w.last_bytes = checkpoint_bytes(dir);
@@ -267,6 +367,9 @@ class Dispatcher {
     log("shard " + std::to_string(w.shard) + ": attempt " +
         std::to_string(w.attempts.size() + 1) + " started (pid " +
         std::to_string(w.pid) + ")");
+    note("spawn", {obs::arg("shard", static_cast<double>(w.shard)),
+                   obs::arg("attempt", static_cast<double>(attempt)),
+                   obs::arg("pid", static_cast<double>(w.pid))});
   }
 
   void schedule_restart(Worker& w, bool chaos) {
@@ -299,10 +402,14 @@ class Dispatcher {
         std::to_string(w.restarts) + "/" +
         std::to_string(options_.max_restarts) + " in " +
         std::to_string(delay) + " s");
+    note("restart", {obs::arg("shard", static_cast<double>(w.shard)),
+                     obs::arg("restarts", static_cast<double>(w.restarts)),
+                     obs::arg("backoff_s", delay)});
   }
 
   /// Reaps an exited worker and routes it to completed/backoff/failed.
   void handle_exit(Worker& w, int status) {
+    poll_tail(w);  // drain the attempt's final telemetry lines
     AttemptResult attempt;
     attempt.wall_s = seconds_since(w.attempt_start);
     attempt.checkpoint_bytes =
@@ -321,6 +428,11 @@ class Dispatcher {
     }
     w.attempts.push_back(attempt);
     w.pid = -1;
+    note("exit", {obs::arg("shard", static_cast<double>(w.shard)),
+                  obs::arg("outcome", attempt.outcome),
+                  obs::arg("exit_code", static_cast<double>(attempt.exit_code)),
+                  obs::arg("signal",
+                           static_cast<double>(attempt.term_signal))});
 
     if (draining_) {
       // Whatever the exit status, a drain ends the shard here; the
@@ -345,6 +457,9 @@ class Dispatcher {
   void kill_worker(Worker& w, const std::string& reason, int sig) {
     w.kill_reason = reason;
     ::kill(w.pid, sig);
+    note("kill", {obs::arg("shard", static_cast<double>(w.shard)),
+                  obs::arg("reason", reason),
+                  obs::arg("signal", static_cast<double>(sig))});
     log("shard " + std::to_string(w.shard) + ": " + reason + ", sent " +
         (sig == SIGKILL ? "SIGKILL" : "SIGTERM") + " to pid " +
         std::to_string(w.pid));
@@ -372,6 +487,7 @@ class Dispatcher {
       handle_exit(w, status);
       return;
     }
+    poll_tail(w);
     if (draining_) {
       if (seconds_since(drain_start_) > options_.grace_period_s) {
         ::kill(w.pid, SIGKILL);  // grace expired; checkpoint is still valid
@@ -427,6 +543,7 @@ class Dispatcher {
         any_live = any_live || w.live();
       }
       if (!any_live) return;
+      status_tick();
       std::this_thread::sleep_for(
           std::chrono::duration<double>(options_.poll_interval_s));
     }
@@ -494,17 +611,23 @@ class Dispatcher {
         log("merged " + name + ": " + std::to_string(sweep.rows) + "/" +
             std::to_string(sweep.task_count) + " rows -> " + sweep.path);
       }
+      note("merge", {obs::arg("sweep", sweep.sweep),
+                     obs::arg("rows", static_cast<double>(sweep.rows)),
+                     obs::arg("ok", sweep.error.empty())});
       report.merged.push_back(std::move(sweep));
     }
 
     bool all_completed = true;
-    for (const Worker& w : workers_) {
+    for (Worker& w : workers_) {
+      poll_tail(w);  // any lines flushed after the final supervision poll
       ShardStatus status;
       status.shard = w.shard;
       status.state = state_name(w.state);
       status.restarts = w.restarts;
       status.chaos_kills = w.chaos_kills;
       status.rows = shard_rows[w.shard];
+      status.tasks_done = w.tasks_done;
+      status.tasks_total = w.tasks_total;
       status.attempts = w.attempts;
       all_completed = all_completed && w.state == Worker::State::kCompleted;
       report.shard_status.push_back(std::move(status));
@@ -517,6 +640,19 @@ class Dispatcher {
     report.status = draining_              ? "interrupted"
                     : all_completed && all_merged ? "complete"
                                                   : "degraded";
+
+    // Timeline merge last: the dispatcher's own stream must be sealed
+    // before it becomes an input.
+    if (options_.telemetry) {
+      report.telemetry = true;
+      if (self_ != nullptr) self_->close();
+      TimelineOptions topt;
+      topt.work_dir = options_.work_dir;
+      topt.shards = options_.shards;
+      topt.log = options_.log;
+      report.timeline = merge_timeline(topt);
+      if (!report.timeline.ok()) log(report.timeline.error);
+    }
     return report;
   }
 
@@ -526,6 +662,8 @@ class Dispatcher {
   bool draining_ = false;
   Clock::time_point drain_start_;
   std::size_t total_chaos_kills_ = 0;
+  std::unique_ptr<obs::TelemetrySink> self_;
+  Clock::time_point last_status_;
 };
 
 void append_attempt_json(std::ostringstream& out, const AttemptResult& a) {
@@ -554,6 +692,7 @@ std::string dispatch_report_json(const DispatchReport& report) {
       << ", \"shards\": " << report.shards
       << ", \"chaos_kills\": " << report.chaos_kills
       << ", \"wall_s\": " << json::number_to_string(report.wall_s)
+      << ", \"telemetry\": " << (report.telemetry ? "true" : "false")
       << ",\n \"shard_status\": [";
   for (std::size_t i = 0; i < report.shard_status.size(); ++i) {
     const ShardStatus& s = report.shard_status[i];
@@ -561,7 +700,8 @@ std::string dispatch_report_json(const DispatchReport& report) {
         << ", \"state\": " << json_escape(s.state)
         << ", \"restarts\": " << s.restarts
         << ", \"chaos_kills\": " << s.chaos_kills << ", \"rows\": " << s.rows
-        << ", \"attempts\": [";
+        << ", \"tasks_done\": " << s.tasks_done
+        << ", \"tasks_total\": " << s.tasks_total << ", \"attempts\": [";
     for (std::size_t a = 0; a < s.attempts.size(); ++a) {
       out << (a == 0 ? "" : ", ");
       append_attempt_json(out, s.attempts[a]);
@@ -582,7 +722,21 @@ std::string dispatch_report_json(const DispatchReport& report) {
     if (!m.error.empty()) out << ", \"error\": " << json_escape(m.error);
     out << "}";
   }
-  out << "]}\n";
+  out << "]";
+  if (report.telemetry) {
+    const TimelineSummary& t = report.timeline;
+    out << ",\n \"timeline\": {\"sources\": " << t.sources
+        << ", \"aligned_sources\": " << t.aligned_sources
+        << ", \"events\": " << t.events << ", \"stacks\": " << t.stacks
+        << ", \"base_epoch_unix_us\": " << t.base_epoch_unix_us
+        << ", \"jsonl\": " << json_escape(t.jsonl_path)
+        << ", \"chrome\": " << json_escape(t.chrome_path)
+        << ", \"perfetto\": " << json_escape(t.perfetto_path)
+        << ", \"stacks_path\": " << json_escape(t.stacks_path);
+    if (!t.error.empty()) out << ", \"error\": " << json_escape(t.error);
+    out << "}";
+  }
+  out << "}\n";
   return out.str();
 }
 

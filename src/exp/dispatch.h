@@ -48,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/timeline.h"
+
 namespace dcs::exp {
 
 struct DispatchOptions {
@@ -92,6 +94,17 @@ struct DispatchOptions {
   /// std::invalid_argument (better to fail loudly than silently recompute
   /// the whole sweep).
   std::string resume_report_path;
+  /// Telemetry plane: each worker attempt gets
+  /// `telemetry=<shard_dir>/telemetry_<attempt>.jsonl` appended to its
+  /// command (obs::TelemetrySink stream), the dispatcher tails those
+  /// streams for live per-shard progress, writes its own supervision
+  /// stream to `<work_dir>/dispatcher_telemetry.jsonl`, and merges
+  /// everything into `<work_dir>/merged/timeline.*` (exp/timeline.h)
+  /// after the checkpoint merge.
+  bool telemetry = false;
+  /// Cadence of aggregated live status lines (seconds; needs `telemetry`
+  /// and `log`; 0 disables).
+  double status_interval_s = 5.0;
   /// Drain request (e.g. wired to a SIGINT/SIGTERM flag by the CLI): when
   /// it turns true the dispatcher forwards SIGTERM to every worker, waits
   /// out the grace period, merges what exists and reports "interrupted".
@@ -124,6 +137,10 @@ struct ShardStatus {
   std::size_t chaos_kills = 0;
   /// Rows present in this shard's checkpoint files at the end.
   std::size_t rows = 0;
+  /// Last telemetry progress heartbeat across all attempts (telemetry
+  /// mode; 0/0 when the worker never sent one).
+  std::size_t tasks_done = 0;
+  std::size_t tasks_total = 0;
   std::vector<AttemptResult> attempts;
 };
 
@@ -151,8 +168,12 @@ struct DispatchReport {
   std::size_t shards = 0;
   std::size_t chaos_kills = 0;
   double wall_s = 0.0;
+  /// True when the run streamed telemetry (timeline below is meaningful).
+  bool telemetry = false;
   std::vector<ShardStatus> shard_status;
   std::vector<MergedSweep> merged;
+  /// Cross-process timeline merge result (telemetry mode only).
+  TimelineSummary timeline;
 
   [[nodiscard]] bool complete() const noexcept {
     return status == "complete";

@@ -57,6 +57,11 @@ struct RunnerOptions {
   /// and checkpoint — normally. The run returns with `drained == true` and
   /// the unexecuted slots empty, leaving a resumable checkpoint behind.
   const std::atomic<bool>* stop = nullptr;
+  /// Progress callback, invoked after every completed task with
+  /// (done, total) for this process's slice — done counts resumed slots
+  /// too, so it reaches total when the slice finishes. Called from worker
+  /// threads; must be thread-safe (obs::TelemetrySink::heartbeat is).
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
 };
 
 /// Raw sweep output: one row of metric values per task, in task order.

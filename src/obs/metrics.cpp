@@ -130,12 +130,15 @@ Histogram::Histogram(std::vector<double> upper_bounds)
               "histogram bucket bounds must be sorted");
 }
 
-void Histogram::observe(double value) {
+void Histogram::observe(double value) { observe_n(value, 1); }
+
+void Histogram::observe_n(double value, std::size_t n) {
+  if (n == 0) return;
   const auto it =
       std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
-  ++buckets_[static_cast<std::size_t>(it - upper_bounds_.begin())];
-  ++count_;
-  sum_ += value;
+  buckets_[static_cast<std::size_t>(it - upper_bounds_.begin())] += n;
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
 }
 
 std::vector<std::size_t> Histogram::cumulative_counts() const {

@@ -51,6 +51,10 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double value);
+  /// observe(value) repeated n times in O(1) — the bulk-import path for
+  /// re-exporting an externally bucketed distribution (serving's
+  /// LatencyTracker) without replaying every sample.
+  void observe_n(double value, std::size_t n);
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }

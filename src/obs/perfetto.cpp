@@ -1,0 +1,299 @@
+#include "obs/perfetto.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/proto.h"
+
+namespace dcs::obs {
+namespace {
+
+// Perfetto protos, field numbers as of the stable TrackEvent schema.
+// Trace
+constexpr std::uint32_t kTracePacketField = 1;
+// TracePacket
+constexpr std::uint32_t kPacketTimestamp = 8;
+constexpr std::uint32_t kPacketSequenceId = 10;
+constexpr std::uint32_t kPacketTrackEvent = 11;
+constexpr std::uint32_t kPacketTrackDescriptor = 60;
+// TrackDescriptor
+constexpr std::uint32_t kTrackUuid = 1;
+constexpr std::uint32_t kTrackName = 2;
+constexpr std::uint32_t kTrackProcess = 3;
+constexpr std::uint32_t kTrackThread = 4;
+constexpr std::uint32_t kTrackParentUuid = 5;
+constexpr std::uint32_t kTrackCounter = 8;
+// ProcessDescriptor
+constexpr std::uint32_t kProcessPid = 1;
+constexpr std::uint32_t kProcessName = 6;
+// ThreadDescriptor
+constexpr std::uint32_t kThreadPid = 1;
+constexpr std::uint32_t kThreadTid = 2;
+constexpr std::uint32_t kThreadName = 5;
+// CounterDescriptor
+constexpr std::uint32_t kCounterUnitName = 6;
+// TrackEvent
+constexpr std::uint32_t kEventCategories = 22;
+constexpr std::uint32_t kEventType = 9;
+constexpr std::uint32_t kEventTrackUuid = 11;
+constexpr std::uint32_t kEventName = 23;
+constexpr std::uint32_t kEventDoubleCounterValue = 44;
+// TrackEvent.Type
+constexpr std::uint64_t kTypeSliceBegin = 1;
+constexpr std::uint64_t kTypeSliceEnd = 2;
+constexpr std::uint64_t kTypeInstant = 3;
+constexpr std::uint64_t kTypeCounter = 4;
+
+/// One writer per file; a fixed sequence id is enough because we never
+/// intern state.
+constexpr std::uint64_t kSequenceId = 1;
+
+proto::ProtoWriter track_event(std::uint64_t type, std::uint64_t track_uuid) {
+  proto::ProtoWriter event;
+  event.varint(kEventType, type);
+  event.varint(kEventTrackUuid, track_uuid);
+  return event;
+}
+
+}  // namespace
+
+void PerfettoWriter::packet(const std::string& payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 4);
+  proto::append_varint(framed, (kTracePacketField << 3) | 2u);
+  proto::append_varint(framed, payload.size());
+  out_->write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  out_->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  ++packets_;
+}
+
+std::uint64_t PerfettoWriter::add_process(std::int32_t pid,
+                                          const std::string& name) {
+  const std::uint64_t uuid = next_uuid_++;
+  proto::ProtoWriter process;
+  process.int64(kProcessPid, pid);
+  process.string(kProcessName, name);
+  proto::ProtoWriter track;
+  track.varint(kTrackUuid, uuid);
+  track.message(kTrackProcess, process);
+  proto::ProtoWriter pkt;
+  pkt.varint(kPacketSequenceId, kSequenceId);
+  pkt.message(kPacketTrackDescriptor, track);
+  packet(pkt.bytes());
+  return uuid;
+}
+
+std::uint64_t PerfettoWriter::add_thread(std::int32_t pid, std::int32_t tid,
+                                         const std::string& name) {
+  const std::uint64_t uuid = next_uuid_++;
+  redeclare_thread(uuid, pid, tid, name);
+  return uuid;
+}
+
+void PerfettoWriter::redeclare_thread(std::uint64_t uuid, std::int32_t pid,
+                                      std::int32_t tid,
+                                      const std::string& name) {
+  proto::ProtoWriter thread;
+  thread.int64(kThreadPid, pid);
+  thread.int64(kThreadTid, tid);
+  thread.string(kThreadName, name);
+  proto::ProtoWriter track;
+  track.varint(kTrackUuid, uuid);
+  track.message(kTrackThread, thread);
+  proto::ProtoWriter pkt;
+  pkt.varint(kPacketSequenceId, kSequenceId);
+  pkt.message(kPacketTrackDescriptor, track);
+  packet(pkt.bytes());
+}
+
+std::uint64_t PerfettoWriter::add_counter(std::uint64_t parent_uuid,
+                                          const std::string& name,
+                                          const std::string& unit) {
+  const std::uint64_t uuid = next_uuid_++;
+  proto::ProtoWriter counter;
+  if (!unit.empty()) counter.string(kCounterUnitName, unit);
+  proto::ProtoWriter track;
+  track.varint(kTrackUuid, uuid);
+  track.string(kTrackName, name);
+  track.varint(kTrackParentUuid, parent_uuid);
+  track.message(kTrackCounter, counter);
+  proto::ProtoWriter pkt;
+  pkt.varint(kPacketSequenceId, kSequenceId);
+  pkt.message(kPacketTrackDescriptor, track);
+  packet(pkt.bytes());
+  return uuid;
+}
+
+void PerfettoWriter::slice_begin(std::uint64_t track_uuid, std::uint64_t ts_ns,
+                                 const std::string& name,
+                                 const std::string& category) {
+  proto::ProtoWriter event = track_event(kTypeSliceBegin, track_uuid);
+  event.string(kEventName, name);
+  if (!category.empty()) event.string(kEventCategories, category);
+  proto::ProtoWriter pkt;
+  pkt.varint(kPacketTimestamp, ts_ns);
+  pkt.varint(kPacketSequenceId, kSequenceId);
+  pkt.message(kPacketTrackEvent, event);
+  packet(pkt.bytes());
+}
+
+void PerfettoWriter::slice_end(std::uint64_t track_uuid, std::uint64_t ts_ns) {
+  const proto::ProtoWriter event = track_event(kTypeSliceEnd, track_uuid);
+  proto::ProtoWriter pkt;
+  pkt.varint(kPacketTimestamp, ts_ns);
+  pkt.varint(kPacketSequenceId, kSequenceId);
+  pkt.message(kPacketTrackEvent, event);
+  packet(pkt.bytes());
+}
+
+void PerfettoWriter::instant(std::uint64_t track_uuid, std::uint64_t ts_ns,
+                             const std::string& name,
+                             const std::string& category) {
+  proto::ProtoWriter event = track_event(kTypeInstant, track_uuid);
+  event.string(kEventName, name);
+  if (!category.empty()) event.string(kEventCategories, category);
+  proto::ProtoWriter pkt;
+  pkt.varint(kPacketTimestamp, ts_ns);
+  pkt.varint(kPacketSequenceId, kSequenceId);
+  pkt.message(kPacketTrackEvent, event);
+  packet(pkt.bytes());
+}
+
+void PerfettoWriter::counter(std::uint64_t track_uuid, std::uint64_t ts_ns,
+                             double value) {
+  proto::ProtoWriter event = track_event(kTypeCounter, track_uuid);
+  event.fixed64_double(kEventDoubleCounterValue, value);
+  proto::ProtoWriter pkt;
+  pkt.varint(kPacketTimestamp, ts_ns);
+  pkt.varint(kPacketSequenceId, kSequenceId);
+  pkt.message(kPacketTrackEvent, event);
+  packet(pkt.bytes());
+}
+
+namespace detail {
+
+bool counter_value(const TraceEvent& event, double* value) {
+  const TraceArg* fallback = nullptr;
+  for (const TraceArg& a : event.args) {
+    if (a.key == "value") {
+      fallback = &a;
+      break;
+    }
+    if (fallback == nullptr) fallback = &a;
+  }
+  if (fallback == nullptr) return false;
+  // Args hold pre-rendered JSON literals; only numeric ones qualify.
+  char* end = nullptr;
+  const double parsed = std::strtod(fallback->value.c_str(), &end);
+  if (end == fallback->value.c_str() || end == nullptr || *end != '\0') {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t to_ns(double ts_us) {
+  return ts_us <= 0.0 ? 0 : static_cast<std::uint64_t>(ts_us * 1e3);
+}
+
+}  // namespace
+
+PerfettoStreamSink::PerfettoStreamSink(std::string path,
+                                       StreamSinkOptions options)
+    : FileStreamSink(std::move(path), options), writer_(out_) {}
+
+PerfettoStreamSink::~PerfettoStreamSink() { finalize(); }
+
+void PerfettoStreamSink::begin() {}
+
+std::uint64_t PerfettoStreamSink::process_uuid(Domain domain) {
+  std::uint64_t& uuid = process_uuids_[static_cast<int>(domain)];
+  if (uuid == 0) {
+    uuid = writer_.add_process(obs::detail::pid_of(domain),
+                               std::string(to_string(domain)));
+  }
+  return uuid;
+}
+
+std::uint64_t PerfettoStreamSink::lane_uuid(Domain domain, std::uint32_t lane) {
+  const auto key = std::make_pair(domain, lane);
+  const auto it = lane_uuids_.find(key);
+  if (it != lane_uuids_.end()) return it->second;
+  process_uuid(domain);  // declare the process before its first thread
+  const auto named = lane_names_.find(key);
+  const std::string name = named != lane_names_.end()
+                               ? named->second
+                               : "lane-" + std::to_string(lane);
+  const std::uint64_t uuid = writer_.add_thread(
+      obs::detail::pid_of(domain), static_cast<std::int32_t>(lane), name);
+  lane_uuids_.emplace(key, uuid);
+  return uuid;
+}
+
+std::uint64_t PerfettoStreamSink::counter_uuid(Domain domain,
+                                               const std::string& name) {
+  const auto key = std::make_pair(domain, name);
+  const auto it = counter_uuids_.find(key);
+  if (it != counter_uuids_.end()) return it->second;
+  const std::uint64_t uuid = writer_.add_counter(process_uuid(domain), name);
+  counter_uuids_.emplace(key, uuid);
+  return uuid;
+}
+
+void PerfettoStreamSink::write_lane_name(Domain domain, std::uint32_t lane,
+                                         const std::string& name) {
+  // Queue through the event buffer as a synthetic 'M' event, matching
+  // ChromeStreamSink, so descriptor order follows append order.
+  const auto key = std::make_pair(domain, lane);
+  const auto it = lane_names_.find(key);
+  if (it != lane_names_.end() && it->second == name) return;
+  lane_names_.insert_or_assign(key, name);
+  TraceEvent meta;
+  meta.domain = domain;
+  meta.phase = 'M';
+  meta.lane = lane;
+  meta.name = name;
+  write(meta);
+}
+
+void PerfettoStreamSink::render(const TraceEvent& event) {
+  switch (event.phase) {
+    case 'M': {
+      // Lane renamed: re-emit the thread descriptor under the same uuid
+      // (trace_processor keeps the latest name) or just record the name for
+      // the lazily created track.
+      const auto key = std::make_pair(event.domain, event.lane);
+      const auto it = lane_uuids_.find(key);
+      if (it != lane_uuids_.end()) {
+        writer_.redeclare_thread(it->second,
+                                 obs::detail::pid_of(event.domain),
+                                 static_cast<std::int32_t>(event.lane),
+                                 event.name);
+      }
+      return;
+    }
+    case 'C': {
+      double value = 0.0;
+      if (!detail::counter_value(event, &value)) return;
+      writer_.counter(counter_uuid(event.domain, event.name),
+                      to_ns(event.ts_us), value);
+      return;
+    }
+    case 'X': {
+      const std::uint64_t track = lane_uuid(event.domain, event.lane);
+      writer_.slice_begin(track, to_ns(event.ts_us), event.name, event.cat);
+      writer_.slice_end(track, to_ns(event.ts_us + event.dur_us));
+      return;
+    }
+    default:
+      writer_.instant(lane_uuid(event.domain, event.lane), to_ns(event.ts_us),
+                      event.name, event.cat);
+      return;
+  }
+}
+
+}  // namespace dcs::obs

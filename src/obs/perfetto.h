@@ -1,0 +1,108 @@
+// Perfetto protobuf trace output: hand-rolled TracePacket/TrackEvent
+// encoding (util/proto.h — no protobuf dependency) so traces are
+// SQL-queryable in Perfetto's trace_processor, not just viewable via the
+// Chrome-JSON path.
+//
+// A Perfetto trace file is a sequence of length-delimited TracePacket
+// records (field 1 of the Trace message). We emit:
+//   * TrackDescriptor packets declaring process tracks (pid + name),
+//     thread tracks (one per lane) and counter tracks;
+//   * TrackEvent packets: TYPE_SLICE_BEGIN/END pairs for 'X' spans,
+//     TYPE_INSTANT for 'i' events and TYPE_COUNTER with
+//     double_counter_value for 'C' samples.
+// Names and categories are emitted inline (no interning) — simpler, and
+// these traces are written once and queried offline.
+//
+// PerfettoWriter is the low-level encoder (exp/timeline.h drives it
+// directly to lay many processes on one timeline); PerfettoStreamSink
+// adapts it to the TraceSink interface with the repo's sim/wall process
+// convention, so benches stream `<name>_trace.perfetto` next to the Chrome
+// and JSONL files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+namespace dcs::obs {
+
+/// Emits Perfetto TracePacket records to a stream. Track uuids are handed
+/// out sequentially, so an identical call sequence produces identical
+/// bytes (timeline merges rely on this for byte-stable re-merges).
+class PerfettoWriter {
+ public:
+  explicit PerfettoWriter(std::ostream& out) : out_(&out) {}
+
+  /// Declares a process track; returns its uuid (parent for thread tracks).
+  std::uint64_t add_process(std::int32_t pid, const std::string& name);
+  /// Declares a thread track under `pid` (slices and instants land here).
+  std::uint64_t add_thread(std::int32_t pid, std::int32_t tid,
+                           const std::string& name);
+  /// Re-emits a thread-track descriptor under an existing uuid (renames:
+  /// trace_processor keeps the latest descriptor per uuid).
+  void redeclare_thread(std::uint64_t uuid, std::int32_t pid, std::int32_t tid,
+                        const std::string& name);
+  /// Declares a counter track under a process track.
+  std::uint64_t add_counter(std::uint64_t parent_uuid, const std::string& name,
+                            const std::string& unit = "");
+
+  void slice_begin(std::uint64_t track_uuid, std::uint64_t ts_ns,
+                   const std::string& name, const std::string& category);
+  void slice_end(std::uint64_t track_uuid, std::uint64_t ts_ns);
+  void instant(std::uint64_t track_uuid, std::uint64_t ts_ns,
+               const std::string& name, const std::string& category);
+  void counter(std::uint64_t track_uuid, std::uint64_t ts_ns, double value);
+
+  [[nodiscard]] std::size_t packets_written() const noexcept {
+    return packets_;
+  }
+
+ private:
+  void packet(const std::string& payload);
+
+  std::ostream* out_;
+  std::uint64_t next_uuid_ = 1;
+  std::size_t packets_ = 0;
+};
+
+/// TraceSink that writes a Perfetto protobuf trace with the repo's process
+/// convention (pid 1 = "sim", pid 2 = "wall"; one thread track per lane;
+/// 'C' events become one counter track per (domain, name), valued from
+/// their "value" arg). Rides FileStreamSink for bounded buffering, crash
+/// awareness (ok()) and the synthetic-'M' lane-name path.
+class PerfettoStreamSink final : public FileStreamSink {
+ public:
+  explicit PerfettoStreamSink(std::string path, StreamSinkOptions options = {});
+  ~PerfettoStreamSink() override;
+
+  void write_lane_name(Domain domain, std::uint32_t lane,
+                       const std::string& name) override;
+
+ private:
+  void render(const TraceEvent& event) override;
+  void begin() override;
+
+  std::uint64_t process_uuid(Domain domain);
+  std::uint64_t lane_uuid(Domain domain, std::uint32_t lane);
+  std::uint64_t counter_uuid(Domain domain, const std::string& name);
+
+  PerfettoWriter writer_;
+  std::uint64_t process_uuids_[2] = {0, 0};
+  std::map<std::pair<Domain, std::uint32_t>, std::uint64_t> lane_uuids_;
+  std::map<std::pair<Domain, std::uint32_t>, std::string> lane_names_;
+  std::map<std::pair<Domain, std::string>, std::uint64_t> counter_uuids_;
+};
+
+namespace detail {
+/// The numeric value of a counter event: its "value" arg if present, else
+/// the first arg whose pre-rendered literal parses as a number. Returns
+/// false when the event carries no numeric payload.
+[[nodiscard]] bool counter_value(const TraceEvent& event, double* value);
+}  // namespace detail
+
+}  // namespace dcs::obs

@@ -15,7 +15,11 @@ Profiler& Profiler::instance() {
   return profiler;
 }
 
-Profiler::Profiler() : epoch_(std::chrono::steady_clock::now()) {}
+Profiler::Profiler()
+    : epoch_(std::chrono::steady_clock::now()),
+      epoch_unix_us_(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count()) {}
 
 void Profiler::set_enabled(bool enabled) noexcept {
   enabled_.store(enabled, std::memory_order_relaxed);

@@ -104,6 +104,15 @@ class Profiler {
   /// Wall microseconds since the process-wide profiler epoch.
   [[nodiscard]] double now_us() const noexcept;
 
+  /// Unix microseconds (system clock) at the profiler epoch — the anchor
+  /// that lets cross-process merges (exp/timeline.h) place each process's
+  /// wall spans on one shared timeline: a wall event at ts_us in process P
+  /// happened at absolute time P.epoch_unix_us() + ts_us. Captured once at
+  /// construction together with the steady-clock epoch.
+  [[nodiscard]] std::int64_t epoch_unix_us() const noexcept {
+    return epoch_unix_us_;
+  }
+
   /// Records one finished span into the calling thread's buffer.
   void record(const char* name, double start_us, double dur_us);
 
@@ -139,6 +148,7 @@ class Profiler {
   std::atomic<bool> enabled_{false};
   std::atomic<bool> sampling_{false};
   std::chrono::steady_clock::time_point epoch_;
+  std::int64_t epoch_unix_us_ = 0;
   mutable std::mutex mu_;  // guards buffers_ and stacks_ (registration,
                            // collect, snapshot)
   std::vector<std::unique_ptr<Buffer>> buffers_;

@@ -1,0 +1,307 @@
+#include "obs/query.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace dcs::obs::query {
+namespace {
+
+/// The numeric payload of a parsed "args" object: the "value" member if
+/// numeric, else the first numeric member (map order).
+bool args_value(const json::Value& args, double* out) {
+  if (!args.is_object()) return false;
+  const auto numeric = [&](const json::Value& v, double* value) {
+    if (v.is_number()) {
+      *value = v.as_number();
+      return true;
+    }
+    if (v.is_string()) {
+      // number_to_string renders non-finite values as marker strings.
+      try {
+        *value = json::read_number(v);
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    return false;
+  };
+  const json::Value* direct = args.find("value");
+  if (direct != nullptr && numeric(*direct, out)) return true;
+  for (const auto& [key, v] : args.as_object()) {
+    if (numeric(v, out)) return true;
+  }
+  return false;
+}
+
+void load_chrome(const json::Value& doc, TraceData* trace) {
+  const json::Value* events = doc.find("traceEvents");
+  DCS_REQUIRE(events != nullptr && events->is_array(),
+              "chrome trace has no traceEvents array");
+  // First pass: process names, so merged timelines ("shard0/sim") resolve
+  // to (src, domain) while single-process traces ("sim") keep src empty.
+  std::map<int, std::string> process_names;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = (*events)[i];
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "M") continue;
+    const json::Value* name = e.find("name");
+    if (name == nullptr || name->as_string() != "process_name") continue;
+    process_names[static_cast<int>(e.at("pid").as_number())] =
+        e.at("args").at("name").as_string();
+  }
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = (*events)[i];
+    const std::string& ph = e.at("ph").as_string();
+    if (ph.empty() || ph == "M") continue;
+    QueryEvent q;
+    q.ph = ph[0];
+    q.ts_us = e.at("ts").as_number();
+    const json::Value* dur = e.find("dur");
+    if (dur != nullptr) q.dur_us = dur->as_number();
+    const json::Value* tid = e.find("tid");
+    if (tid != nullptr) q.lane = static_cast<std::uint32_t>(tid->as_number());
+    const json::Value* cat = e.find("cat");
+    if (cat != nullptr && cat->is_string()) q.cat = cat->as_string();
+    const json::Value* name = e.find("name");
+    if (name != nullptr && name->is_string()) q.name = name->as_string();
+    const auto it =
+        process_names.find(static_cast<int>(e.at("pid").as_number()));
+    const std::string process = it != process_names.end() ? it->second : "";
+    const std::size_t slash = process.find('/');
+    if (slash == std::string::npos) {
+      q.domain = process;
+    } else {
+      q.src = process.substr(0, slash);
+      q.domain = process.substr(slash + 1);
+    }
+    const json::Value* args = e.find("args");
+    if (q.ph == 'C' && args != nullptr) {
+      q.has_value = args_value(*args, &q.value);
+    }
+    trace->events.push_back(std::move(q));
+  }
+}
+
+/// One JSONL line: a plain trace event ({"domain": ..., "ph": ...}) or a
+/// telemetry/timeline line ({"t": "ev", ...}); anything else is skipped.
+void load_jsonl_line(std::string_view line, TraceData* trace) {
+  const json::Value e = json::parse(line);
+  if (!e.is_object()) return;
+  const json::Value* type = e.find("t");
+  if (type != nullptr && (!type->is_string() || type->as_string() != "ev")) {
+    return;  // header/hb/metric/stack/end lines carry no events
+  }
+  const json::Value* domain = e.find("domain");
+  const json::Value* ph = e.find("ph");
+  if (domain == nullptr || ph == nullptr || !ph->is_string() ||
+      ph->as_string().empty()) {
+    return;
+  }
+  QueryEvent q;
+  const json::Value* src = e.find("src");
+  if (src != nullptr && src->is_string()) q.src = src->as_string();
+  q.domain = domain->as_string();
+  q.ph = ph->as_string()[0];
+  q.ts_us = e.at("ts").as_number();
+  const json::Value* dur = e.find("dur");
+  if (dur != nullptr) q.dur_us = dur->as_number();
+  const json::Value* lane = e.find("lane");
+  if (lane != nullptr) q.lane = static_cast<std::uint32_t>(lane->as_number());
+  const json::Value* cat = e.find("cat");
+  if (cat != nullptr && cat->is_string()) q.cat = cat->as_string();
+  const json::Value* name = e.find("name");
+  if (name != nullptr && name->is_string()) q.name = name->as_string();
+  const json::Value* args = e.find("args");
+  if (q.ph == 'C' && args != nullptr) {
+    q.has_value = args_value(*args, &q.value);
+  }
+  trace->events.push_back(std::move(q));
+}
+
+}  // namespace
+
+TraceData load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DCS_REQUIRE(static_cast<bool>(in), "cannot read trace " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  TraceData trace;
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return trace;
+
+  // A Chrome trace is one document whose first line has no newline-bounded
+  // object-per-line shape; detect it by the traceEvents key up front.
+  const std::size_t first_nl = text.find('\n', first);
+  const std::string_view head(text.data() + first,
+                              (first_nl == std::string::npos ? text.size()
+                                                             : first_nl) -
+                                  first);
+  if (head.find("\"traceEvents\"") != std::string_view::npos) {
+    load_chrome(json::parse(text), &trace);
+    return trace;
+  }
+  std::size_t begin = first;
+  while (begin < text.size()) {
+    std::size_t nl = text.find('\n', begin);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + begin, nl - begin);
+    if (!line.empty() && line.find_first_not_of(" \t\r") != std::string_view::npos) {
+      try {
+        load_jsonl_line(line, &trace);
+      } catch (const std::exception&) {
+        // Torn trailing line of a crashed worker's stream: skip, the rest
+        // of the file is still a valid trace.
+      }
+    }
+    begin = nl + 1;
+  }
+  return trace;
+}
+
+std::vector<ScopeStat> scope_stats(const TraceData& trace) {
+  std::map<std::pair<std::string, std::string>, ScopeStat> groups;
+  for (const QueryEvent& e : trace.events) {
+    if (e.ph != 'X') continue;
+    ScopeStat& s = groups[{e.src, e.name}];
+    if (s.count == 0) {
+      s.src = e.src;
+      s.name = e.name;
+      s.min_us = e.dur_us;
+      s.max_us = e.dur_us;
+    }
+    ++s.count;
+    s.total_us += e.dur_us;
+    s.min_us = std::min(s.min_us, e.dur_us);
+    s.max_us = std::max(s.max_us, e.dur_us);
+  }
+  std::vector<ScopeStat> out;
+  out.reserve(groups.size());
+  for (auto& [key, stat] : groups) out.push_back(std::move(stat));
+  return out;
+}
+
+std::vector<CounterStat> counter_stats(const TraceData& trace) {
+  struct Acc {
+    CounterStat stat;
+    double sum = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Acc> groups;
+  for (const QueryEvent& e : trace.events) {
+    if (e.ph != 'C' || !e.has_value) continue;
+    Acc& a = groups[{e.src, e.name}];
+    if (a.stat.points == 0) {
+      a.stat.src = e.src;
+      a.stat.name = e.name;
+      a.stat.min = e.value;
+      a.stat.max = e.value;
+    }
+    ++a.stat.points;
+    a.sum += e.value;
+    a.stat.min = std::min(a.stat.min, e.value);
+    a.stat.max = std::max(a.stat.max, e.value);
+    a.stat.last = e.value;
+  }
+  std::vector<CounterStat> out;
+  out.reserve(groups.size());
+  for (auto& [key, acc] : groups) {
+    acc.stat.mean = acc.sum / static_cast<double>(acc.stat.points);
+    out.push_back(std::move(acc.stat));
+  }
+  return out;
+}
+
+std::vector<ThresholdWindow> threshold_windows(const TraceData& trace,
+                                               const ThresholdQuery& query) {
+  DCS_REQUIRE(!query.track.empty(), "threshold query needs a track name");
+  // Samples per (source, lane) track, in trace order; counter exporters
+  // emit in time order, but a stable sort keeps merged inputs honest.
+  std::map<std::pair<std::string, std::uint32_t>,
+           std::vector<std::pair<double, double>>>
+      tracks;
+  for (const QueryEvent& e : trace.events) {
+    if (e.ph != 'C' || !e.has_value || e.name != query.track) continue;
+    tracks[{e.src, e.lane}].emplace_back(e.ts_us, e.value);
+  }
+  std::vector<ThresholdWindow> out;
+  for (auto& [key, samples] : tracks) {
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    bool open = false;
+    ThresholdWindow w;
+    const auto matches = [&](double v) {
+      return query.below ? v < query.threshold : v > query.threshold;
+    };
+    const auto close_at = [&](double ts) {
+      w.end_us = ts;
+      if (w.duration_us() >= query.min_duration_us) out.push_back(w);
+      open = false;
+    };
+    for (const auto& [ts, value] : samples) {
+      if (matches(value)) {
+        if (!open) {
+          open = true;
+          w = ThresholdWindow{};
+          w.src = key.first;
+          w.lane = key.second;
+          w.start_us = ts;
+          w.extreme = value;
+        } else {
+          w.extreme = query.below ? std::min(w.extreme, value)
+                                  : std::max(w.extreme, value);
+        }
+      } else if (open) {
+        // The step function left the region when this sample took effect.
+        close_at(ts);
+      }
+    }
+    if (open && !samples.empty()) close_at(samples.back().first);
+  }
+  return out;
+}
+
+void write_scope_csv(std::ostream& out, const std::vector<ScopeStat>& stats) {
+  out << "src,name,count,total_us,mean_us,min_us,max_us\n";
+  for (const ScopeStat& s : stats) {
+    out << s.src << "," << s.name << "," << s.count << ","
+        << json::number_to_string(s.total_us) << ","
+        << json::number_to_string(s.mean_us()) << ","
+        << json::number_to_string(s.min_us) << ","
+        << json::number_to_string(s.max_us) << "\n";
+  }
+}
+
+void write_counter_csv(std::ostream& out,
+                       const std::vector<CounterStat>& stats) {
+  out << "src,name,points,min,mean,max,last\n";
+  for (const CounterStat& s : stats) {
+    out << s.src << "," << s.name << "," << s.points << ","
+        << json::number_to_string(s.min) << ","
+        << json::number_to_string(s.mean) << ","
+        << json::number_to_string(s.max) << ","
+        << json::number_to_string(s.last) << "\n";
+  }
+}
+
+void write_window_csv(std::ostream& out,
+                      const std::vector<ThresholdWindow>& windows) {
+  out << "src,lane,start_us,end_us,duration_us,extreme\n";
+  for (const ThresholdWindow& w : windows) {
+    out << w.src << "," << w.lane << ","
+        << json::number_to_string(w.start_us) << ","
+        << json::number_to_string(w.end_us) << ","
+        << json::number_to_string(w.duration_us()) << ","
+        << json::number_to_string(w.extreme) << "\n";
+  }
+}
+
+}  // namespace dcs::obs::query

@@ -1,0 +1,120 @@
+// Offline trace analysis behind tools/trace_query: loads any of the repo's
+// trace encodings into one flat event list and computes per-scope duration
+// stats, counter-track statistics and threshold-crossing windows — the
+// questions every sprint trace gets asked ("how long were the sprints",
+// "when did cb_trip_margin_s dip below 0.5 s", "which intervals violated
+// the serving p99 SLO").
+//
+// Accepted inputs (auto-detected):
+//   * Chrome trace-event JSON   (`*_trace.json`, Tracer/ChromeStreamSink)
+//   * trace JSONL               (`*_trace.jsonl`, one event object per line)
+//   * telemetry / timeline JSONL (obs/telemetry.h streams and the
+//     dispatcher's merged `timeline.jsonl` — "ev" lines carry the events,
+//     and the timeline's "src" tag survives into QueryEvent::src so stats
+//     can be grouped per shard process)
+//
+// All results are deterministic: events keep file order, groups iterate in
+// sorted key order, so CSV output is byte-stable and diffable across runs
+// of the same trace (the perf-gate trend workflow).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dcs::obs::query {
+
+/// One trace event, decoded from any input format. `src` is the producing
+/// process ("" for single-process traces; "dispatcher"/"shard0#1"/... in
+/// merged timelines).
+struct QueryEvent {
+  std::string src;
+  std::string domain;  // "sim" | "wall"
+  char ph = 'i';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t lane = 0;
+  std::string cat;
+  std::string name;
+  /// Counter payload ('C' events with a numeric "value" arg).
+  double value = 0.0;
+  bool has_value = false;
+};
+
+struct TraceData {
+  std::vector<QueryEvent> events;
+};
+
+/// Loads a trace file, auto-detecting the encoding. Throws
+/// std::invalid_argument when the file cannot be read or parsed.
+[[nodiscard]] TraceData load_trace(const std::string& path);
+
+/// Duration statistics over 'X' span events, grouped by (src, name).
+struct ScopeStat {
+  std::string src;
+  std::string name;
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  [[nodiscard]] double mean_us() const noexcept {
+    return count > 0 ? total_us / static_cast<double>(count) : 0.0;
+  }
+};
+[[nodiscard]] std::vector<ScopeStat> scope_stats(const TraceData& trace);
+
+/// Value statistics over 'C' counter samples, grouped by (src, track name).
+struct CounterStat {
+  std::string src;
+  std::string name;
+  std::size_t points = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double last = 0.0;
+};
+[[nodiscard]] std::vector<CounterStat> counter_stats(const TraceData& trace);
+
+/// A maximal interval during which a counter track satisfied the threshold
+/// predicate. Counter tracks are step functions: a sample's value holds
+/// until the track's next sample; an interval still open at the track's
+/// last sample closes there (end_us == last sample's ts). Each (src, lane)
+/// pair is an independent track — sweep benches trace every grid task in
+/// its own lane, and interleaving those step functions would shred the
+/// windows.
+struct ThresholdWindow {
+  std::string src;
+  std::uint32_t lane = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  /// Most extreme value inside the window (min for `below`, max otherwise).
+  double extreme = 0.0;
+  [[nodiscard]] double duration_us() const noexcept {
+    return end_us - start_us;
+  }
+};
+
+struct ThresholdQuery {
+  /// Counter track name (QueryEvent::name of the 'C' samples).
+  std::string track;
+  double threshold = 0.0;
+  /// true: windows where value < threshold; false: value > threshold.
+  bool below = true;
+  /// Windows shorter than this are dropped (0 keeps everything).
+  double min_duration_us = 0.0;
+};
+
+/// Threshold-crossing windows per (source process, lane), in
+/// (src, lane, start) order.
+[[nodiscard]] std::vector<ThresholdWindow> threshold_windows(
+    const TraceData& trace, const ThresholdQuery& query);
+
+/// CSV writers (header + one row per entry; numbers via %.17g round-trip).
+void write_scope_csv(std::ostream& out, const std::vector<ScopeStat>& stats);
+void write_counter_csv(std::ostream& out,
+                       const std::vector<CounterStat>& stats);
+void write_window_csv(std::ostream& out,
+                      const std::vector<ThresholdWindow>& windows);
+
+}  // namespace dcs::obs::query

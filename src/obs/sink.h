@@ -39,6 +39,7 @@ class FileStreamSink : public TraceSink {
   void write(const TraceEvent& event) final;
   void finalize() final;
 
+  [[nodiscard]] bool healthy() const override { return ok_; }
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::size_t events_written() const noexcept {
@@ -136,6 +137,14 @@ class TeeSink final : public TraceSink {
   }
   void finalize() override {
     for (TraceSink* s : sinks_) s->finalize();
+  }
+  /// Unhealthy as soon as any fanned-out sink is: a partial failure (one
+  /// file on a full disk) must not read as overall success.
+  [[nodiscard]] bool healthy() const override {
+    for (const TraceSink* s : sinks_) {
+      if (!s->healthy()) return false;
+    }
+    return true;
   }
 
  private:

@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <system_error>
 #include <utility>
 
 #include "util/check.h"
@@ -10,9 +12,16 @@ namespace dcs::obs {
 namespace detail {
 
 std::string render_number(double v) {
+  // Shortest round-trip form (strtod recovers the exact bits, like %.17g)
+  // via to_chars: ~7x cheaper than snprintf, which matters because arg()
+  // renders eagerly on the controller's tracing hot path.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec != std::errc()) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  return std::string(buf, res.ptr);
 }
 
 std::string render_string(std::string_view s) {

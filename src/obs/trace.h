@@ -36,8 +36,8 @@ enum class Domain { kSim = 0, kWall = 1 };
 [[nodiscard]] std::string_view to_string(Domain domain) noexcept;
 
 /// One key/value event argument. `value` is a pre-rendered JSON literal
-/// (a number formatted with %.17g for bit-stable round-trips, or an escaped
-/// quoted string), so writers can emit it verbatim.
+/// (a shortest-round-trip number — strtod recovers the exact bits — or an
+/// escaped quoted string), so writers can emit it verbatim.
 struct TraceArg {
   std::string key;
   std::string value;
@@ -78,6 +78,11 @@ class TraceSink {
   /// valid, loadable trace). Idempotent; writing after finalize() is a
   /// contract violation.
   virtual void finalize() = 0;
+  /// False once the sink can no longer store events (file sinks: a write
+  /// failed, e.g. disk full). Composite sinks (TeeSink) report unhealthy as
+  /// soon as any child does, so one full disk cannot silently truncate one
+  /// of several outputs while the run reports success.
+  [[nodiscard]] virtual bool healthy() const { return true; }
 };
 
 class Tracer {
@@ -116,6 +121,12 @@ class Tracer {
   /// Buffered events (empty in streaming mode — the sink consumed them).
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
+  }
+  /// Lane metadata registered via name_lane, keyed by (domain, lane) —
+  /// lets a late-attached sink (telemetry forwarding) replay the names.
+  [[nodiscard]] const std::map<std::pair<Domain, std::uint32_t>, std::string>&
+  lane_names() const noexcept {
+    return lane_names_;
   }
   [[nodiscard]] bool empty() const noexcept {
     return counts_[0] + counts_[1] == 0;

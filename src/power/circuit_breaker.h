@@ -43,6 +43,37 @@ class CircuitBreaker {
   /// state. Infinite when the load cannot trip the breaker.
   [[nodiscard]] Duration time_to_trip_at(Power load) const;
 
+  /// Cheap screen for `!time_to_trip_at(load).is_infinite()`: false exactly
+  /// when the load sits at or below the no-trip boundary of a closed
+  /// breaker. Inline so per-tick callers (trace edge detection) can skip
+  /// the full curve lookup during the long spells the governor pins the
+  /// load at this boundary.
+  [[nodiscard]] bool can_trip_at(Power load) const noexcept {
+    return tripped_ ||
+           load.w() > effective_rated().w() *
+                          params_.curve.params().no_trip_ratio * (1.0 + 1e-9);
+  }
+
+  /// Inline `time_to_trip_at(load) < horizon` for loads can_trip_at()
+  /// admits and horizons above the magnetic trip delay (where the thermal
+  /// floor cannot flip the comparison): the thermal-region margin
+  /// C * headroom / (r-1)^2 compared against the horizon with
+  /// multiplications only — no division, no curve call. Exhausted
+  /// headroom and tripped states are unconditionally within the horizon,
+  /// matching the full computation.
+  [[nodiscard]] bool trips_within(Power load, Duration horizon) const noexcept {
+    if (tripped_) return true;
+    const double headroom = 1.0 - trip_bias_ - heat_;
+    if (headroom <= 0.0) return true;
+    const double rated_w = effective_rated().w();
+    const double over_w = load.w() - rated_w;
+    // margin = C * headroom / o^2 with o = over_w / rated_w, so
+    // margin < horizon  <=>  over_w^2 * horizon > C * headroom * rated_w^2.
+    return over_w * over_w * horizon.sec() >
+           params_.curve.params().thermal_coeff_s * headroom * rated_w *
+               rated_w;
+  }
+
   /// Largest load sustainable for at least `hold` from the current thermal
   /// state (the controller's overload upper bound). Never below rated power:
   /// rated load is always sustainable.

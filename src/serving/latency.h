@@ -16,6 +16,7 @@
 #include <array>
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -55,6 +56,15 @@ class LatencyHistogram {
   /// Bucket-exact equality — the bit-identity check used by the serving
   /// determinism tests.
   [[nodiscard]] bool operator==(const LatencyHistogram& other) const noexcept;
+
+  /// Finite Prometheus `le` bounds matching this geometry (seconds):
+  /// kMinSeconds closes the underflow bucket, then every log bucket's
+  /// upper edge — 1 + kBuckets entries; the overflow bucket is the
+  /// implicit +Inf.
+  [[nodiscard]] static std::vector<double> prometheus_bounds();
+  /// Per-bucket (non-cumulative) counts aligned with prometheus_bounds(),
+  /// overflow last: size 2 + kBuckets.
+  [[nodiscard]] std::vector<std::size_t> bucket_counts() const;
 
  private:
   std::array<std::size_t, kBuckets> buckets_{};

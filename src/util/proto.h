@@ -1,0 +1,80 @@
+// Minimal protobuf wire-format writer: just enough encoding to emit
+// Perfetto TracePacket streams (obs/perfetto.h) without taking a protobuf
+// dependency. Only the writer side exists — the repo never parses protobuf,
+// it only produces files for external tools (Perfetto UI, trace_processor).
+//
+// Wire format recap (https://protobuf.dev/programming-guides/encoding/):
+//   field tag   = (field_number << 3) | wire_type, varint-encoded
+//   wire type 0 = varint (int32/int64/uint64/bool/enum)
+//   wire type 1 = fixed64 (double)
+//   wire type 2 = length-delimited (string/bytes/sub-message)
+//
+// Messages nest by building the sub-message in its own ProtoWriter and
+// appending its bytes length-delimited.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dcs::proto {
+
+/// Appends one varint to `out`.
+inline void append_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+/// Accumulates one message's encoded bytes.
+class ProtoWriter {
+ public:
+  /// Wire type 0: uint64/int32>=0/bool/enum fields.
+  void varint(std::uint32_t field, std::uint64_t value) {
+    tag(field, 0);
+    append_varint(bytes_, value);
+  }
+
+  /// Wire type 0 with zig-zag-free two's-complement negative support
+  /// (standard int32/int64 fields encode negatives as 10-byte varints).
+  void int64(std::uint32_t field, std::int64_t value) {
+    varint(field, static_cast<std::uint64_t>(value));
+  }
+
+  /// Wire type 1: double fields (IEEE-754 little-endian; the build targets
+  /// are little-endian, matching the in-memory representation).
+  void fixed64_double(std::uint32_t field, double value) {
+    tag(field, 1);
+    char buf[sizeof(double)];
+    std::memcpy(buf, &value, sizeof(double));
+    bytes_.append(buf, sizeof(double));
+  }
+
+  /// Wire type 2: strings and raw bytes.
+  void string(std::uint32_t field, std::string_view value) {
+    tag(field, 2);
+    append_varint(bytes_, value.size());
+    bytes_.append(value.data(), value.size());
+  }
+
+  /// Wire type 2: a nested message's encoded bytes.
+  void message(std::uint32_t field, const ProtoWriter& sub) {
+    string(field, sub.bytes());
+  }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+  void clear() noexcept { bytes_.clear(); }
+
+ private:
+  void tag(std::uint32_t field, std::uint32_t wire_type) {
+    append_varint(bytes_, (static_cast<std::uint64_t>(field) << 3) | wire_type);
+  }
+
+  std::string bytes_;
+};
+
+}  // namespace dcs::proto

@@ -350,6 +350,100 @@ TEST(ExpDispatch, DrainInterruptsAndLeavesResumableState) {
   fs::remove_all(dir);
 }
 
+TEST(ExpDispatch, TelemetryDispatchMergesAlignedTimelineAcrossRestarts) {
+  const std::string dir = fresh_dir("telemetry");
+  const std::size_t tasks = 16;
+  DispatchOptions options = base_options(dir, tasks, /*shards=*/2);
+  options.telemetry = true;
+  options.status_interval_s = 0.05;
+  std::ostringstream log;
+  options.log = &log;
+  // Shard crashes exercise the multi-attempt stream naming and prove the
+  // merge tolerates the torn, end-marker-less streams crashes leave.
+  options.command.push_back("crash_attempts=1");
+  options.command.push_back("crash_rows=2");
+  options.command.push_back("sleep_ms=20");  // outlive the status interval
+  options.max_restarts = 2;
+
+  const DispatchReport report = dispatch_sweep(options);
+  ASSERT_EQ(report.status, "complete");
+  EXPECT_TRUE(report.telemetry);
+  ASSERT_TRUE(report.timeline.ok()) << report.timeline.error;
+  // dispatcher + 2 shards x 2 attempts, every stream headered.
+  EXPECT_EQ(report.timeline.sources, 5u);
+  EXPECT_EQ(report.timeline.aligned_sources, 5u);
+  EXPECT_GT(report.timeline.events, 0u);
+  EXPECT_GT(report.timeline.base_epoch_unix_us, 0);
+
+  // Live supervision: heartbeats fill per-shard progress, and the status
+  // ticker reported it while workers ran.
+  for (const ShardStatus& s : report.shard_status) {
+    EXPECT_EQ(s.tasks_done, tasks / 2);
+    EXPECT_EQ(s.tasks_total, tasks / 2);
+  }
+  EXPECT_NE(log.str().find("status:"), std::string::npos);
+
+  // All three timeline encodings landed, plus the folded stacks. Crashed
+  // first attempts die before writing their stack line, so the keys carry
+  // the completing attempts' src tags.
+  EXPECT_TRUE(fs::is_regular_file(report.timeline.jsonl_path));
+  EXPECT_TRUE(fs::is_regular_file(report.timeline.chrome_path));
+  EXPECT_TRUE(fs::is_regular_file(report.timeline.perfetto_path));
+  ASSERT_TRUE(fs::is_regular_file(report.timeline.stacks_path));
+  const std::string stacks = slurp(report.timeline.stacks_path);
+  EXPECT_NE(stacks.find("shard0#2;fake;task"), std::string::npos);
+  EXPECT_NE(stacks.find("shard1#2;fake;task"), std::string::npos);
+
+  // The merged timeline carries every source: supervisor lifecycle events
+  // tagged "dispatcher" and worker task instants per shard and attempt.
+  const std::string timeline = slurp(report.timeline.jsonl_path);
+  EXPECT_NE(timeline.find("\"src\":\"dispatcher\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"name\":\"spawn\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"name\":\"restart\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"src\":\"shard0\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"src\":\"shard0#2\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"src\":\"shard1#2\""), std::string::npos);
+
+  // Report JSON carries the telemetry block.
+  const json::Value doc = json::parse(dispatch_report_json(report));
+  EXPECT_TRUE(doc.at("telemetry").as_bool());
+  EXPECT_EQ(doc.at("timeline").at("sources").as_number(), 5.0);
+  EXPECT_EQ(doc.at("shard_status")[0].at("tasks_done").as_number(),
+            static_cast<double>(tasks / 2));
+
+  // Restart-and-remerge determinism: a second merge over the same work dir
+  // (what a dispatcher restart does) must reproduce the same bytes.
+  TimelineOptions remerge;
+  remerge.work_dir = dir;
+  remerge.shards = 2;
+  remerge.out_dir = dir + "/remerged";
+  const TimelineSummary again = merge_timeline(remerge);
+  ASSERT_TRUE(again.ok()) << again.error;
+  EXPECT_EQ(slurp(again.jsonl_path), timeline);
+  EXPECT_EQ(slurp(again.perfetto_path), slurp(report.timeline.perfetto_path));
+
+  // The sweep result is untouched by telemetry: still byte-identical to the
+  // unsharded reference.
+  ASSERT_EQ(report.merged.size(), 1u);
+  EXPECT_EQ(slurp(report.merged[0].path), slurp(reference_checkpoint(tasks)));
+  fs::remove_all(dir);
+}
+
+TEST(ExpDispatch, TelemetryOffLeavesNoStreamsAndNoTimeline) {
+  const std::string dir = fresh_dir("telemetry_off");
+  const DispatchReport report =
+      dispatch_sweep(base_options(dir, /*tasks=*/8, /*shards=*/2));
+  ASSERT_EQ(report.status, "complete");
+  EXPECT_FALSE(report.telemetry);
+  EXPECT_FALSE(fs::exists(dir + "/dispatcher_telemetry.jsonl"));
+  EXPECT_FALSE(fs::exists(dir + "/shard_0/telemetry_0001.jsonl"));
+  EXPECT_FALSE(fs::exists(dir + "/merged/timeline.jsonl"));
+  const json::Value doc = json::parse(dispatch_report_json(report));
+  EXPECT_FALSE(doc.at("telemetry").as_bool());
+  EXPECT_EQ(doc.find("timeline"), nullptr);
+  fs::remove_all(dir);
+}
+
 TEST(ExpDispatch, ReportJsonRoundTrips) {
   DispatchReport report;
   report.status = "degraded";

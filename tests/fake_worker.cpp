@@ -21,6 +21,10 @@
 //   fail_attempts=<n>     attempts 1..n exit 1 before doing any work
 //   fail_shard=<i>        restrict the *_attempts failures to shard i
 //                         (default -1 = all shards)
+//   telemetry=<path>      write an obs::TelemetrySink stream (header, one
+//                         sim instant per executed task, heartbeats, a
+//                         folded stack, end marker) — the dispatcher's
+//                         --telemetry contract
 //
 // Row values depend only on the task seed, so any mix of crashes, restarts
 // and shards merges byte-identical to a clean single-process run.
@@ -32,6 +36,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
 #include <thread>
@@ -39,6 +44,7 @@
 
 #include "exp/runner.h"
 #include "exp/sweep.h"
+#include "obs/telemetry.h"
 #include "util/config.h"
 
 namespace {
@@ -116,12 +122,31 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < tasks; ++i) values[i] = static_cast<double>(i);
   spec.add_axis("x", values, 0);
 
+  // Telemetry contract under test: the stream is valid after any scripted
+  // crash (events flushed per line), heartbeats flow through the runner's
+  // on_progress, and the end marker appears only on clean completion.
+  std::unique_ptr<obs::TelemetrySink> telemetry;
+  const std::string telemetry_file = args.get_string("telemetry", "");
+  if (!telemetry_file.empty()) {
+    obs::TelemetryOptions topt;
+    topt.name = "fake_worker";
+    topt.shard = args.get_string("shard", "0/1");
+    telemetry = std::make_unique<obs::TelemetrySink>(telemetry_file, topt);
+    telemetry->write_lane_name(obs::Domain::kSim, 0, "fake");
+  }
+
   std::atomic<int> rows_this_attempt{0};
   exp::RunnerOptions options;
   options.threads = 1;  // deterministic row order within the slice
   options.checkpoint_path =
       checkpoint_dir + "/" + sweep_name + ".ckpt.jsonl";
   options.shard = shard;
+  if (telemetry != nullptr) {
+    options.on_progress = [&telemetry, sweep_name](std::size_t done,
+                                                   std::size_t total) {
+      telemetry->heartbeat(sweep_name, done, total);
+    };
+  }
   const exp::SweepRun run = exp::run_sweep(
       spec, {"value"},
       [&](const exp::SweepSpec::Task& task) {
@@ -135,12 +160,27 @@ int main(int argc, char** argv) {
           std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
         }
         rows_this_attempt.fetch_add(1);
+        if (telemetry != nullptr) {
+          obs::TraceEvent event;
+          event.domain = obs::Domain::kSim;
+          event.phase = 'i';
+          event.ts_us = static_cast<double>(task.index) * 1e6;
+          event.cat = "fake";
+          event.name = "task";
+          event.args = {obs::arg("index", static_cast<double>(task.index))};
+          telemetry->write(event);
+        }
         // Keyed on the stable task seed: every attempt computes identical
         // bytes, the property the dispatcher's merge verifies.
         return std::vector<double>{
             static_cast<double>(task.seed % 10007) / 3.0};
       },
       options);
+
+  if (telemetry != nullptr) {
+    telemetry->write_stacks({{"fake;task", run.executed_tasks}});
+    telemetry->close();
+  }
 
   std::cout << "fake_worker: shard " << shard.index << "/" << shard.count
             << " attempt " << attempt << " executed " << run.executed_tasks

@@ -1,0 +1,250 @@
+// Offline trace analysis (obs/query.h): format auto-detection over the
+// repo's three trace encodings, scope/counter statistics, threshold-window
+// extraction with step-function semantics, and byte-stable CSV output.
+#include "obs/query.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+namespace dcs::obs::query {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+/// A merged-timeline-style JSONL fixture: two sources, spans, counters on
+/// two lanes, and non-event lines that loaders must skip.
+std::string timeline_fixture() {
+  const std::string path = temp_path("query_timeline.jsonl");
+  write_file(
+      path,
+      "{\"t\":\"timeline\",\"timeline\":1,\"sources\":2}\n"
+      "{\"t\":\"proc\",\"src\":\"shard0\",\"pid\":10}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"X\","
+      "\"ts\":0,\"dur\":100,\"lane\":0,\"cat\":\"c\",\"name\":\"work\"}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"X\","
+      "\"ts\":200,\"dur\":300,\"lane\":0,\"cat\":\"c\",\"name\":\"work\"}\n"
+      "{\"t\":\"ev\",\"src\":\"shard1\",\"domain\":\"sim\",\"ph\":\"X\","
+      "\"ts\":0,\"dur\":50,\"lane\":0,\"cat\":\"c\",\"name\":\"work\"}\n"
+      // Lane 0: degree steps 1 -> 3 -> 3.5 -> 1 -> 2 -> 1.
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":0,\"lane\":0,\"name\":\"degree\",\"args\":{\"value\":1}}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":10,\"lane\":0,\"name\":\"degree\",\"args\":{\"value\":3}}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":20,\"lane\":0,\"name\":\"degree\",\"args\":{\"value\":3.5}}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":30,\"lane\":0,\"name\":\"degree\",\"args\":{\"value\":1}}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":40,\"lane\":0,\"name\":\"degree\",\"args\":{\"value\":2}}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":50,\"lane\":0,\"name\":\"degree\",\"args\":{\"value\":1}}\n"
+      // Lane 1 interleaves its own independent step function; grouping by
+      // (src, lane) must keep it from shredding lane 0's windows.
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":15,\"lane\":1,\"name\":\"degree\",\"args\":{\"value\":1}}\n"
+      "{\"t\":\"ev\",\"src\":\"shard0\",\"domain\":\"sim\",\"ph\":\"C\","
+      "\"ts\":35,\"lane\":1,\"name\":\"degree\",\"args\":{\"value\":1}}\n"
+      "{\"t\":\"stack\",\"stack\":\"a;b\",\"count\":3}\n");
+  return path;
+}
+
+TEST(ObsQuery, LoadsTimelineJsonlSkippingNonEventLines) {
+  const std::string path = timeline_fixture();
+  const TraceData trace = load_trace(path);
+  EXPECT_EQ(trace.events.size(), 11u);
+  EXPECT_EQ(trace.events[0].src, "shard0");
+  EXPECT_EQ(trace.events[0].ph, 'X');
+  EXPECT_EQ(trace.events[0].dur_us, 100.0);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, ScopeStatsGroupBySourceAndName) {
+  const std::string path = timeline_fixture();
+  const std::vector<ScopeStat> stats = scope_stats(load_trace(path));
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].src, "shard0");
+  EXPECT_EQ(stats[0].name, "work");
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_EQ(stats[0].total_us, 400.0);
+  EXPECT_EQ(stats[0].mean_us(), 200.0);
+  EXPECT_EQ(stats[0].min_us, 100.0);
+  EXPECT_EQ(stats[0].max_us, 300.0);
+  EXPECT_EQ(stats[1].src, "shard1");
+  EXPECT_EQ(stats[1].count, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, CounterStatsAggregatePerTrack) {
+  const std::string path = timeline_fixture();
+  const std::vector<CounterStat> stats = counter_stats(load_trace(path));
+  ASSERT_EQ(stats.size(), 1u);  // one (src, name) track across both lanes
+  EXPECT_EQ(stats[0].src, "shard0");
+  EXPECT_EQ(stats[0].name, "degree");
+  EXPECT_EQ(stats[0].points, 8u);
+  EXPECT_EQ(stats[0].min, 1.0);
+  EXPECT_EQ(stats[0].max, 3.5);
+  EXPECT_EQ(stats[0].last, 1.0);
+  EXPECT_NEAR(stats[0].mean, 13.5 / 8.0, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, ThresholdWindowsFollowStepFunctionSemanticsPerLane) {
+  const std::string path = timeline_fixture();
+  const TraceData trace = load_trace(path);
+
+  // Sprint spans: degree > 1. Lane 0 opens at the ts=10 sample and closes
+  // when ts=30 takes effect, then reopens for the ts=40 sample closing at
+  // 50. Lane 1 never exceeds 1 and contributes no windows.
+  ThresholdQuery above;
+  above.track = "degree";
+  above.threshold = 1.0;
+  above.below = false;
+  std::vector<ThresholdWindow> windows = threshold_windows(trace, above);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].src, "shard0");
+  EXPECT_EQ(windows[0].lane, 0u);
+  EXPECT_EQ(windows[0].start_us, 10.0);
+  EXPECT_EQ(windows[0].end_us, 30.0);
+  EXPECT_EQ(windows[0].duration_us(), 20.0);
+  EXPECT_EQ(windows[0].extreme, 3.5);
+  EXPECT_EQ(windows[1].start_us, 40.0);
+  EXPECT_EQ(windows[1].end_us, 50.0);
+  EXPECT_EQ(windows[1].extreme, 2.0);
+
+  // min_duration filters the short reopening.
+  above.min_duration_us = 15.0;
+  windows = threshold_windows(trace, above);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].extreme, 3.5);
+
+  // below: degree < 2 — a window still open at the track's last sample
+  // closes there. Lane 0: [0,10) and [30,40); the final sample at 50
+  // (value 1) opens a window that closes at 50 with zero duration. Lane 1
+  // is below throughout: [15, 35].
+  ThresholdQuery below;
+  below.track = "degree";
+  below.threshold = 2.0;
+  windows = threshold_windows(trace, below);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].lane, 0u);
+  EXPECT_EQ(windows[0].start_us, 0.0);
+  EXPECT_EQ(windows[0].end_us, 10.0);
+  EXPECT_EQ(windows[1].start_us, 30.0);
+  EXPECT_EQ(windows[1].end_us, 40.0);
+  EXPECT_EQ(windows[2].start_us, 50.0);
+  EXPECT_EQ(windows[2].end_us, 50.0);
+  EXPECT_EQ(windows[3].lane, 1u);
+  EXPECT_EQ(windows[3].start_us, 15.0);
+  EXPECT_EQ(windows[3].end_us, 35.0);
+
+  EXPECT_THROW((void)threshold_windows(trace, ThresholdQuery{}),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, LoadsChromeTracesWithProcessNameResolution) {
+  const std::string path = temp_path("query_chrome.json");
+  write_file(
+      path,
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      "  {\"ph\": \"M\", \"pid\": 10, \"name\": \"process_name\","
+      " \"args\": {\"name\": \"shard0/sim\"}},\n"
+      "  {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\","
+      " \"args\": {\"name\": \"sim\"}},\n"
+      "  {\"ph\": \"X\", \"ts\": 5, \"dur\": 10, \"pid\": 10, \"tid\": 2,"
+      " \"cat\": \"c\", \"name\": \"merged-span\"},\n"
+      "  {\"ph\": \"C\", \"ts\": 7, \"pid\": 1, \"tid\": 0,"
+      " \"name\": \"soc\", \"args\": {\"value\": 0.5}}\n"
+      "]}\n");
+  const TraceData trace = load_trace(path);
+  ASSERT_EQ(trace.events.size(), 2u);
+  // Merged-timeline process names split into (src, domain)...
+  EXPECT_EQ(trace.events[0].src, "shard0");
+  EXPECT_EQ(trace.events[0].domain, "sim");
+  EXPECT_EQ(trace.events[0].lane, 2u);
+  EXPECT_EQ(trace.events[0].name, "merged-span");
+  // ...single-process names stay src-less.
+  EXPECT_EQ(trace.events[1].src, "");
+  EXPECT_EQ(trace.events[1].domain, "sim");
+  ASSERT_TRUE(trace.events[1].has_value);
+  EXPECT_EQ(trace.events[1].value, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, LoadsSinkWrittenJsonlAndSurvivesTornTrailingLine) {
+  const std::string path = temp_path("query_sink.jsonl");
+  {
+    JsonlStreamSink sink(path, {.buffer_events = 4});
+    TraceEvent e;
+    e.phase = 'C';
+    e.name = "margin";
+    for (int i = 0; i < 6; ++i) {
+      e.ts_us = static_cast<double>(i);
+      e.args = {arg("value", static_cast<double>(i))};
+      sink.write(e);
+    }
+    sink.finalize();
+  }
+  {
+    // A crashed worker's torn tail: half a JSON object, no newline.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"domain\":\"sim\",\"ph\":\"C\",\"ts\":99,\"na";
+  }
+  const TraceData trace = load_trace(path);
+  EXPECT_EQ(trace.events.size(), 6u) << "the torn line is skipped, not fatal";
+  const std::vector<CounterStat> stats = counter_stats(trace);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].points, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, CsvWritersAreByteStable) {
+  const std::string path = timeline_fixture();
+  const TraceData trace = load_trace(path);
+  const auto render = [&] {
+    std::ostringstream out;
+    write_scope_csv(out, scope_stats(trace));
+    write_counter_csv(out, counter_stats(trace));
+    ThresholdQuery q;
+    q.track = "degree";
+    q.threshold = 1.0;
+    q.below = false;
+    write_window_csv(out, threshold_windows(trace, q));
+    return out.str();
+  };
+  const std::string first = render();
+  EXPECT_EQ(first, render());
+  EXPECT_NE(first.find("src,name,count,total_us,mean_us,min_us,max_us\n"),
+            std::string::npos);
+  EXPECT_NE(first.find("src,lane,start_us,end_us,duration_us,extreme\n"),
+            std::string::npos);
+  EXPECT_NE(first.find("shard0,0,10,30,20,3.5\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, RejectsUnreadableAndHandlesEmptyInput) {
+  EXPECT_THROW((void)load_trace("/nonexistent-dir/trace.json"),
+               std::invalid_argument);
+  const std::string path = temp_path("query_empty.jsonl");
+  write_file(path, "  \n\t\n");
+  EXPECT_TRUE(load_trace(path).events.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcs::obs::query

@@ -153,6 +153,36 @@ TEST(ObsSink, TeeFansOutToEverySink) {
   std::remove(jsonl_path.c_str());
 }
 
+TEST(ObsSink, TeePropagatesPartialFailureAndKeepsHealthySinksWriting) {
+  {
+    std::ofstream probe("/dev/full");
+    if (!probe.is_open()) {
+      GTEST_SKIP() << "/dev/full not available on this platform";
+    }
+  }
+  const std::string good_path = temp_path("sink_tee_partial.jsonl");
+  JsonlStreamSink good(good_path, {.buffer_events = 4});
+  JsonlStreamSink doomed("/dev/full", {.buffer_events = 4});
+  TeeSink tee({&good, &doomed});
+  ASSERT_TRUE(tee.healthy());
+  for (std::size_t i = 0; i < 32; ++i) {
+    tee.write(instant_at(static_cast<double>(i), "fanned"));
+  }
+  // One child on a full disk: the tee must read unhealthy — a partial
+  // failure is not overall success — while the healthy child keeps going.
+  EXPECT_FALSE(doomed.ok());
+  EXPECT_TRUE(good.ok());
+  EXPECT_FALSE(tee.healthy());
+  tee.finalize();
+  EXPECT_EQ(good.events_written(), 32u);
+  std::ifstream in(good_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 32u) << "the healthy sink must not lose events";
+  std::remove(good_path.c_str());
+}
+
 TEST(ObsSink, StreamingTracerForwardsWithoutBuffering) {
   const std::string path = temp_path("sink_tracer.json");
   {

@@ -1,0 +1,233 @@
+// Worker telemetry streams: crash-safe JSONL schema, the incremental tail
+// the dispatcher supervises with, and the torn-trailing-line tolerance both
+// sides rely on when workers die mid-write.
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace dcs::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<json::Value> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<json::Value> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(json::parse(line));
+  return lines;
+}
+
+TraceEvent instant_at(double ts_us, const std::string& name) {
+  TraceEvent e;
+  e.phase = 'i';
+  e.ts_us = ts_us;
+  e.cat = "test";
+  e.name = name;
+  return e;
+}
+
+TEST(ObsTelemetry, StreamCarriesHeaderEventsMetricsStacksAndEndMarker) {
+  const std::string path = temp_path("telemetry_full.jsonl");
+  TelemetryOptions options;
+  options.name = "unit";
+  options.shard = "1/4";
+  {
+    TelemetrySink sink(path, options);
+    ASSERT_TRUE(sink.ok());
+    sink.write_lane_name(Domain::kSim, 0, "lane-zero");
+    sink.write(instant_at(1.0, "first"));
+    sink.heartbeat("sweep", 3, 10);
+    MetricsRegistry registry;
+    registry.counter("rows_total").inc(5.0);
+    registry.gauge("margin_s").set(0.25);
+    sink.write_metrics(registry);
+    sink.write_stacks({{"main;task", 7}});
+    EXPECT_EQ(sink.events_written(), 1u);
+    sink.close();
+  }
+  const std::vector<json::Value> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 7u);
+
+  // Header first, exactly once, with the cross-process merge anchor.
+  EXPECT_EQ(lines[0].at("t").as_string(), "header");
+  EXPECT_EQ(lines[0].at("telemetry").as_number(), 1.0);
+  EXPECT_EQ(lines[0].at("name").as_string(), "unit");
+  EXPECT_EQ(lines[0].at("shard").as_string(), "1/4");
+  EXPECT_GT(lines[0].at("pid").as_number(), 0.0);
+  EXPECT_EQ(static_cast<std::int64_t>(lines[0].at("epoch_unix_us").as_number()),
+            Profiler::instance().epoch_unix_us());
+
+  std::size_t events = 0, lanes = 0, heartbeats = 0, metrics = 0, stacks = 0;
+  for (const json::Value& line : lines) {
+    const std::string& t = line.at("t").as_string();
+    if (t == "ev") {
+      ++events;
+      EXPECT_EQ(line.at("name").as_string(), "first");
+    } else if (t == "lane") {
+      ++lanes;
+      EXPECT_EQ(line.at("name").as_string(), "lane-zero");
+    } else if (t == "hb") {
+      ++heartbeats;
+      EXPECT_EQ(line.at("done").as_number(), 3.0);
+      EXPECT_EQ(line.at("total").as_number(), 10.0);
+      EXPECT_GE(line.at("wall_us").as_number(), 0.0);
+    } else if (t == "metric") {
+      ++metrics;
+    } else if (t == "stack") {
+      ++stacks;
+      EXPECT_EQ(line.at("stack").as_string(), "main;task");
+      EXPECT_EQ(line.at("count").as_number(), 7.0);
+    }
+  }
+  EXPECT_EQ(events, 1u);
+  EXPECT_EQ(lanes, 1u);
+  EXPECT_EQ(heartbeats, 1u);
+  EXPECT_EQ(metrics, 2u);
+  EXPECT_EQ(stacks, 1u);
+
+  // End marker last: the clean-shutdown signal restarted shards lack.
+  EXPECT_EQ(lines.back().at("t").as_string(), "end");
+  EXPECT_EQ(lines.back().at("events").as_number(), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTelemetry, CloseIsIdempotentAndSealsTheStream) {
+  const std::string path = temp_path("telemetry_close.jsonl");
+  TelemetrySink sink(path);
+  sink.write(instant_at(1.0, "kept"));
+  sink.close();
+  sink.close();  // idempotent: one end marker
+  sink.write(instant_at(2.0, "dropped"));
+  sink.heartbeat("late", 1, 1);
+  EXPECT_EQ(sink.events_written(), 1u);
+  std::size_t ends = 0;
+  bool dropped_seen = false;
+  for (const json::Value& line : read_lines(path)) {
+    if (line.at("t").as_string() == "end") ++ends;
+    const json::Value* name = line.find("name");
+    if (name != nullptr && name->is_string() &&
+        name->as_string() == "dropped") {
+      dropped_seen = true;
+    }
+  }
+  EXPECT_EQ(ends, 1u);
+  EXPECT_FALSE(dropped_seen) << "writes after close must be silent no-ops";
+  std::remove(path.c_str());
+}
+
+TEST(ObsTelemetry, UnwritablePathReportsNotOkAndNeverCrashes) {
+  TelemetrySink sink("/nonexistent-dir/telemetry.jsonl");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_FALSE(sink.healthy());
+  sink.write(instant_at(1.0, "dropped"));
+  sink.heartbeat("s", 1, 2);
+  sink.close();
+}
+
+TEST(ObsTelemetry, TailReadsIncrementallyAndTracksHeartbeats) {
+  const std::string path = temp_path("telemetry_tail.jsonl");
+  std::remove(path.c_str());
+
+  TelemetryTail tail(path);
+  EXPECT_FALSE(tail.poll()) << "a missing file is 'no data yet', not an error";
+  EXPECT_FALSE(tail.have_header());
+
+  TelemetryOptions options;
+  options.name = "tailed";
+  options.shard = "0/2";
+  TelemetrySink sink(path, options);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_TRUE(tail.poll());
+  EXPECT_TRUE(tail.have_header());
+  EXPECT_EQ(tail.name(), "tailed");
+  EXPECT_EQ(tail.epoch_unix_us(), Profiler::instance().epoch_unix_us());
+  EXPECT_FALSE(tail.have_heartbeat());
+
+  sink.heartbeat("fake", 4, 24);
+  EXPECT_TRUE(tail.poll());
+  ASSERT_TRUE(tail.have_heartbeat());
+  EXPECT_EQ(tail.heartbeat().sweep, "fake");
+  EXPECT_EQ(tail.heartbeat().done, 4u);
+  EXPECT_EQ(tail.heartbeat().total, 24u);
+  EXPECT_FALSE(tail.ended());
+
+  sink.heartbeat("fake", 24, 24);
+  sink.write(instant_at(5.0, "tick"));
+  sink.close();
+  EXPECT_TRUE(tail.poll());
+  EXPECT_EQ(tail.heartbeat().done, 24u);
+  EXPECT_EQ(tail.events_seen(), 1u);
+  EXPECT_TRUE(tail.ended());
+  EXPECT_FALSE(tail.poll()) << "nothing new after the end marker";
+  std::remove(path.c_str());
+}
+
+TEST(ObsTelemetry, TailNeverConsumesATornTrailingLine) {
+  const std::string path = temp_path("telemetry_torn.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"t\":\"header\",\"telemetry\":1,\"name\":\"torn\",\"pid\":7,"
+           "\"shard\":\"\",\"epoch_unix_us\":1000}\n";
+    out << "{\"t\":\"hb\",\"wall_us\":1.0,\"sweep\":\"s\",\"done\":2,"
+           "\"total\":8}\n";
+    // The worker was killed mid-write: no trailing newline, truncated JSON.
+    out << "{\"t\":\"hb\",\"wall_us\":2.0,\"sweep\":\"s\",\"do";
+  }
+  TelemetryTail tail(path);
+  EXPECT_TRUE(tail.poll());
+  EXPECT_TRUE(tail.have_header());
+  EXPECT_EQ(tail.pid(), 7);
+  EXPECT_EQ(tail.epoch_unix_us(), 1000);
+  EXPECT_EQ(tail.heartbeat().done, 2u)
+      << "the torn line must not be consumed";
+  EXPECT_EQ(tail.lines_read(), 2u);
+  EXPECT_FALSE(tail.poll()) << "the torn tail is not new data";
+
+  // The missing bytes land (a restarted attempt never does this, but an
+  // interrupted write flushing late can): the completed line is consumed.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "ne\":5,\"total\":8}\n";
+  }
+  EXPECT_TRUE(tail.poll());
+  EXPECT_EQ(tail.heartbeat().done, 5u);
+  EXPECT_EQ(tail.lines_read(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTelemetry, TailSkipsUnknownLineTypes) {
+  const std::string path = temp_path("telemetry_unknown.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"t\":\"header\",\"telemetry\":1,\"name\":\"fwd\",\"pid\":1,"
+           "\"shard\":\"\",\"epoch_unix_us\":5}\n";
+    out << "{\"t\":\"future-type\",\"payload\":true}\n";
+    out << "{\"t\":\"hb\",\"wall_us\":1.0,\"sweep\":\"s\",\"done\":1,"
+           "\"total\":2}\n";
+  }
+  TelemetryTail tail(path);
+  EXPECT_TRUE(tail.poll());
+  EXPECT_TRUE(tail.have_header());
+  EXPECT_EQ(tail.heartbeat().done, 1u)
+      << "unknown types must be skipped, not fatal";
+  EXPECT_EQ(tail.lines_read(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcs::obs

@@ -22,6 +22,13 @@
 //   --chaos-kill-prob=P    per-poll kill probability per live worker
 //   --chaos-seed=N         chaos RNG seed
 //   --chaos-kill-limit=N   disarm chaos after N kills (0 = unlimited)
+//   --telemetry            stream telemetry: workers write per-attempt
+//                          JSONL streams the dispatcher tails for live
+//                          per-shard progress/ETA lines, and everything
+//                          (dispatcher + all worker attempts) merges into
+//                          WORKDIR/merged/timeline.{jsonl,perfetto} +
+//                          timeline_trace.json + dispatch_stacks.folded
+//   --status-interval=S    cadence of aggregated status lines (default 5)
 //   --report=PATH          report path (default WORKDIR/dispatch_report.json)
 //   --resume-report=PATH   resume a degraded run: seed the merged sweep
 //                          checkpoints named in PATH (a prior run's
@@ -76,6 +83,7 @@ void usage(std::ostream& out) {
          "[--grace=S]\n"
          "                      [--chaos-kill-prob=P] [--chaos-seed=N] "
          "[--chaos-kill-limit=N]\n"
+         "                      [--telemetry] [--status-interval=S]\n"
          "                      [--report=PATH] [--resume-report=PATH] "
          "[--quiet] -- <command...>\n";
 }
@@ -127,6 +135,8 @@ int main(int argc, char** argv) {
       }
       if (std::strcmp(arg, "--quiet") == 0) {
         quiet = true;
+      } else if (std::strcmp(arg, "--telemetry") == 0) {
+        options.telemetry = true;
       } else if (parse_size_flag(arg, "--shards=", &options.shards) ||
                  parse_size_flag(arg, "--retries=", &options.max_restarts) ||
                  parse_size_flag(arg, "--chaos-kill-limit=",
@@ -141,6 +151,8 @@ int main(int argc, char** argv) {
                                    &options.backoff_max_s) ||
                  parse_double_flag(arg, "--poll=", &options.poll_interval_s) ||
                  parse_double_flag(arg, "--grace=", &options.grace_period_s) ||
+                 parse_double_flag(arg, "--status-interval=",
+                                   &options.status_interval_s) ||
                  parse_double_flag(arg, "--chaos-kill-prob=",
                                    &options.chaos_kill_prob) ||
                  parse_value_flag(arg, "--dir=", &options.work_dir) ||
@@ -193,6 +205,15 @@ int main(int argc, char** argv) {
         std::cout << ", missing " << m.missing.size() << " task(s)";
       }
       std::cout << "\n";
+    }
+    if (report.telemetry) {
+      if (report.timeline.ok()) {
+        std::cout << "  timeline: " << report.timeline.events
+                  << " event(s) from " << report.timeline.sources
+                  << " stream(s) -> " << report.timeline.jsonl_path << "\n";
+      } else {
+        std::cout << "  timeline: " << report.timeline.error << "\n";
+      }
     }
     std::cout << "dispatch_sweep: report -> " << report_path << "\n";
     return report.exit_code();

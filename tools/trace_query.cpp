@@ -1,0 +1,239 @@
+// Offline trace analysis CLI over the repo's trace encodings (Chrome JSON,
+// trace/telemetry JSONL, merged timeline.jsonl). Usage:
+//
+//   trace_query scopes    <trace> [--csv[=path]] [--require-rows=N]
+//   trace_query counters  <trace> [--csv[=path]] [--require-rows=N]
+//   trace_query threshold <trace> --track=NAME --threshold=V
+//                         [--above | --below] [--min-duration-us=V]
+//                         [--csv[=path]] [--require-rows=N]
+//   trace_query slo       <trace> --slo-ms=V [--min-duration-us=V]
+//                         [--csv[=path]] [--require-rows=N]
+//
+// `scopes` prints duration stats per (src, span name); `counters` prints
+// value stats per (src, counter track); `threshold` extracts the maximal
+// windows during which a counter track was below (default) or above a
+// threshold — e.g. `--track=cb_trip_margin_s --threshold=0.5 --below`
+// finds the intervals where the circuit-breaker margin ran thin. `slo` is
+// sugar for `threshold --track=serving_window_p99_ms --above`, extracting
+// SLO-violation intervals from the serving layer's windowed p99 track.
+//
+// `--csv` switches to the byte-stable CSV encoding (stdout, or a file with
+// `--csv=path`) for diffing across runs. `--require-rows=N` exits 1 when
+// fewer than N result rows were produced — the CI smoke test's assertion
+// that e.g. every shard actually recorded sprint spans.
+//
+// Exit codes: 0 = ok, 1 = --require-rows unmet, 2 = usage/input error.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/query.h"
+#include "util/json.h"
+
+namespace {
+
+namespace query = dcs::obs::query;
+
+struct Args {
+  std::string command;
+  std::string trace;
+  bool csv = false;
+  std::string csv_path;  // empty = stdout
+  std::string track;
+  std::optional<double> threshold;
+  bool below = true;
+  double min_duration_us = 0.0;
+  std::optional<double> slo_ms;
+  std::size_t require_rows = 0;
+};
+
+int usage() {
+  std::cerr
+      << "usage: trace_query <scopes|counters|threshold|slo> <trace> "
+         "[options]\n"
+         "  --csv[=path]         CSV output (default: readable table)\n"
+         "  --track=NAME         counter track (threshold)\n"
+         "  --threshold=V        threshold value (threshold)\n"
+         "  --below | --above    predicate direction (default --below)\n"
+         "  --min-duration-us=V  drop windows shorter than V\n"
+         "  --slo-ms=V           p99 target in ms (slo)\n"
+         "  --require-rows=N     exit 1 unless >= N result rows\n";
+  return 2;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+bool parse(int argc, char** argv, Args* args) {
+  if (argc < 3) return false;
+  args->command = argv[1];
+  args->trace = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& prefix,
+                              std::string* value) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *value = arg.substr(prefix.size());
+      return true;
+    };
+    std::string value;
+    double number = 0.0;
+    if (arg == "--csv") {
+      args->csv = true;
+    } else if (value_of("--csv=", &value)) {
+      args->csv = true;
+      args->csv_path = value;
+    } else if (value_of("--track=", &value)) {
+      args->track = value;
+    } else if (value_of("--threshold=", &value) &&
+               parse_double(value, &number)) {
+      args->threshold = number;
+    } else if (arg == "--below") {
+      args->below = true;
+    } else if (arg == "--above") {
+      args->below = false;
+    } else if (value_of("--min-duration-us=", &value) &&
+               parse_double(value, &number)) {
+      args->min_duration_us = number;
+    } else if (value_of("--slo-ms=", &value) && parse_double(value, &number)) {
+      args->slo_ms = number;
+    } else if (value_of("--require-rows=", &value) &&
+               parse_double(value, &number)) {
+      args->require_rows = static_cast<std::size_t>(number);
+    } else {
+      std::cerr << "trace_query: unknown option " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Resolves the CSV destination; the table view always goes to stdout.
+std::ostream* open_out(const Args& args, std::ofstream* file) {
+  if (!args.csv || args.csv_path.empty()) return &std::cout;
+  file->open(args.csv_path, std::ios::trunc);
+  if (!*file) {
+    std::cerr << "trace_query: cannot write " << args.csv_path << "\n";
+    return nullptr;
+  }
+  return file;
+}
+
+std::string fmt(double v) { return dcs::json::number_to_string(v); }
+
+std::string tag(const std::string& src, const std::string& name) {
+  return src.empty() ? name : src + "/" + name;
+}
+
+void print_scopes(std::ostream& out, const std::vector<query::ScopeStat>& s) {
+  for (const query::ScopeStat& stat : s) {
+    out << tag(stat.src, stat.name) << ": count=" << stat.count
+        << " total_us=" << fmt(stat.total_us)
+        << " mean_us=" << fmt(stat.mean_us())
+        << " min_us=" << fmt(stat.min_us) << " max_us=" << fmt(stat.max_us)
+        << "\n";
+  }
+}
+
+void print_counters(std::ostream& out,
+                    const std::vector<query::CounterStat>& s) {
+  for (const query::CounterStat& stat : s) {
+    out << tag(stat.src, stat.name) << ": points=" << stat.points
+        << " min=" << fmt(stat.min) << " mean=" << fmt(stat.mean)
+        << " max=" << fmt(stat.max) << " last=" << fmt(stat.last) << "\n";
+  }
+}
+
+void print_windows(std::ostream& out,
+                   const std::vector<query::ThresholdWindow>& windows) {
+  for (const query::ThresholdWindow& w : windows) {
+    out << (w.src.empty() ? std::string("trace") : w.src) << "/lane"
+        << w.lane << ": ["
+        << fmt(w.start_us) << " us, " << fmt(w.end_us) << " us] duration_us="
+        << fmt(w.duration_us()) << " extreme=" << fmt(w.extreme) << "\n";
+  }
+}
+
+int finish(const Args& args, std::size_t rows) {
+  if (rows < args.require_rows) {
+    std::cerr << "trace_query: " << rows << " row(s) < required "
+              << args.require_rows << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, &args)) return usage();
+
+  try {
+    const query::TraceData trace = query::load_trace(args.trace);
+    std::ofstream file;
+    std::ostream* out = open_out(args, &file);
+    if (out == nullptr) return 2;
+
+    if (args.command == "scopes") {
+      const std::vector<query::ScopeStat> stats = query::scope_stats(trace);
+      if (args.csv) {
+        query::write_scope_csv(*out, stats);
+      } else {
+        print_scopes(*out, stats);
+      }
+      return finish(args, stats.size());
+    }
+    if (args.command == "counters") {
+      const std::vector<query::CounterStat> stats =
+          query::counter_stats(trace);
+      if (args.csv) {
+        query::write_counter_csv(*out, stats);
+      } else {
+        print_counters(*out, stats);
+      }
+      return finish(args, stats.size());
+    }
+    if (args.command == "threshold" || args.command == "slo") {
+      query::ThresholdQuery q;
+      if (args.command == "slo") {
+        if (!args.slo_ms.has_value()) {
+          std::cerr << "trace_query: slo needs --slo-ms=V\n";
+          return 2;
+        }
+        q.track = "serving_window_p99_ms";
+        q.threshold = *args.slo_ms;
+        q.below = false;
+      } else {
+        if (args.track.empty() || !args.threshold.has_value()) {
+          std::cerr
+              << "trace_query: threshold needs --track=NAME --threshold=V\n";
+          return 2;
+        }
+        q.track = args.track;
+        q.threshold = *args.threshold;
+        q.below = args.below;
+      }
+      q.min_duration_us = args.min_duration_us;
+      const std::vector<query::ThresholdWindow> windows =
+          query::threshold_windows(trace, q);
+      if (args.csv) {
+        query::write_window_csv(*out, windows);
+      } else {
+        print_windows(*out, windows);
+      }
+      return finish(args, windows.size());
+    }
+    std::cerr << "trace_query: unknown command " << args.command << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "trace_query: " << e.what() << "\n";
+    return 2;
+  }
+}
