@@ -44,7 +44,7 @@ namespace dcs::bench {
 /// a supervising dispatcher tails and merges — see obs/telemetry.h).
 inline constexpr std::string_view kCommonKeys[] = {
     "pdus", "dc_headroom", "pue", "csv", "perf", "threads", "trace",
-    "metrics", "sink", "checkpoint", "shard", "telemetry"};
+    "metrics", "sink", "checkpoint", "shard", "telemetry", "decisions"};
 
 /// Default recorder channels bridged into Perfetto counter tracks by the
 /// traced benches: physical state (state of charge, breaker trip margin,
@@ -109,6 +109,14 @@ inline void telemetry_setup(const Config& args, const std::string& name) {
 inline bool tracing_enabled(const Config& args) {
   return !args.get_string("trace", "").empty() ||
          !args.get_string("telemetry", "").empty();
+}
+
+/// Whether traced runs should also emit DecisionRecords (obs/decision.h)
+/// into their trace lanes. On by default whenever tracing is on;
+/// decisions=0 turns just the decision plane off (the tracing-overhead
+/// gate measures both configurations).
+inline bool decisions_enabled(const Config& args) {
+  return tracing_enabled(args) && args.get_int("decisions", 1) != 0;
 }
 
 /// Worker threads for the sweep runner (threads=<n>; 0 = all hardware).

@@ -14,10 +14,12 @@
 // (UPS bank outage + degraded chiller) so the traced trajectories show the
 // degradation ladder at work.
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/heuristic_strategy.h"
+#include "obs/decision.h"
 #include "core/oracle.h"
 #include "core/prediction_strategy.h"
 #include "faults/schedule.h"
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
   bench::obs_setup(args);
   bench::telemetry_setup(args, "fig09_strategies");
   const bool tracing = bench::tracing_enabled(args);
+  const bool decisions = bench::decisions_enabled(args);
   const bool faulted = args.get_int("faults", 0) != 0;
   const DataCenter dc(bench::bench_config(args));
   const TimeSeries trace = workload::generate_ms_trace();
@@ -106,10 +109,17 @@ int main(int argc, char** argv) {
             forecast.apply(oracle_run.avg_sprint_degree), budget);
         RunOptions opts;
         if (faulted) opts.faults = &fault_schedule;
+        std::optional<obs::DecisionLog> decision_log;
         if (tracing) {
           opts.tracer = &task_tracers[task.index];
           opts.tracer->set_lane(static_cast<std::uint32_t>(task.index));
           opts.record = true;
+          if (decisions) {
+            // Decision provenance rides the task's own trace lane, so the
+            // merged decision stream shares the bit-identity contract.
+            decision_log.emplace(opts.tracer);
+            opts.decisions = &*decision_log;
+          }
         }
         const RunResult prediction_run = task_dc.run(trace, &prediction, opts);
         if (tracing) {

@@ -22,12 +22,14 @@
 // Under trace=<dir> each task exports its recorder channels — including the
 // serving_p99_ms / serving_backlog tracks — as Perfetto counter lanes.
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/datacenter.h"
 #include "core/slo_strategy.h"
+#include "obs/decision.h"
 #include "serving/serving_layer.h"
 #include "util/table.h"
 #include "workload/yahoo_trace.h"
@@ -37,7 +39,11 @@ namespace {
 /// Serving-side counter tracks appended to the physical defaults.
 const std::vector<std::string> kServingChannels = {
     "serving_p99_ms", "serving_window_p99_ms", "serving_backlog",
-    "serving_dropped"};
+    "serving_dropped",
+    // Error-budget tracks (recorded only when the budget is enabled;
+    // export_counters skips channels a run did not produce).
+    "slo_budget_remaining", "slo_burn_fast", "slo_burn_slow",
+    "slo_budget_violations"};
 
 struct TaskOutcome {
   double p50_ms = 0.0;
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   bench::obs_setup(args);
   bench::telemetry_setup(args, "fig12_slo_sprint");
   const bool tracing = bench::tracing_enabled(args);
+  const bool decisions = bench::decisions_enabled(args);
 
   const double slo_ms = args.get_double("slo", 250.0);
   serving::ServingParams base_serving;
@@ -107,10 +114,22 @@ int main(int argc, char** argv) {
     opts.on_step = [&serving](Duration, Duration, const StepResult& step) {
       serving.set_capacity_degree(step.degree);
     };
+    std::optional<obs::DecisionLog> decision_log;
     if (tracer != nullptr) {
       opts.tracer = tracer;
       opts.record = true;
       serving.set_recorder(&serving_recorder);
+      if (decisions) {
+        // One DecisionLog per task over the task's own trace lane: the
+        // controller, the SLO latch and the serving layer all emit into it,
+        // so `trace_query explain` can chain p99 latch -> sprint onset.
+        decision_log.emplace(tracer);
+        opts.decisions = &*decision_log;
+        slo.set_decision_log(&*decision_log);
+        serving.set_decision_log(&*decision_log);
+        serving.enable_error_budget(
+            serving::ErrorBudgetParams{.target_p99_s = slo_ms * 1e-3});
+      }
     }
     const RunResult run = dc.run(trace, strategy, opts);
     if (tracer != nullptr) {
@@ -179,6 +198,11 @@ int main(int argc, char** argv) {
   exp::SweepSpec admit_spec("fig12_admission");
   admit_spec.add_axis("admit", admits, 2);
   admit_spec.add_axis("strategy", admit_strategies);
+  // The admission sweep's lanes start after the budget sweep's so the two
+  // grids never share a lane in the merged trace — counter tracks stay
+  // per-task step functions and decision ids stay unique per (src, lane).
+  const std::uint32_t admit_lane_base =
+      static_cast<std::uint32_t>(budget_spec.tasks().size());
   std::vector<obs::Tracer> admit_tracers(
       tracing ? admit_spec.tasks().size() : 0);
   const exp::SweepRun admit_run = exp::run_sweep(
@@ -190,7 +214,8 @@ int main(int argc, char** argv) {
         obs::Tracer* tracer = nullptr;
         if (tracing) {
           tracer = &admit_tracers[task.index];
-          tracer->set_lane(static_cast<std::uint32_t>(task.index));
+          tracer->set_lane(admit_lane_base +
+                           static_cast<std::uint32_t>(task.index));
         }
         const TaskOutcome out =
             run_task(config, admit_spec.label(task, 1), sp, tracer);
@@ -228,7 +253,7 @@ int main(int argc, char** argv) {
     }
     for (const exp::SweepSpec::Task& task : admit_spec.tasks()) {
       tracer.name_lane(obs::Domain::kSim,
-                       static_cast<std::uint32_t>(task.index),
+                       admit_lane_base + static_cast<std::uint32_t>(task.index),
                        "admit=" + admit_spec.label(task, 0) + "x/" +
                            admit_spec.label(task, 1));
       tracer.merge_from(std::move(admit_tracers[task.index]));

@@ -16,6 +16,7 @@
 #include "compute/fleet.h"
 #include "core/datacenter.h"
 #include "core/oracle.h"
+#include "obs/decision.h"
 #include "obs/trace.h"
 #include "power/circuit_breaker.h"
 #include "workload/ms_trace.h"
@@ -81,12 +82,14 @@ void BM_FullMsRun(benchmark::State& state) {
   obs::Tracer tracer;
   for (auto _ : state) {
     if (g_traced) {
-      // Tracer only — record= stays off so the gate measures the tracing
-      // hot path (edge-triggered instants), not the recorder's per-tick
-      // channel appends.
+      // Tracer + decision emission — record= stays off so the gate
+      // measures the tracing hot path (edge-triggered instants plus
+      // DecisionRecords), not the recorder's per-tick channel appends.
       tracer.clear();
       core::RunOptions opts;
       opts.tracer = &tracer;
+      obs::DecisionLog decisions(&tracer);
+      opts.decisions = &decisions;
       benchmark::DoNotOptimize(dc.run(trace, &greedy, opts));
     } else {
       benchmark::DoNotOptimize(dc.run(trace, &greedy));

@@ -727,41 +727,65 @@ bool SprintingController::should_fall_back() const {
 
 void SprintingController::trace_transitions(Duration now,
                                             const StepResult& result) {
-  if (result.degradation != prev_degradation_) {
+  const DegradationLevel prev_level = prev_degradation_;
+  if (result.degradation != prev_level) {
     // Ladder moves are the reactive safety actions of Section IV-A: rare,
     // and worth a log line even without a tracer attached.
-    DCS_LOG_INFO << "degradation " << to_string(prev_degradation_) << " -> "
+    DCS_LOG_INFO << "degradation " << to_string(prev_level) << " -> "
                  << to_string(result.degradation) << " at t=" << now.sec()
                  << "s (degree " << result.degree << ")";
     if (tracer_ != nullptr) {
       tracer_->instant(now, "controller", "degradation",
-                       {obs::arg("from", to_string(prev_degradation_)),
+                       {obs::arg("from", to_string(prev_level)),
                         obs::arg("to", to_string(result.degradation)),
                         obs::arg("degree", result.degree)});
     }
-    prev_degradation_ = result.degradation;
   }
-  if (tracer_ == nullptr) {
+  prev_degradation_ = result.degradation;
+
+  const bool sprinting = result.degree > 1.0 + kDegreeEps;
+  if (tracer_ == nullptr && decisions_ == nullptr) {
     prev_phase_ = result.phase;
+    prev_in_burst_ = in_burst_;
+    prev_sprinting_ = sprinting;
+    prev_grid_limited_ = grid_limited_;
     return;
   }
 
-  if (result.phase != prev_phase_) {
+  // Trigger decisions first: a consequence emitted later this tick (sprint
+  // onset, a ladder move) cites the latest trigger as its cause, so causes
+  // must hit the stream before their effects.
+  if (decisions_ != nullptr && grid_limited_ && !prev_grid_limited_) {
+    decisions_->emit(obs::DecisionRule::kSupplyDisturbance,
+                     {{"supply", result.supply_fraction}}, {{"supply", 1.0}});
+  }
+  prev_grid_limited_ = grid_limited_;
+
+  if (decisions_ != nullptr && in_burst_ != prev_in_burst_) {
+    decisions_->emit(in_burst_ ? obs::DecisionRule::kBurstStart
+                               : obs::DecisionRule::kBurstEnd,
+                     {{"demand", result.measured_demand}}, {{"demand", 1.0}});
+  }
+  prev_in_burst_ = in_burst_;
+
+  if (tracer_ != nullptr && result.phase != prev_phase_) {
     tracer_->instant(
         now, "controller", "phase",
         {obs::arg("from", to_string(prev_phase_)),
          obs::arg("to", to_string(result.phase)),
          obs::arg("degree", result.degree),
          obs::arg("cores", static_cast<double>(result.active_cores))});
-    prev_phase_ = result.phase;
   }
+  prev_phase_ = result.phase;
 
   const bool dc_overload = result.dc_load > dc_rated_ + kPowerEps;
   if (dc_overload != prev_dc_overload_) {
-    tracer_->instant(now, "controller",
-                     dc_overload ? "dc-overload-enter" : "dc-overload-exit",
-                     {obs::arg("dc_load_w", result.dc_load.w()),
-                      obs::arg("rated_w", dc_rated_.w())});
+    if (tracer_ != nullptr) {
+      tracer_->instant(now, "controller",
+                       dc_overload ? "dc-overload-enter" : "dc-overload-exit",
+                       {obs::arg("dc_load_w", result.dc_load.w()),
+                        obs::arg("rated_w", dc_rated_.w())});
+    }
     prev_dc_overload_ = dc_overload;
   }
 
@@ -774,39 +798,97 @@ void SprintingController::trace_transitions(Duration now,
   // the governor holds the load right where the margin hovers at the
   // watch threshold, which would otherwise toggle an instant every tick.
   const power::CircuitBreaker& dc_breaker = deps_.topology->dc_breaker();
+  const Duration watch = config_.cb_reserve * 2.0;
   bool margin_low = false;
   if (dc_breaker.can_trip_at(result.dc_load)) {
-    const Duration watch = config_.cb_reserve * 2.0;
     margin_low = dc_breaker.trips_within(
         result.dc_load,
         prev_margin_low_ ? watch * kMarginReleaseFactor : watch);
   }
   if (margin_low != prev_margin_low_) {
     const Duration margin = dc_breaker.time_to_trip_at(result.dc_load);
-    tracer_->instant(now, "controller",
-                     margin_low ? "trip-margin-low" : "trip-margin-recovered",
-                     {obs::arg("margin_s", margin.is_infinite()
-                                               ? -1.0
-                                               : margin.sec()),
-                      obs::arg("reserve_s", config_.cb_reserve.sec())});
+    const double margin_s = margin.is_infinite() ? -1.0 : margin.sec();
+    if (tracer_ != nullptr) {
+      tracer_->instant(now, "controller",
+                       margin_low ? "trip-margin-low" : "trip-margin-recovered",
+                       {obs::arg("margin_s", margin_s),
+                        obs::arg("reserve_s", config_.cb_reserve.sec())});
+    }
+    if (decisions_ != nullptr && margin_low) {
+      decisions_->emit(obs::DecisionRule::kBreakerScreen,
+                       {{"margin_s", margin_s}}, {{"watch_s", watch.sec()}});
+    }
     prev_margin_low_ = margin_low;
+  }
+
+  if (decisions_ != nullptr && sprinting != prev_sprinting_) {
+    if (sprinting) {
+      decisions_->emit(obs::DecisionRule::kSprintOnset,
+                       {{"degree", result.degree},
+                        {"bound", result.upper_bound},
+                        {"demand", result.measured_demand},
+                        {"energy_fraction", remaining_energy_fraction()}},
+                       {{"degree", 1.0}},
+                       {obs::arg("phase", to_string(result.phase))});
+    } else {
+      decisions_->emit(obs::DecisionRule::kSprintEnd,
+                       {{"degree", result.degree},
+                        {"demand", result.measured_demand}},
+                       {{"degree", 1.0}},
+                       {obs::arg("terminated", sprint_terminated_)});
+    }
+  }
+  prev_sprinting_ = sprinting;
+
+  if (decisions_ != nullptr && result.degradation != prev_level) {
+    obs::DecisionRule rule = obs::DecisionRule::kLadderRecovered;
+    if (result.degradation > prev_level) {
+      switch (result.degradation) {
+        case DegradationLevel::kDerated:
+          rule = obs::DecisionRule::kLadderDerate;
+          break;
+        case DegradationLevel::kShedding:
+          rule = obs::DecisionRule::kLadderShed;
+          break;
+        case DegradationLevel::kSprintEnded:
+          rule = obs::DecisionRule::kLadderSprintEnded;
+          break;
+        default:
+          rule = obs::DecisionRule::kLadderPowerCap;
+          break;
+      }
+    }
+    const double severity =
+        injector_ != nullptr ? injector_->state().severity : 0.0;
+    decisions_->emit(
+        rule,
+        {{"severity", severity},
+         {"faults_active", static_cast<double>(result.faults_active)},
+         {"degree", result.degree}},
+        {{"severe_severity", kSevereFaultSeverity}},
+        {obs::arg("from", to_string(prev_level)),
+         obs::arg("to", to_string(result.degradation))});
   }
 
   const bool ups_active = result.ups_power > kPowerEps;
   if (ups_active != prev_ups_active_) {
-    tracer_->instant(now, "controller",
-                     ups_active ? "ups-activate" : "ups-idle",
-                     {obs::arg("ups_w", result.ups_power.w())});
+    if (tracer_ != nullptr) {
+      tracer_->instant(now, "controller",
+                       ups_active ? "ups-activate" : "ups-idle",
+                       {obs::arg("ups_w", result.ups_power.w())});
+    }
     prev_ups_active_ = ups_active;
   }
 
   const bool tes_active =
       result.tes_heat > kPowerEps || result.tes_relief > kPowerEps;
   if (tes_active != prev_tes_active_) {
-    tracer_->instant(now, "controller",
-                     tes_active ? "tes-activate" : "tes-idle",
-                     {obs::arg("tes_heat_w", result.tes_heat.w()),
-                      obs::arg("tes_relief_w", result.tes_relief.w())});
+    if (tracer_ != nullptr) {
+      tracer_->instant(now, "controller",
+                       tes_active ? "tes-activate" : "tes-idle",
+                       {obs::arg("tes_heat_w", result.tes_heat.w()),
+                        obs::arg("tes_relief_w", result.tes_relief.w())});
+    }
     prev_tes_active_ = tes_active;
   }
 }

@@ -29,6 +29,7 @@
 #include "core/config.h"
 #include "core/strategy.h"
 #include "faults/injector.h"
+#include "obs/decision.h"
 #include "obs/trace.h"
 #include "power/generator.h"
 #include "power/topology.h"
@@ -140,6 +141,13 @@ class SprintingController {
   /// overload entry/exit, remaining-trip-time threshold crossings, and
   /// UPS/TES activation edges. Must outlive the controller.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  /// Optional decision-provenance log (obs/decision.h). step() emits one
+  /// DecisionRecord per rule firing — burst/supply/breaker-screen triggers,
+  /// sprint onset/end, ladder moves — with the measured inputs and
+  /// thresholds each rule evaluated. Must outlive the controller.
+  void set_decision_log(obs::DecisionLog* decisions) noexcept {
+    decisions_ = decisions;
+  }
 
   // --- accumulated accounting (for RunResult) ---
   [[nodiscard]] Energy ups_energy() const noexcept { return ups_energy_; }
@@ -249,12 +257,16 @@ class SprintingController {
 
   // transition tracing (previous-step state for edge detection)
   obs::Tracer* tracer_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
   SprintPhase prev_phase_ = SprintPhase::kNormal;
   DegradationLevel prev_degradation_ = DegradationLevel::kNominal;
   bool prev_ups_active_ = false;
   bool prev_tes_active_ = false;
   bool prev_dc_overload_ = false;
   bool prev_margin_low_ = false;
+  bool prev_in_burst_ = false;
+  bool prev_sprinting_ = false;
+  bool prev_grid_limited_ = false;
 };
 
 }  // namespace dcs::core

@@ -77,6 +77,7 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
   SprintingController controller(config_, deps, strategy, options.mode);
   controller.set_supply_fraction(options.supply_fraction);
   controller.set_tracer(options.tracer);
+  controller.set_decision_log(options.decisions);
   if (options.generator != nullptr) {
     options.generator->reset();
     controller.attach_generator(options.generator);
@@ -92,6 +93,7 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
                                         plant->tes.get(), options.generator},
         options.fault_seed);
     injector->set_tracer(options.tracer);
+    injector->set_decision_log(options.decisions);
     controller.set_fault_injector(injector.get());
   }
   faults::Watchdog watchdog(faults::Watchdog::Options{
@@ -99,6 +101,7 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
       /*check_breakers=*/options.mode != Mode::kUncontrolled,
       /*check_room=*/options.mode != Mode::kUncontrolled});
   watchdog.set_tracer(options.tracer);
+  watchdog.set_decision_log(options.decisions);
 
   RunResult result;
   workload::AdmissionController sprint_admission;
@@ -115,6 +118,10 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
   sim::Engine engine(dt);
   engine.set_tracer(options.tracer);
   RunDriver driver([&](Duration now, Duration tick_dt) {
+    // One time stamp per control period: everything that emits decisions
+    // this tick (injector, controller, watchdog, and the serving
+    // components ticking after the driver) shares it.
+    if (options.decisions != nullptr) options.decisions->set_now(now);
     const double d = demand.at(now);
     if (injector != nullptr) injector->apply(now);
     const StepResult step = controller.step(now, d, tick_dt);

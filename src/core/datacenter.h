@@ -25,6 +25,7 @@
 #include "core/strategy.h"
 #include "faults/schedule.h"
 #include "faults/watchdog.h"
+#include "obs/decision.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/component.h"
@@ -55,6 +56,12 @@ struct RunOptions {
   /// time, so the stream is bit-identical regardless of who else runs in
   /// parallel. Null keeps the untraced fast path.
   obs::Tracer* tracer = nullptr;
+  /// Optional decision-provenance log (obs/decision.h), usually built over
+  /// the same tracer. The run driver stamps its sim time each control
+  /// period and wires it through the controller, the fault injector and
+  /// the watchdog, so every rule firing lands in the trace as a causal
+  /// DecisionRecord. Must outlive the run.
+  obs::DecisionLog* decisions = nullptr;
   /// Optional metrics registry updated every tick (sprint_degree histogram,
   /// ups_soc / tes_soc / cb_trip_margin_s gauges, degradation and phase
   /// transition counters, ...); must outlive the run. Registries are not

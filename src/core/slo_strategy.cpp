@@ -17,11 +17,22 @@ SloSprintStrategy::SloSprintStrategy(SloSprintParams params)
 }
 
 void SloSprintStrategy::observe_latency(double p99_s) noexcept {
+  const bool was_violating = violating_;
   p99_ = std::max(p99_s, 0.0);
   if (p99_ > params_.target_p99_s) {
     violating_ = true;
   } else if (p99_ < params_.hysteresis * params_.target_p99_s) {
     violating_ = false;
+  }
+  if (decisions_ != nullptr && violating_ != was_violating) {
+    if (violating_) {
+      decisions_->emit(obs::DecisionRule::kSloLatchSet,
+                       {{"p99_s", p99_}}, {{"target_s", params_.target_p99_s}});
+    } else {
+      decisions_->emit(
+          obs::DecisionRule::kSloLatchRelease, {{"p99_s", p99_}},
+          {{"release_s", params_.hysteresis * params_.target_p99_s}});
+    }
   }
 }
 
@@ -35,7 +46,20 @@ double SloSprintStrategy::upper_bound(const SprintContext& ctx) {
   // Energy arbitration: below the reserve, degrade via admission control
   // (request drops) instead of spending the budget needed for a safe burst
   // tail.
-  if (ctx.remaining_energy_fraction < params_.reserve_fraction) return 1.0;
+  if (ctx.remaining_energy_fraction < params_.reserve_fraction) {
+    // The decision only matters (and only fires) when the floor actually
+    // overrides a latched violation — the edge where latency loses the
+    // arbitration to energy safety.
+    if (decisions_ != nullptr && violating_ && !ceding_) {
+      decisions_->emit(obs::DecisionRule::kReserveArbitration,
+                       {{"energy_fraction", ctx.remaining_energy_fraction},
+                        {"p99_s", p99_}},
+                       {{"reserve_fraction", params_.reserve_fraction}});
+    }
+    ceding_ = violating_;
+    return 1.0;
+  }
+  ceding_ = false;
   if (!violating_) return 1.0;
   // While latched, cover at least the demand (so the backlog that caused
   // the violation stops growing and the latch can release without

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/strategy.h"
+#include "obs/decision.h"
 
 namespace dcs::core {
 
@@ -50,10 +51,20 @@ class SloSprintStrategy final : public Strategy {
   [[nodiscard]] bool violating() const noexcept { return violating_; }
   [[nodiscard]] double last_p99_s() const noexcept { return p99_; }
 
+  /// Optional decision-provenance log: observe_latency() emits
+  /// slo-latch-set/-release on latch edges (triggers for subsequent sprint
+  /// onsets) and upper_bound() emits reserve-arbitration when the energy
+  /// floor forces ceding to admission control. Must outlive the strategy.
+  void set_decision_log(obs::DecisionLog* decisions) noexcept {
+    decisions_ = decisions;
+  }
+
  private:
   SloSprintParams params_;
   double p99_ = 0.0;
   bool violating_ = false;
+  bool ceding_ = false;
+  obs::DecisionLog* decisions_ = nullptr;
 };
 
 }  // namespace dcs::core

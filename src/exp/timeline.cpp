@@ -373,9 +373,24 @@ class Merger {
         perfetto_.slice_end(track, to_ns(ts + dur));
         break;
       }
-      default:
-        perfetto_.instant(perfetto_lane(domain, lane), to_ns(ts), name, cat);
+      default: {
+        // Decision records carry id/cause args; hash them (scoped by src so
+        // per-worker chains stay distinct after the merge) into Perfetto
+        // flow ids so causal chains render as arrows.
+        std::vector<std::uint64_t> flows;
+        if (cat == "decision" && args != nullptr && args->is_object()) {
+          for (const char* key : {"id", "cause"}) {
+            const json::Value* token = args->find(key);
+            if (token != nullptr && token->is_string()) {
+              flows.push_back(obs::detail::flow_id_hash(src_ + "/" +
+                                                        token->as_string()));
+            }
+          }
+        }
+        perfetto_.instant(perfetto_lane(domain, lane), to_ns(ts), name, cat,
+                          flows);
         break;
+      }
     }
     ++summary_->events;
   }

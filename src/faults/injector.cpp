@@ -30,6 +30,15 @@ void FaultInjector::apply(Duration now) {
                           obs::arg("magnitude", f.magnitude),
                           obs::arg("severity", severity_of(f))});
       }
+      if (decisions_ != nullptr) {
+        decisions_->emit(active ? obs::DecisionRule::kFaultInject
+                                : obs::DecisionRule::kFaultClear,
+                         {{"magnitude", f.magnitude},
+                          {"severity", severity_of(f)}},
+                         {},
+                         {obs::arg("kind", kind),
+                          obs::arg("index", static_cast<double>(i))});
+      }
       DCS_LOG_INFO << "fault " << kind << "[" << i << "] "
                    << (active ? "injected" : "cleared") << " at t="
                    << now.sec() << "s";

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "faults/schedule.h"
+#include "obs/decision.h"
 #include "obs/trace.h"
 #include "power/generator.h"
 #include "power/topology.h"
@@ -70,6 +71,12 @@ class FaultInjector {
   /// Optional structured-trace sink: apply() emits one "inject" instant when
   /// a scheduled fault becomes active and one "clear" instant when it ends.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  /// Optional decision-provenance log: the same activation edges emit
+  /// fault-inject / fault-clear trigger records, so every downstream
+  /// ladder move or sprint end can cite the fault that set it off.
+  void set_decision_log(obs::DecisionLog* decisions) noexcept {
+    decisions_ = decisions;
+  }
 
   /// Filters one sensor reading through the sensor faults active at `now`.
   /// Mutates latch/noise state, so call exactly once per channel per tick
@@ -89,6 +96,7 @@ class FaultInjector {
   State state_;
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
   bool ever_active_ = false;
   SensorState sensors_[3];
   std::vector<bool> was_active_;  // per scheduled fault, for edge detection

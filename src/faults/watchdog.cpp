@@ -16,6 +16,7 @@ void Watchdog::check(Duration now, const power::PowerTopology& topology,
                      const thermal::RoomModel& room,
                      const thermal::TesTank* tes) {
   ++report_.checks;
+  const std::size_t violations_before = report_.violations;
 
   if (options_.check_breakers) {
     const auto check_breaker = [&](const power::CircuitBreaker& cb) {
@@ -54,10 +55,20 @@ void Watchdog::check(Duration now, const power::PowerTopology& topology,
     msg << "room rise " << room.rise().c() << " C above the critical threshold";
     fail(now, msg.str());
   }
+
+  const bool violating = report_.violations > violations_before;
+  if (decisions_ != nullptr && violating && !prev_violating_) {
+    decisions_->emit(
+        obs::DecisionRule::kWatchdogViolation,
+        {{"violations", static_cast<double>(report_.violations)}}, {},
+        {obs::arg("message", last_message_)});
+  }
+  prev_violating_ = violating;
 }
 
 void Watchdog::fail(Duration now, std::string message) {
   ++report_.violations;
+  last_message_ = message;
   if (tracer_ != nullptr) {
     tracer_->instant(
         now, "watchdog", "violation",

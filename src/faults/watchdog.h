@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/decision.h"
 #include "obs/trace.h"
 #include "power/topology.h"
 #include "thermal/room_model.h"
@@ -58,6 +59,13 @@ class Watchdog {
   /// Optional structured-trace sink: fail() emits one "violation" instant
   /// per violating (tick, invariant) pair.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  /// Optional decision-provenance log: check() emits one
+  /// watchdog-violation trigger per violation *episode* (the tick a clean
+  /// state turns violating), not per persisting tick — chains want the
+  /// onset, the per-tick stream is the tracer's job.
+  void set_decision_log(obs::DecisionLog* decisions) noexcept {
+    decisions_ = decisions;
+  }
 
  private:
   void fail(Duration now, std::string message);
@@ -65,6 +73,9 @@ class Watchdog {
   Options options_;
   WatchdogReport report_;
   obs::Tracer* tracer_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
+  bool prev_violating_ = false;
+  std::string last_message_;
 };
 
 }  // namespace dcs::faults

@@ -1,0 +1,107 @@
+#include "obs/decision.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dcs::obs {
+
+std::string_view to_string(DecisionRule rule) noexcept {
+  switch (rule) {
+    case DecisionRule::kFaultInject:
+      return "fault-inject";
+    case DecisionRule::kFaultClear:
+      return "fault-clear";
+    case DecisionRule::kWatchdogViolation:
+      return "watchdog-violation";
+    case DecisionRule::kSupplyDisturbance:
+      return "supply-disturbance";
+    case DecisionRule::kBurstStart:
+      return "burst-start";
+    case DecisionRule::kBurstEnd:
+      return "burst-end";
+    case DecisionRule::kBreakerScreen:
+      return "breaker-screen";
+    case DecisionRule::kSloLatchSet:
+      return "slo-latch-set";
+    case DecisionRule::kSloLatchRelease:
+      return "slo-latch-release";
+    case DecisionRule::kSprintOnset:
+      return "sprint-onset";
+    case DecisionRule::kSprintEnd:
+      return "sprint-end";
+    case DecisionRule::kLadderDerate:
+      return "ladder-derate";
+    case DecisionRule::kLadderShed:
+      return "ladder-shed";
+    case DecisionRule::kLadderSprintEnded:
+      return "ladder-sprint-ended";
+    case DecisionRule::kLadderPowerCap:
+      return "ladder-power-cap";
+    case DecisionRule::kLadderRecovered:
+      return "ladder-recovered";
+    case DecisionRule::kReserveArbitration:
+      return "reserve-arbitration";
+    case DecisionRule::kAdmissionClamp:
+      return "admission-clamp";
+    case DecisionRule::kAdmissionRelease:
+      return "admission-release";
+    case DecisionRule::kSloBudgetExhausted:
+      return "slo-budget-exhausted";
+  }
+  return "unknown";
+}
+
+bool is_trigger(DecisionRule rule) noexcept {
+  switch (rule) {
+    case DecisionRule::kFaultInject:
+    case DecisionRule::kFaultClear:
+    case DecisionRule::kWatchdogViolation:
+    case DecisionRule::kSupplyDisturbance:
+    case DecisionRule::kBurstStart:
+    case DecisionRule::kBurstEnd:
+    case DecisionRule::kBreakerScreen:
+    case DecisionRule::kSloLatchSet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DecisionLog::DecisionLog(Tracer* tracer) : tracer_(tracer) {
+  assert(tracer_ != nullptr && "DecisionLog needs a Tracer to emit into");
+}
+
+std::string DecisionLog::emit(DecisionRule rule,
+                              std::initializer_list<DecisionValue> inputs,
+                              std::initializer_list<DecisionValue> thresholds,
+                              std::vector<TraceArg> extras) {
+  std::string id = "d" + std::to_string(tracer_->lane()) + "-" +
+                   std::to_string(++seq_);
+
+  std::vector<TraceArg> args;
+  args.reserve(2 + (cause_.empty() ? 0 : 1) + inputs.size() +
+               thresholds.size() + extras.size());
+  args.push_back(arg("schema", static_cast<double>(kDecisionSchema)));
+  args.push_back(arg("id", std::string_view(id)));
+  if (!cause_.empty()) {
+    args.push_back(arg("cause", std::string_view(cause_)));
+  }
+  for (const DecisionValue& in : inputs) {
+    args.push_back(arg("in_" + std::string(in.key), in.value));
+  }
+  for (const DecisionValue& th : thresholds) {
+    args.push_back(arg("th_" + std::string(th.key), th.value));
+  }
+  for (TraceArg& extra : extras) {
+    args.push_back(std::move(extra));
+  }
+
+  tracer_->instant(now_, "decision", to_string(rule), std::move(args));
+
+  if (is_trigger(rule)) {
+    cause_ = id;
+  }
+  return id;
+}
+
+}  // namespace dcs::obs

@@ -1,0 +1,131 @@
+// Decision provenance records: *why* the controller did what it did, as
+// first-class trace data.
+//
+// The trace plane so far records what happened — phase edges, counter
+// tracks, latency histograms — but not which rule fired, what measured
+// inputs it evaluated, or what event set it off. A DecisionLog closes that
+// gap: every rule firing (sprint onset/end, a degradation-ladder move, the
+// SLO violation latch, an admission clamp, reserve arbitration) emits one
+// schema-versioned instant event with
+//
+//   cat  = "decision"
+//   name = the rule (to_string(DecisionRule))
+//   args = {"schema": 1, "id": "d<lane>-<seq>", "cause": <id>,
+//           "in_<name>": <measured input>..., "th_<name>": <threshold>...,
+//           <rule-specific string extras>}
+//
+// so chains like fault -> watchdog -> ladder shed -> degree drop become
+// queryable offline (tools/trace_query explain/audit, obs/query.h).
+//
+// Causality is positional, not guessed: *trigger* rules (fault inject/
+// clear, watchdog violation, supply disturbance, burst start/end, the
+// breaker screen, the SLO latch) update the log's current cause; every
+// subsequent record cites it, and a trigger record itself cites the
+// previous cause (a watchdog violation caused by a fault links back to the
+// injection). Emission order inside a tick — injector before controller,
+// controller edges trigger-first, watchdog after, serving components last —
+// guarantees a consequence never precedes its cause in the stream.
+//
+// Determinism: records ride the owning Tracer's sim-domain stream, ids
+// embed the tracer's lane (the sweep task index) plus a per-log sequence
+// number, and nothing reads a clock — set_now() is stamped by the run
+// driver each control period. A sweep that gives each task its own Tracer
+// and DecisionLog therefore produces bit-identical decision streams for
+// any thread count or shard split, the same contract as every other sim
+// event.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/units.h"
+
+namespace dcs::obs {
+
+/// Decision-record schema version, written into every record's args.
+inline constexpr int kDecisionSchema = 1;
+
+/// Every rule that can fire a DecisionRecord. Trigger rules (is_trigger)
+/// start causal chains; the rest cite the latest trigger as their cause.
+enum class DecisionRule {
+  // triggers
+  kFaultInject = 0,       ///< a scheduled fault became active
+  kFaultClear,            ///< a scheduled fault ended
+  kWatchdogViolation,     ///< an invariant-violation episode began
+  kSupplyDisturbance,     ///< the utility feed fell below its rating
+  kBurstStart,            ///< measured demand crossed above 1
+  kBurstEnd,              ///< measured demand fell back to 1
+  kBreakerScreen,         ///< the DC breaker's trip margin crossed the watch
+  kSloLatchSet,           ///< serving window p99 crossed the SLO target
+  // consequences
+  kSloLatchRelease,       ///< p99 recovered below hysteresis x target
+  kSprintOnset,           ///< realized degree crossed above 1
+  kSprintEnd,             ///< realized degree fell back to 1
+  kLadderDerate,          ///< ladder: feasibility re-solved on degraded set
+  kLadderShed,            ///< ladder: degree shed below the strategy bound
+  kLadderSprintEnded,     ///< ladder: a fault/disturbance ended the sprint
+  kLadderPowerCap,        ///< ladder: power-cap fallback engaged
+  kLadderRecovered,       ///< ladder moved back toward nominal
+  kReserveArbitration,    ///< SLO strategy ceded to admission control
+  kAdmissionClamp,        ///< serving admission began denying requests
+  kAdmissionRelease,      ///< serving admission stopped denying requests
+  kSloBudgetExhausted,    ///< the run's SLO error budget ran out
+};
+
+[[nodiscard]] std::string_view to_string(DecisionRule rule) noexcept;
+
+/// Trigger rules update the DecisionLog's current cause; consequence rules
+/// only cite it.
+[[nodiscard]] bool is_trigger(DecisionRule rule) noexcept;
+
+/// One named measured input ("in_<key>") or threshold ("th_<key>").
+struct DecisionValue {
+  std::string_view key;
+  double value = 0.0;
+};
+
+/// Emits DecisionRecords into a Tracer's sim-domain stream. Not
+/// thread-safe — one DecisionLog per run/task, same ownership rule as the
+/// Tracer it writes through.
+class DecisionLog {
+ public:
+  /// `tracer` receives the records and must outlive the log; its lane at
+  /// emit time becomes part of every record id.
+  explicit DecisionLog(Tracer* tracer);
+
+  /// Stamps the simulated time for subsequently emitted records. The run
+  /// driver calls this once per control period, before anything that may
+  /// emit (components ticking after the driver share the same stamp).
+  void set_now(Duration now) noexcept { now_ = now; }
+  [[nodiscard]] Duration now() const noexcept { return now_; }
+
+  /// Emits one record and returns its id. `inputs` are the measured values
+  /// the rule evaluated, `thresholds` what they were compared against;
+  /// `extras` (pre-rendered via obs::arg) are appended verbatim. A trigger
+  /// rule replaces the current cause with the new record's id *after*
+  /// emission, so a trigger still cites whatever caused it.
+  std::string emit(DecisionRule rule,
+                   std::initializer_list<DecisionValue> inputs,
+                   std::initializer_list<DecisionValue> thresholds,
+                   std::vector<TraceArg> extras = {});
+
+  /// Id of the latest trigger record ("" before the first trigger): the
+  /// cause the next consequence record will cite.
+  [[nodiscard]] const std::string& current_cause() const noexcept {
+    return cause_;
+  }
+  /// Records emitted so far.
+  [[nodiscard]] std::size_t count() const noexcept { return seq_; }
+
+ private:
+  Tracer* tracer_;
+  Duration now_ = Duration::zero();
+  std::uint64_t seq_ = 0;
+  std::string cause_;
+};
+
+}  // namespace dcs::obs

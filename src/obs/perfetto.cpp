@@ -38,6 +38,7 @@ constexpr std::uint32_t kEventType = 9;
 constexpr std::uint32_t kEventTrackUuid = 11;
 constexpr std::uint32_t kEventName = 23;
 constexpr std::uint32_t kEventDoubleCounterValue = 44;
+constexpr std::uint32_t kEventFlowIds = 47;  // repeated fixed64 flow_ids
 // TrackEvent.Type
 constexpr std::uint64_t kTypeSliceBegin = 1;
 constexpr std::uint64_t kTypeSliceEnd = 2;
@@ -148,10 +149,14 @@ void PerfettoWriter::slice_end(std::uint64_t track_uuid, std::uint64_t ts_ns) {
 
 void PerfettoWriter::instant(std::uint64_t track_uuid, std::uint64_t ts_ns,
                              const std::string& name,
-                             const std::string& category) {
+                             const std::string& category,
+                             const std::vector<std::uint64_t>& flow_ids) {
   proto::ProtoWriter event = track_event(kTypeInstant, track_uuid);
   event.string(kEventName, name);
   if (!category.empty()) event.string(kEventCategories, category);
+  for (const std::uint64_t flow : flow_ids) {
+    event.fixed64(kEventFlowIds, flow);
+  }
   proto::ProtoWriter pkt;
   pkt.varint(kPacketTimestamp, ts_ns);
   pkt.varint(kPacketSequenceId, kSequenceId);
@@ -190,6 +195,42 @@ bool counter_value(const TraceEvent& event, double* value) {
   }
   *value = parsed;
   return true;
+}
+
+std::uint64_t flow_id_hash(std::string_view token) noexcept {
+  // FNV-1a, 64-bit: deterministic across platforms, no allocation.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : token) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Unwraps a pre-rendered JSON string literal ("d0-1" with quotes) to the
+/// raw token; non-string literals pass through unchanged.
+std::string_view unquote(std::string_view literal) noexcept {
+  if (literal.size() >= 2 && literal.front() == '"' && literal.back() == '"') {
+    return literal.substr(1, literal.size() - 2);
+  }
+  return literal;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> decision_flow_ids(const TraceEvent& event,
+                                             std::string_view scope) {
+  std::vector<std::uint64_t> flows;
+  for (const TraceArg& a : event.args) {
+    if (a.key != "id" && a.key != "cause") continue;
+    std::string token(scope);
+    if (!token.empty()) token.push_back('/');
+    token.append(unquote(a.value));
+    flows.push_back(flow_id_hash(token));
+  }
+  return flows;
 }
 
 }  // namespace detail
@@ -290,6 +331,12 @@ void PerfettoStreamSink::render(const TraceEvent& event) {
       return;
     }
     default:
+      if (event.cat == "decision") {
+        writer_.instant(lane_uuid(event.domain, event.lane),
+                        to_ns(event.ts_us), event.name, event.cat,
+                        detail::decision_flow_ids(event));
+        return;
+      }
       writer_.instant(lane_uuid(event.domain, event.lane), to_ns(event.ts_us),
                       event.name, event.cat);
       return;

@@ -24,7 +24,9 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "obs/sink.h"
 #include "obs/trace.h"
@@ -54,8 +56,12 @@ class PerfettoWriter {
   void slice_begin(std::uint64_t track_uuid, std::uint64_t ts_ns,
                    const std::string& name, const std::string& category);
   void slice_end(std::uint64_t track_uuid, std::uint64_t ts_ns);
+  /// `flow_ids` (TrackEvent.flow_ids, repeated fixed64) connect instants
+  /// into Perfetto flow arrows — decision records pass hashes of their
+  /// id/cause strings so causal chains render as arrows in the UI.
   void instant(std::uint64_t track_uuid, std::uint64_t ts_ns,
-               const std::string& name, const std::string& category);
+               const std::string& name, const std::string& category,
+               const std::vector<std::uint64_t>& flow_ids = {});
   void counter(std::uint64_t track_uuid, std::uint64_t ts_ns, double value);
 
   [[nodiscard]] std::size_t packets_written() const noexcept {
@@ -103,6 +109,17 @@ namespace detail {
 /// the first arg whose pre-rendered literal parses as a number. Returns
 /// false when the event carries no numeric payload.
 [[nodiscard]] bool counter_value(const TraceEvent& event, double* value);
+
+/// Deterministic 64-bit flow id for a decision id/cause token (FNV-1a).
+[[nodiscard]] std::uint64_t flow_id_hash(std::string_view token) noexcept;
+
+/// Flow ids for a decision record: hashes of its "id" and "cause" arg
+/// values (pre-rendered quoted strings; quotes stripped before hashing).
+/// `scope` is prepended to each token ("<scope>/<id>") so merged
+/// multi-source timelines keep per-source chains distinct. Empty for
+/// events without an "id" arg.
+[[nodiscard]] std::vector<std::uint64_t> decision_flow_ids(
+    const TraceEvent& event, std::string_view scope = {});
 }  // namespace detail
 
 }  // namespace dcs::obs

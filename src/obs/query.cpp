@@ -1,11 +1,13 @@
 #include "obs/query.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/json.h"
 
 namespace dcs::obs::query {
@@ -37,6 +39,20 @@ bool args_value(const json::Value& args, double* out) {
     if (numeric(v, out)) return true;
   }
   return false;
+}
+
+/// Decodes an instant event's args into canonical (key, literal) pairs.
+void capture_args(const json::Value& args, QueryEvent* q) {
+  if (!args.is_object()) return;
+  for (const auto& [key, v] : args.as_object()) {
+    if (v.is_string()) {
+      q->args.emplace_back(key, v.as_string());
+    } else if (v.is_number()) {
+      q->args.emplace_back(key, json::number_to_string(v.as_number()));
+    } else if (v.is_bool()) {
+      q->args.emplace_back(key, v.as_bool() ? "true" : "false");
+    }
+  }
 }
 
 void load_chrome(const json::Value& doc, TraceData* trace) {
@@ -83,6 +99,8 @@ void load_chrome(const json::Value& doc, TraceData* trace) {
     const json::Value* args = e.find("args");
     if (q.ph == 'C' && args != nullptr) {
       q.has_value = args_value(*args, &q.value);
+    } else if (q.ph == 'i' && args != nullptr) {
+      capture_args(*args, &q);
     }
     trace->events.push_back(std::move(q));
   }
@@ -120,6 +138,8 @@ void load_jsonl_line(std::string_view line, TraceData* trace) {
   const json::Value* args = e.find("args");
   if (q.ph == 'C' && args != nullptr) {
     q.has_value = args_value(*args, &q.value);
+  } else if (q.ph == 'i' && args != nullptr) {
+    capture_args(*args, &q);
   }
   trace->events.push_back(std::move(q));
 }
@@ -269,6 +289,122 @@ std::vector<ThresholdWindow> threshold_windows(const TraceData& trace,
   return out;
 }
 
+namespace {
+
+const std::string* arg_of(const QueryEvent& e, std::string_view key) {
+  for (const auto& [k, v] : e.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<DecisionRecord> decision_records(const TraceData& trace) {
+  std::vector<DecisionRecord> out;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const QueryEvent& e = trace.events[i];
+    if (e.ph != 'i' || e.cat != "decision") continue;
+    const std::string* id = arg_of(e, "id");
+    if (id == nullptr) continue;  // not a schema-conforming record
+    DecisionRecord r;
+    r.event_index = i;
+    r.src = e.src;
+    r.lane = e.lane;
+    r.ts_us = e.ts_us;
+    r.rule = e.name;
+    r.id = *id;
+    const std::string* cause = arg_of(e, "cause");
+    if (cause != nullptr) r.cause = *cause;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+ExplainChain explain_record(const std::vector<DecisionRecord>& records,
+                            std::size_t target) {
+  DCS_REQUIRE(target < records.size(), "explain target out of range");
+  ExplainChain out;
+  std::size_t cur = target;
+  out.chain.push_back(cur);
+  while (!records[cur].cause.empty()) {
+    const std::string& cause = records[cur].cause;
+    // Latest earlier record with that id in the same src: lanes (and so
+    // ids) may be reused by consecutive sweeps in one file, and the
+    // emission contract guarantees a cause precedes its effects — the
+    // nearest one looking backward is the instance in scope.
+    bool found = false;
+    for (std::size_t i = cur; i-- > 0;) {
+      if (records[i].id == cause && records[i].src == records[cur].src) {
+        cur = i;
+        out.chain.push_back(cur);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      out.dangling = cause;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<AuditRow> audit(const std::vector<DecisionRecord>& records) {
+  std::map<std::pair<std::string, std::string>, AuditRow> groups;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const DecisionRecord& r = records[i];
+    AuditRow& row = groups[{r.src, r.rule}];
+    if (row.count == 0) {
+      row.src = r.src;
+      row.rule = r.rule;
+    }
+    ++row.count;
+    if (r.cause.empty()) {
+      ++row.roots;
+      ++row.resolved;  // a root is trivially a complete chain
+    } else if (explain_record(records, i).complete()) {
+      ++row.resolved;
+    } else {
+      ++row.dangling;
+    }
+  }
+  std::vector<AuditRow> out;
+  out.reserve(groups.size());
+  for (auto& [key, row] : groups) out.push_back(std::move(row));
+  return out;
+}
+
+std::vector<MonotoneViolation> counter_monotone(const TraceData& trace,
+                                                const std::string& track) {
+  DCS_REQUIRE(!track.empty(), "monotone check needs a track name");
+  std::map<std::pair<std::string, std::uint32_t>,
+           std::vector<std::pair<double, double>>>
+      tracks;
+  for (const QueryEvent& e : trace.events) {
+    if (e.ph != 'C' || !e.has_value || e.name != track) continue;
+    tracks[{e.src, e.lane}].emplace_back(e.ts_us, e.value);
+  }
+  std::vector<MonotoneViolation> out;
+  for (auto& [key, samples] : tracks) {
+    std::stable_sort(
+        samples.begin(), samples.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      if (samples[i].second < samples[i - 1].second) {
+        MonotoneViolation v;
+        v.src = key.first;
+        v.lane = key.second;
+        v.ts_us = samples[i].first;
+        v.prev = samples[i - 1].second;
+        v.value = samples[i].second;
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
 void write_scope_csv(std::ostream& out, const std::vector<ScopeStat>& stats) {
   out << "src,name,count,total_us,mean_us,min_us,max_us\n";
   for (const ScopeStat& s : stats) {
@@ -301,6 +437,165 @@ void write_window_csv(std::ostream& out,
         << json::number_to_string(w.end_us) << ","
         << json::number_to_string(w.duration_us()) << ","
         << json::number_to_string(w.extreme) << "\n";
+  }
+}
+
+void write_decision_csv(std::ostream& out,
+                        const std::vector<DecisionRecord>& records) {
+  out << "src,lane,ts_us,rule,id,cause\n";
+  for (const DecisionRecord& r : records) {
+    out << r.src << "," << r.lane << "," << json::number_to_string(r.ts_us)
+        << "," << r.rule << "," << r.id << "," << r.cause << "\n";
+  }
+}
+
+void write_explain_csv(std::ostream& out,
+                       const std::vector<DecisionRecord>& records,
+                       const std::vector<ExplainChain>& chains) {
+  out << "target,depth,rule,id,cause,ts_us,src,lane,status\n";
+  for (const ExplainChain& c : chains) {
+    if (c.chain.empty()) continue;
+    const DecisionRecord& tgt = records[c.chain.front()];
+    for (std::size_t depth = 0; depth < c.chain.size(); ++depth) {
+      const DecisionRecord& r = records[c.chain[depth]];
+      const bool last = depth + 1 == c.chain.size();
+      const char* status =
+          !last ? "ok" : (c.complete() ? "root" : "unresolved");
+      out << tgt.id << "," << depth << "," << r.rule << "," << r.id << ","
+          << r.cause << "," << json::number_to_string(r.ts_us) << "," << r.src
+          << "," << r.lane << "," << status << "\n";
+    }
+    if (!c.complete()) {
+      // The id the walk could not find, as an explicit terminal row.
+      out << tgt.id << "," << c.chain.size() << ",," << c.dangling << ",,"
+          << json::number_to_string(tgt.ts_us) << "," << tgt.src << ","
+          << tgt.lane << ",missing\n";
+    }
+  }
+}
+
+void write_audit_csv(std::ostream& out, const std::vector<AuditRow>& rows) {
+  out << "src,rule,count,roots,resolved,dangling\n";
+  for (const AuditRow& r : rows) {
+    out << r.src << "," << r.rule << "," << r.count << "," << r.roots << ","
+        << r.resolved << "," << r.dangling << "\n";
+  }
+}
+
+namespace {
+
+using obs::detail::render_string;
+
+/// Re-renders a captured canonical literal as JSON: numbers and bools pass
+/// through raw, everything else is a quoted string.
+std::string render_literal(const std::string& literal) {
+  if (literal == "true" || literal == "false") return literal;
+  char* end = nullptr;
+  std::strtod(literal.c_str(), &end);
+  if (!literal.empty() && end != nullptr && *end == '\0') return literal;
+  return render_string(literal);
+}
+
+void write_args_object(std::ostream& out, const QueryEvent& e) {
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : e.args) {
+    if (!first) out << ",";
+    first = false;
+    out << render_string(key) << ":" << render_literal(value);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void write_scope_jsonl(std::ostream& out,
+                       const std::vector<ScopeStat>& stats) {
+  for (const ScopeStat& s : stats) {
+    out << "{\"src\":" << render_string(s.src)
+        << ",\"name\":" << render_string(s.name) << ",\"count\":" << s.count
+        << ",\"total_us\":" << json::number_to_string(s.total_us)
+        << ",\"mean_us\":" << json::number_to_string(s.mean_us())
+        << ",\"min_us\":" << json::number_to_string(s.min_us)
+        << ",\"max_us\":" << json::number_to_string(s.max_us) << "}\n";
+  }
+}
+
+void write_counter_jsonl(std::ostream& out,
+                         const std::vector<CounterStat>& stats) {
+  for (const CounterStat& s : stats) {
+    out << "{\"src\":" << render_string(s.src)
+        << ",\"name\":" << render_string(s.name) << ",\"points\":" << s.points
+        << ",\"min\":" << json::number_to_string(s.min)
+        << ",\"mean\":" << json::number_to_string(s.mean)
+        << ",\"max\":" << json::number_to_string(s.max)
+        << ",\"last\":" << json::number_to_string(s.last) << "}\n";
+  }
+}
+
+void write_window_jsonl(std::ostream& out,
+                        const std::vector<ThresholdWindow>& windows) {
+  for (const ThresholdWindow& w : windows) {
+    out << "{\"src\":" << render_string(w.src) << ",\"lane\":" << w.lane
+        << ",\"start_us\":" << json::number_to_string(w.start_us)
+        << ",\"end_us\":" << json::number_to_string(w.end_us)
+        << ",\"duration_us\":" << json::number_to_string(w.duration_us())
+        << ",\"extreme\":" << json::number_to_string(w.extreme) << "}\n";
+  }
+}
+
+void write_decision_jsonl(std::ostream& out, const TraceData& trace,
+                          const std::vector<DecisionRecord>& records) {
+  for (const DecisionRecord& r : records) {
+    out << "{\"src\":" << render_string(r.src) << ",\"lane\":" << r.lane
+        << ",\"ts_us\":" << json::number_to_string(r.ts_us)
+        << ",\"rule\":" << render_string(r.rule)
+        << ",\"id\":" << render_string(r.id)
+        << ",\"cause\":" << render_string(r.cause) << ",\"args\":";
+    write_args_object(out, trace.events[r.event_index]);
+    out << "}\n";
+  }
+}
+
+void write_explain_jsonl(std::ostream& out, const TraceData& trace,
+                         const std::vector<DecisionRecord>& records,
+                         const std::vector<ExplainChain>& chains) {
+  for (const ExplainChain& c : chains) {
+    if (c.chain.empty()) continue;
+    const DecisionRecord& tgt = records[c.chain.front()];
+    for (std::size_t depth = 0; depth < c.chain.size(); ++depth) {
+      const DecisionRecord& r = records[c.chain[depth]];
+      const bool last = depth + 1 == c.chain.size();
+      const char* status =
+          !last ? "ok" : (c.complete() ? "root" : "unresolved");
+      out << "{\"target\":" << render_string(tgt.id) << ",\"depth\":" << depth
+          << ",\"rule\":" << render_string(r.rule)
+          << ",\"id\":" << render_string(r.id)
+          << ",\"cause\":" << render_string(r.cause)
+          << ",\"ts_us\":" << json::number_to_string(r.ts_us)
+          << ",\"src\":" << render_string(r.src) << ",\"lane\":" << r.lane
+          << ",\"status\":\"" << status << "\",\"args\":";
+      write_args_object(out, trace.events[r.event_index]);
+      out << "}\n";
+    }
+    if (!c.complete()) {
+      out << "{\"target\":" << render_string(tgt.id)
+          << ",\"depth\":" << c.chain.size()
+          << ",\"rule\":\"\",\"id\":" << render_string(c.dangling)
+          << ",\"cause\":\"\",\"ts_us\":"
+          << json::number_to_string(tgt.ts_us)
+          << ",\"src\":" << render_string(tgt.src) << ",\"lane\":" << tgt.lane
+          << ",\"status\":\"missing\",\"args\":{}}\n";
+    }
+  }
+}
+
+void write_audit_jsonl(std::ostream& out, const std::vector<AuditRow>& rows) {
+  for (const AuditRow& r : rows) {
+    out << "{\"src\":" << render_string(r.src)
+        << ",\"rule\":" << render_string(r.rule) << ",\"count\":" << r.count
+        << ",\"roots\":" << r.roots << ",\"resolved\":" << r.resolved
+        << ",\"dangling\":" << r.dangling << "}\n";
   }
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dcs::obs::query {
@@ -40,6 +41,12 @@ struct QueryEvent {
   /// Counter payload ('C' events with a numeric "value" arg).
   double value = 0.0;
   bool has_value = false;
+  /// Decoded args of instant ('i') events, in sorted key order. Values are
+  /// canonical literals: strings raw (unquoted), numbers via
+  /// json::number_to_string, bools "true"/"false". Only instants keep
+  /// their args — they carry the structured payloads (decision records,
+  /// fault injections); span/counter args stay on the cheaper paths.
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 struct TraceData {
@@ -110,11 +117,99 @@ struct ThresholdQuery {
 [[nodiscard]] std::vector<ThresholdWindow> threshold_windows(
     const TraceData& trace, const ThresholdQuery& query);
 
-/// CSV writers (header + one row per entry; numbers via %.17g round-trip).
+// ---------------------------------------------------------------------------
+// Decision provenance (obs/decision.h records in the trace)
+
+/// One DecisionRecord recovered from a cat="decision" instant event.
+struct DecisionRecord {
+  /// Index of the backing event in TraceData::events (for args access).
+  std::size_t event_index = 0;
+  std::string src;
+  std::uint32_t lane = 0;
+  double ts_us = 0.0;
+  std::string rule;   ///< event name, e.g. "sprint-onset"
+  std::string id;     ///< "d<lane>-<seq>"
+  std::string cause;  ///< cited cause id; "" for chain roots
+};
+
+/// Every decision record in the trace, in file order.
+[[nodiscard]] std::vector<DecisionRecord> decision_records(
+    const TraceData& trace);
+
+/// A reconstructed causal chain: the queried record first, then its cause,
+/// its cause's cause, ... back to a root (a record citing no cause).
+/// Cause ids resolve to the *latest* earlier record (file order) with that
+/// id in the same src — lanes may be reused across sweeps within one file,
+/// so "latest earlier" picks the instance actually in scope.
+struct ExplainChain {
+  /// Indices into the decision_records() vector, target first.
+  std::vector<std::size_t> chain;
+  /// The cause id the walk could not resolve; "" when the chain is
+  /// complete (ends at a root).
+  std::string dangling;
+  [[nodiscard]] bool complete() const noexcept { return dangling.empty(); }
+};
+
+[[nodiscard]] ExplainChain explain_record(
+    const std::vector<DecisionRecord>& records, std::size_t target);
+
+/// Per-(src, rule) decision inventory with chain-resolution counts.
+struct AuditRow {
+  std::string src;
+  std::string rule;
+  std::size_t count = 0;     ///< records of this rule
+  std::size_t roots = 0;     ///< records citing no cause
+  std::size_t resolved = 0;  ///< records whose full chain reaches a root
+  std::size_t dangling = 0;  ///< records whose chain hits a missing id
+};
+
+[[nodiscard]] std::vector<AuditRow> audit(
+    const std::vector<DecisionRecord>& records);
+
+/// A decreasing step in a counter track that is contractually monotone
+/// (e.g. slo_budget_violations). Tracks are per (src, lane), in time order.
+struct MonotoneViolation {
+  std::string src;
+  std::uint32_t lane = 0;
+  double ts_us = 0.0;
+  double prev = 0.0;
+  double value = 0.0;
+};
+
+[[nodiscard]] std::vector<MonotoneViolation> counter_monotone(
+    const TraceData& trace, const std::string& track);
+
+// ---------------------------------------------------------------------------
+// Writers. CSV: header + one row per entry. JSONL: one object per row with
+// a fixed key order. Both byte-stable (numbers via the exact-round-trip
+// json::number_to_string renderer).
+
 void write_scope_csv(std::ostream& out, const std::vector<ScopeStat>& stats);
 void write_counter_csv(std::ostream& out,
                        const std::vector<CounterStat>& stats);
 void write_window_csv(std::ostream& out,
                       const std::vector<ThresholdWindow>& windows);
+void write_decision_csv(std::ostream& out,
+                        const std::vector<DecisionRecord>& records);
+/// One row per chain link: target id, depth (0 = the explained record),
+/// then the link's fields; a dangling chain ends with a "missing" row.
+void write_explain_csv(std::ostream& out,
+                       const std::vector<DecisionRecord>& records,
+                       const std::vector<ExplainChain>& chains);
+void write_audit_csv(std::ostream& out, const std::vector<AuditRow>& rows);
+
+void write_scope_jsonl(std::ostream& out, const std::vector<ScopeStat>& stats);
+void write_counter_jsonl(std::ostream& out,
+                         const std::vector<CounterStat>& stats);
+void write_window_jsonl(std::ostream& out,
+                        const std::vector<ThresholdWindow>& windows);
+/// JSONL decision rows include the record's full args object (inputs,
+/// thresholds, extras) — the machine-readable face of the audit plane.
+void write_decision_jsonl(std::ostream& out, const TraceData& trace,
+                          const std::vector<DecisionRecord>& records);
+void write_explain_jsonl(std::ostream& out, const TraceData& trace,
+                         const std::vector<DecisionRecord>& records,
+                         const std::vector<ExplainChain>& chains);
+void write_audit_jsonl(std::ostream& out, const std::vector<AuditRow>& rows);
 
 }  // namespace dcs::obs::query

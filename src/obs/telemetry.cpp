@@ -177,6 +177,12 @@ bool TelemetryTail::poll() {
   if (!in) return false;
   in.seekg(0, std::ios::end);
   const std::streamoff size = in.tellg();
+  if (size < offset_) {
+    // The stream shrank below our read offset: the file was truncated or
+    // replaced (worker restart, log rotation). Restart from the beginning
+    // rather than silently going quiet on the new content.
+    offset_ = 0;
+  }
   if (size <= offset_) return false;
   in.seekg(offset_);
   std::string chunk(static_cast<std::size_t>(size - offset_), '\0');

@@ -105,7 +105,10 @@ struct TelemetryHeartbeat {
 /// read offset, so a torn trailing line — half-written when the worker was
 /// killed, or mid-write right now — is simply not consumed yet; the next
 /// poll picks it up once (and if) its newline lands. A missing file is
-/// "no data yet", never an error (the worker may not have started).
+/// "no data yet", never an error (the worker may not have started). A file
+/// that shrank below the read offset was truncated or replaced (worker
+/// restart, log rotation): the tail resets to the start and re-reads the
+/// new content instead of going silent.
 class TelemetryTail {
  public:
   explicit TelemetryTail(std::string path) : path_(std::move(path)) {}

@@ -1,0 +1,65 @@
+#include "serving/error_budget.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs::serving {
+
+ErrorBudget::ErrorBudget(ErrorBudgetParams params) : params_(params) {
+  DCS_REQUIRE(params_.target_p99_s > 0.0, "target_p99_s must be positive");
+  DCS_REQUIRE(params_.budget_fraction > 0.0 && params_.budget_fraction <= 1.0,
+              "budget_fraction must lie in (0, 1]");
+  DCS_REQUIRE(params_.fast_window > 0, "fast_window must be positive");
+  DCS_REQUIRE(params_.slow_window >= params_.fast_window,
+              "slow_window must be at least fast_window");
+  fast_.assign(params_.fast_window, false);
+  slow_.assign(params_.slow_window, false);
+}
+
+void ErrorBudget::observe(double p99_s) {
+  const bool violating = p99_s > params_.target_p99_s;
+  if (violating) ++violations_;
+
+  const std::size_t fast_slot = ticks_ % params_.fast_window;
+  const std::size_t slow_slot = ticks_ % params_.slow_window;
+  if (fast_[fast_slot]) --fast_count_;
+  if (slow_[slow_slot]) --slow_count_;
+  fast_[fast_slot] = violating;
+  slow_[slow_slot] = violating;
+  if (violating) {
+    ++fast_count_;
+    ++slow_count_;
+  }
+  ++ticks_;
+}
+
+double ErrorBudget::remaining() const noexcept {
+  if (ticks_ == 0) return 1.0;
+  const double allowed =
+      params_.budget_fraction * static_cast<double>(ticks_);
+  const double spent = static_cast<double>(violations_) / allowed;
+  return std::max(0.0, 1.0 - spent);
+}
+
+double ErrorBudget::burn_fast() const noexcept {
+  const std::size_t filled = std::min(ticks_, params_.fast_window);
+  if (filled == 0) return 0.0;
+  const double fraction =
+      static_cast<double>(fast_count_) / static_cast<double>(filled);
+  return fraction / params_.budget_fraction;
+}
+
+double ErrorBudget::burn_slow() const noexcept {
+  const std::size_t filled = std::min(ticks_, params_.slow_window);
+  if (filled == 0) return 0.0;
+  const double fraction =
+      static_cast<double>(slow_count_) / static_cast<double>(filled);
+  return fraction / params_.budget_fraction;
+}
+
+bool ErrorBudget::exhausted() const noexcept {
+  return ticks_ >= params_.fast_window && remaining() <= 0.0;
+}
+
+}  // namespace dcs::serving

@@ -1,0 +1,78 @@
+// SRE-style SLO error-budget accounting over the serving layer's per-tick
+// violation signal.
+//
+// The SLO ("window p99 <= target") is allowed to be violated for a bounded
+// fraction of the run — the error budget (budget_fraction of control
+// periods). Each tick classifies as compliant or violating; the budget
+// remaining is
+//
+//   remaining = max(0, 1 - violations / (budget_fraction * ticks))
+//
+// so it starts at 1, burns toward 0 as violations accumulate, and recovers
+// only by diluting past violations with new compliant ticks (violation
+// *counts* never decrease — the monotone counter CI asserts on).
+//
+// Burn rates follow the multi-window SRE alerting convention: the
+// violation fraction inside a sliding window divided by budget_fraction,
+// so burn 1.0 means "consuming budget exactly as fast as provisioned",
+// above 1 is over-spend. A fast (minutes) and a slow (tens of minutes)
+// window pair distinguishes a transient latency spike from a sustained
+// breach.
+//
+// Pure bookkeeping over booleans: no clocks, no allocation after
+// construction, bit-identical across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dcs::serving {
+
+struct ErrorBudgetParams {
+  /// SLO threshold on the window p99 (seconds).
+  double target_p99_s = 0.25;
+  /// Fraction of control periods allowed to violate the SLO over the run.
+  double budget_fraction = 0.05;
+  /// Sliding-window lengths (control periods) for the burn rates.
+  std::size_t fast_window = 60;
+  std::size_t slow_window = 600;
+};
+
+class ErrorBudget {
+ public:
+  explicit ErrorBudget(ErrorBudgetParams params = {});
+
+  /// Classifies one control period. `p99_s` is the serving layer's sliding
+  /// window p99 for the period.
+  void observe(double p99_s);
+
+  [[nodiscard]] std::size_t ticks() const noexcept { return ticks_; }
+  /// Cumulative violating periods — monotone by construction.
+  [[nodiscard]] std::size_t violations() const noexcept { return violations_; }
+  /// Remaining budget in [0, 1].
+  [[nodiscard]] double remaining() const noexcept;
+  /// Burn rate over the fast / slow window (1.0 = spending exactly the
+  /// provisioned rate). Windows shorter than their capacity use the ticks
+  /// seen so far.
+  [[nodiscard]] double burn_fast() const noexcept;
+  [[nodiscard]] double burn_slow() const noexcept;
+  /// True once the budget hit zero with at least one full fast window of
+  /// evidence (a cold start with one early violation is not exhaustion).
+  [[nodiscard]] bool exhausted() const noexcept;
+
+  [[nodiscard]] const ErrorBudgetParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  ErrorBudgetParams params_;
+  std::size_t ticks_ = 0;
+  std::size_t violations_ = 0;
+  // Ring buffers of per-tick violation flags plus running in-window counts.
+  std::vector<bool> fast_;
+  std::vector<bool> slow_;
+  std::size_t fast_count_ = 0;
+  std::size_t slow_count_ = 0;
+};
+
+}  // namespace dcs::serving

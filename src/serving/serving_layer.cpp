@@ -39,6 +39,11 @@ void ServingLayer::set_recorder(sim::Recorder* recorder) noexcept {
   recorder_ = recorder;
 }
 
+void ServingLayer::enable_error_budget(ErrorBudgetParams params) {
+  budget_.emplace(params);
+  budget_exhausted_reported_ = false;
+}
+
 double ServingLayer::drop_fraction() const noexcept {
   return offered_total_ > 0 ? static_cast<double>(dropped_total_) /
                                   static_cast<double>(offered_total_)
@@ -105,6 +110,35 @@ void ServingLayer::tick(Duration now, Duration dt) {
   stats.p99_s = tracker_.window_p99();
   stats.backlog = backlog_total();
 
+  // Admission decisions on the drop edge: the tick request denial starts
+  // (clamp) and the tick it stops (release), with the cap that was binding.
+  const bool clamping = stats.dropped > 0;
+  if (decisions_ != nullptr && clamping != clamping_) {
+    decisions_->emit(clamping ? obs::DecisionRule::kAdmissionClamp
+                              : obs::DecisionRule::kAdmissionRelease,
+                     {{"offered", static_cast<double>(stats.offered)},
+                      {"admitted", static_cast<double>(stats.admitted)},
+                      {"backlog", stats.backlog}},
+                     {{"cap", cap}});
+  }
+  clamping_ = clamping;
+
+  if (budget_) {
+    budget_->observe(stats.p99_s);
+    if (decisions_ != nullptr && budget_->exhausted() &&
+        !budget_exhausted_reported_) {
+      // One-shot: the budget hitting zero is a run-level verdict, not a
+      // per-tick condition.
+      decisions_->emit(
+          obs::DecisionRule::kSloBudgetExhausted,
+          {{"burn_fast", budget_->burn_fast()},
+           {"burn_slow", budget_->burn_slow()},
+           {"violations", static_cast<double>(budget_->violations())}},
+          {{"budget_fraction", budget_->params().budget_fraction}});
+      budget_exhausted_reported_ = true;
+    }
+  }
+
   if (recorder_ != nullptr) {
     recorder_->record("serving_p50_ms", now, tracker_.p50() * 1e3);
     recorder_->record("serving_p99_ms", now, tracker_.p99() * 1e3);
@@ -115,6 +149,13 @@ void ServingLayer::tick(Duration now, Duration dt) {
                       static_cast<double>(stats.dropped));
     recorder_->record("serving_admitted", now,
                       static_cast<double>(stats.admitted));
+    if (budget_) {
+      recorder_->record("slo_budget_remaining", now, budget_->remaining());
+      recorder_->record("slo_burn_fast", now, budget_->burn_fast());
+      recorder_->record("slo_burn_slow", now, budget_->burn_slow());
+      recorder_->record("slo_budget_violations", now,
+                        static_cast<double>(budget_->violations()));
+    }
   }
   if (slo_callback_) slo_callback_(stats);
   ++tick_index_;
@@ -128,6 +169,14 @@ void ServingLayer::export_metrics(obs::MetricsRegistry& registry) const {
   dropped.inc(static_cast<double>(dropped_total_) - dropped.value());
   registry.gauge("serving_drop_fraction").set(drop_fraction());
   registry.gauge("serving_backlog").set(backlog_total());
+  if (budget_) {
+    registry.gauge("slo_budget_remaining").set(budget_->remaining());
+    registry.gauge("slo_burn_fast").set(budget_->burn_fast());
+    registry.gauge("slo_burn_slow").set(budget_->burn_slow());
+    obs::Counter& violations = registry.counter("slo_budget_violations_total");
+    violations.inc(static_cast<double>(budget_->violations()) -
+                   violations.value());
+  }
 }
 
 }  // namespace dcs::serving

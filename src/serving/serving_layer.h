@@ -22,10 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/decision.h"
 #include "obs/metrics.h"
+#include "serving/error_budget.h"
 #include "serving/latency.h"
 #include "serving/placement.h"
 #include "serving/queue_model.h"
@@ -90,6 +93,21 @@ class ServingLayer final : public sim::Component {
   /// Must outlive the run.
   void set_recorder(sim::Recorder* recorder) noexcept;
 
+  /// Optional decision-provenance log: tick() emits admission-clamp /
+  /// admission-release on drop edges and a one-shot slo-budget-exhausted
+  /// when the error budget (if enabled) runs out. Must outlive the run.
+  void set_decision_log(obs::DecisionLog* decisions) noexcept {
+    decisions_ = decisions;
+  }
+
+  /// Enables SLO error-budget accounting over the per-tick window p99.
+  /// With a recorder attached, adds channels slo_budget_remaining,
+  /// slo_burn_fast, slo_burn_slow and the monotone slo_budget_violations.
+  void enable_error_budget(ErrorBudgetParams params);
+  [[nodiscard]] const ErrorBudget* error_budget() const noexcept {
+    return budget_ ? &*budget_ : nullptr;
+  }
+
   void tick(Duration now, Duration dt) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "serving";
@@ -128,6 +146,10 @@ class ServingLayer final : public sim::Component {
   std::size_t dropped_total_ = 0;
   std::function<void(const ServingStats&)> slo_callback_;
   sim::Recorder* recorder_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
+  std::optional<ErrorBudget> budget_;
+  bool clamping_ = false;
+  bool budget_exhausted_reported_ = false;
 };
 
 }  // namespace dcs::serving

@@ -53,6 +53,14 @@ class ProtoWriter {
     bytes_.append(buf, sizeof(double));
   }
 
+  /// Wire type 1: raw 64-bit little-endian fields (fixed64/sfixed64).
+  void fixed64(std::uint32_t field, std::uint64_t value) {
+    tag(field, 1);
+    char buf[sizeof(std::uint64_t)];
+    std::memcpy(buf, &value, sizeof(std::uint64_t));
+    bytes_.append(buf, sizeof(std::uint64_t));
+  }
+
   /// Wire type 2: strings and raw bytes.
   void string(std::uint32_t field, std::string_view value) {
     tag(field, 2);

@@ -1,6 +1,7 @@
 // Determinism contract of the observability layer: sim-domain trace events
-// collected through per-task tracers and merged in task order are
-// byte-identical regardless of how many worker threads executed the sweep.
+// (including decision records, obs/decision.h) collected through per-task
+// tracers and merged in task order are byte-identical regardless of how
+// many worker threads executed the sweep or how it was sharded.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -14,6 +15,7 @@
 #include "exp/sweep.h"
 #include "faults/schedule.h"
 #include "obs/counters.h"
+#include "obs/decision.h"
 #include "obs/trace.h"
 #include "sim/recorder.h"
 #include "util/json.h"
@@ -102,6 +104,71 @@ TEST(ObsDeterminism, RepeatedRunsAreByteIdentical) {
   const std::string a = traced_sweep_jsonl(4);
   const std::string b = traced_sweep_jsonl(4);
   EXPECT_EQ(a, b);
+}
+
+/// Runs the faulted scenario sweep with decision emission on, optionally
+/// split into `shards` sequentially-executed shard slices (each task still
+/// lands in its task-indexed tracer slot, so the merge is shard-agnostic),
+/// and returns the merged sim-event stream as JSONL.
+std::string decision_sweep_jsonl(std::size_t threads, std::size_t shards) {
+  workload::YahooTraceParams yp;
+  yp.burst_degree = 3.2;
+  yp.burst_duration = Duration::minutes(15);
+  const TimeSeries trace = workload::generate_yahoo_trace(yp);
+
+  DataCenterConfig config;
+  config.fleet.pdu_count = 2;
+
+  exp::SweepSpec spec("decision_determinism");
+  spec.add_axis("scenario", {"nominal", "ups-outage", "chiller-loss"});
+
+  std::vector<obs::Tracer> task_tracers(spec.tasks().size());
+  const auto task_fn = [&](const exp::SweepSpec::Task& task) {
+    obs::Tracer& tracer = task_tracers[task.index];
+    tracer.set_lane(static_cast<std::uint32_t>(task.index));
+    obs::DecisionLog decisions(&tracer);
+    const FaultSchedule schedule = scenario_schedule(task.level[0]);
+    DataCenter dc(config);
+    GreedyStrategy greedy;
+    RunOptions opts;
+    opts.tracer = &tracer;
+    opts.decisions = &decisions;
+    if (!schedule.empty()) opts.faults = &schedule;
+    const core::RunResult r = dc.run(trace, &greedy, opts);
+    return std::vector<double>{r.performance_factor};
+  };
+  for (std::size_t s = 0; s < shards; ++s) {
+    exp::RunnerOptions options;
+    options.threads = threads;
+    if (shards > 1) options.shard = exp::Shard{s, shards};
+    exp::run_sweep(spec, {"perf"}, task_fn, options);
+  }
+
+  obs::Tracer merged;
+  for (const exp::SweepSpec::Task& task : spec.tasks()) {
+    merged.merge_from(std::move(task_tracers[task.index]));
+  }
+  std::ostringstream out;
+  merged.write_jsonl(out);
+  return out.str();
+}
+
+TEST(ObsDeterminism, DecisionStreamIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = decision_sweep_jsonl(1, 1);
+  const std::string parallel = decision_sweep_jsonl(8, 1);
+  EXPECT_EQ(serial, parallel);
+
+  // The stream actually carries decision records with resolvable causes.
+  EXPECT_NE(serial.find("\"cat\": \"decision\""), std::string::npos);
+  EXPECT_NE(serial.find("\"sprint-onset\""), std::string::npos);
+  EXPECT_NE(serial.find("\"fault-inject\""), std::string::npos);
+  EXPECT_NE(serial.find("\"cause\""), std::string::npos);
+}
+
+TEST(ObsDeterminism, DecisionStreamIsByteIdenticalShardedVsUnsharded) {
+  const std::string unsharded = decision_sweep_jsonl(2, 1);
+  const std::string sharded = decision_sweep_jsonl(2, 2);
+  EXPECT_EQ(unsharded, sharded);
 }
 
 /// Builds a small recorder (with equal-time overwrites, which the recorder

@@ -237,6 +237,56 @@ TEST(ObsQuery, CsvWritersAreByteStable) {
   std::remove(path.c_str());
 }
 
+TEST(ObsQuery, JsonlWritersAreByteStable) {
+  const std::string path = timeline_fixture();
+  const TraceData trace = load_trace(path);
+  const auto render = [&] {
+    std::ostringstream out;
+    write_scope_jsonl(out, scope_stats(trace));
+    write_counter_jsonl(out, counter_stats(trace));
+    ThresholdQuery q;
+    q.track = "degree";
+    q.threshold = 1.0;
+    q.below = false;
+    write_window_jsonl(out, threshold_windows(trace, q));
+    return out.str();
+  };
+  const std::string first = render();
+  EXPECT_EQ(first, render());
+  // One self-describing object per row, numbers in canonical form.
+  EXPECT_NE(first.find("{\"src\":\"shard0\",\"name\":\"work\",\"count\":2"),
+            std::string::npos);
+  EXPECT_NE(first.find("\"start_us\":10,\"end_us\":30,\"duration_us\":20,"
+                       "\"extreme\":3.5}"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsQuery, InstantEventsKeepTheirArgsInSortedOrder) {
+  const std::string path = temp_path("query_instant_args.jsonl");
+  write_file(path,
+             "{\"domain\":\"sim\",\"ph\":\"i\",\"ts\":5,\"lane\":0,"
+             "\"cat\":\"decision\",\"name\":\"burst-start\","
+             "\"args\":{\"id\":\"d0-1\",\"in_demand\":1.5,\"schema\":1,"
+             "\"armed\":true}}\n"
+             "{\"domain\":\"sim\",\"ph\":\"C\",\"ts\":6,\"lane\":0,"
+             "\"name\":\"degree\",\"args\":{\"value\":2}}\n");
+  const TraceData trace = load_trace(path);
+  ASSERT_EQ(trace.events.size(), 2u);
+  const QueryEvent& instant = trace.events[0];
+  ASSERT_EQ(instant.args.size(), 4u);
+  EXPECT_EQ(instant.args[0].first, "armed");
+  EXPECT_EQ(instant.args[0].second, "true");
+  EXPECT_EQ(instant.args[1].first, "id");
+  EXPECT_EQ(instant.args[1].second, "d0-1");
+  EXPECT_EQ(instant.args[2].second, "1.5");
+  EXPECT_EQ(instant.args[3].first, "schema");
+  // Counter events stay on the cheap path: value decoded, args not kept.
+  EXPECT_TRUE(trace.events[1].args.empty());
+  EXPECT_TRUE(trace.events[1].has_value);
+  std::remove(path.c_str());
+}
+
 TEST(ObsQuery, RejectsUnreadableAndHandlesEmptyInput) {
   EXPECT_THROW((void)load_trace("/nonexistent-dir/trace.json"),
                std::invalid_argument);

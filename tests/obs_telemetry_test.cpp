@@ -210,6 +210,47 @@ TEST(ObsTelemetry, TailNeverConsumesATornTrailingLine) {
   std::remove(path.c_str());
 }
 
+TEST(ObsTelemetry, TailResetsWhenTheStreamShrinksOrIsReplaced) {
+  const std::string path = temp_path("telemetry_rewritten.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"t\":\"header\",\"telemetry\":1,\"name\":\"first\",\"pid\":11,"
+           "\"shard\":\"\",\"epoch_unix_us\":100}\n";
+    out << "{\"t\":\"hb\",\"wall_us\":1.0,\"sweep\":\"s\",\"done\":7,"
+           "\"total\":8}\n";
+  }
+  TelemetryTail tail(path);
+  EXPECT_TRUE(tail.poll());
+  EXPECT_EQ(tail.name(), "first");
+  EXPECT_EQ(tail.heartbeat().done, 7u);
+  EXPECT_EQ(tail.lines_read(), 2u);
+
+  // The worker restarted and rewrote the stream from scratch with a
+  // shorter file: the tail must reset to offset zero and re-read the new
+  // content instead of waiting for the file to outgrow the stale offset.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "{\"t\":\"header\",\"telemetry\":1,\"name\":\"second\",\"pid\":12,"
+           "\"shard\":\"\",\"epoch_unix_us\":200}\n";
+  }
+  EXPECT_TRUE(tail.poll());
+  EXPECT_EQ(tail.name(), "second");
+  EXPECT_EQ(tail.pid(), 12);
+  EXPECT_EQ(tail.epoch_unix_us(), 200);
+  EXPECT_EQ(tail.lines_read(), 3u);
+
+  // Appends to the replacement stream keep flowing incrementally.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "{\"t\":\"hb\",\"wall_us\":2.0,\"sweep\":\"s\",\"done\":1,"
+           "\"total\":8}\n";
+  }
+  EXPECT_TRUE(tail.poll());
+  EXPECT_EQ(tail.heartbeat().done, 1u);
+  EXPECT_EQ(tail.lines_read(), 4u);
+  std::remove(path.c_str());
+}
+
 TEST(ObsTelemetry, TailSkipsUnknownLineTypes) {
   const std::string path = temp_path("telemetry_unknown.jsonl");
   {

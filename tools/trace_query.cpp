@@ -1,13 +1,21 @@
 // Offline trace analysis CLI over the repo's trace encodings (Chrome JSON,
 // trace/telemetry JSONL, merged timeline.jsonl). Usage:
 //
-//   trace_query scopes    <trace> [--csv[=path]] [--require-rows=N]
-//   trace_query counters  <trace> [--csv[=path]] [--require-rows=N]
+//   trace_query scopes    <trace> [output] [--require-rows=N]
+//   trace_query counters  <trace> [output] [--require-rows=N]
 //   trace_query threshold <trace> --track=NAME --threshold=V
 //                         [--above | --below] [--min-duration-us=V]
-//                         [--csv[=path]] [--require-rows=N]
+//                         [output] [--require-rows=N]
 //   trace_query slo       <trace> --slo-ms=V [--min-duration-us=V]
-//                         [--csv[=path]] [--require-rows=N]
+//                         [output] [--require-rows=N]
+//   trace_query decisions <trace> [--rule=NAME] [output] [--require-rows=N]
+//   trace_query explain   <trace> [--id=ID | --rule=NAME] [output]
+//                         [--require-rows=N] [--require-resolved]
+//   trace_query audit     <trace> [output] [--require-rows=N]
+//                         [--require-resolved] [--require-rule=NAME[:N]]
+//                         [--require-monotone=TRACK]
+//
+//   output: --csv[=path] | --jsonl[=path]   (default: readable table)
 //
 // `scopes` prints duration stats per (src, span name); `counters` prints
 // value stats per (src, counter track); `threshold` extracts the maximal
@@ -17,12 +25,25 @@
 // sugar for `threshold --track=serving_window_p99_ms --above`, extracting
 // SLO-violation intervals from the serving layer's windowed p99 track.
 //
-// `--csv` switches to the byte-stable CSV encoding (stdout, or a file with
-// `--csv=path`) for diffing across runs. `--require-rows=N` exits 1 when
-// fewer than N result rows were produced — the CI smoke test's assertion
-// that e.g. every shard actually recorded sprint spans.
+// The decision-provenance commands work on cat="decision" instant events
+// (obs/decision.h). `decisions` lists every DecisionRecord (optionally
+// filtered by --rule); `explain` reconstructs the causal chain — the
+// record, its cause, its cause's cause, back to a root — for one record
+// (--id=d0-5) or every record of a rule (--rule=NAME; default
+// sprint-onset); `audit` prints the per-(src, rule) inventory with
+// chain-resolution counts, plus (table view) a budget-burn summary from
+// the slo_* counter tracks when present.
 //
-// Exit codes: 0 = ok, 1 = --require-rows unmet, 2 = usage/input error.
+// CI assertions (exit 1 when unmet): `--require-rows=N` needs >= N result
+// rows; `--require-resolved` needs every reconstructed chain to reach a
+// root (no dangling cause id); `--require-rule=NAME[:N]` needs >= N
+// (default 1) records of that rule; `--require-monotone=TRACK` needs the
+// counter track to be non-decreasing per (src, lane).
+//
+// `--csv` / `--jsonl` switch to byte-stable machine encodings (stdout, or
+// a file with `=path`) for diffing across runs.
+//
+// Exit codes: 0 = ok, 1 = assertion unmet, 2 = usage/input error.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,26 +62,39 @@ struct Args {
   std::string command;
   std::string trace;
   bool csv = false;
-  std::string csv_path;  // empty = stdout
+  bool jsonl = false;
+  std::string out_path;  // empty = stdout
   std::string track;
   std::optional<double> threshold;
   bool below = true;
   double min_duration_us = 0.0;
   std::optional<double> slo_ms;
   std::size_t require_rows = 0;
+  std::string id;
+  std::string rule;
+  bool require_resolved = false;
+  std::vector<std::string> require_rule;      // NAME or NAME:N
+  std::vector<std::string> require_monotone;  // counter track names
 };
 
 int usage() {
   std::cerr
-      << "usage: trace_query <scopes|counters|threshold|slo> <trace> "
+      << "usage: trace_query "
+         "<scopes|counters|threshold|slo|decisions|explain|audit> <trace> "
          "[options]\n"
-         "  --csv[=path]         CSV output (default: readable table)\n"
-         "  --track=NAME         counter track (threshold)\n"
-         "  --threshold=V        threshold value (threshold)\n"
-         "  --below | --above    predicate direction (default --below)\n"
-         "  --min-duration-us=V  drop windows shorter than V\n"
-         "  --slo-ms=V           p99 target in ms (slo)\n"
-         "  --require-rows=N     exit 1 unless >= N result rows\n";
+         "  --csv[=path]           CSV output (default: readable table)\n"
+         "  --jsonl[=path]         JSONL output\n"
+         "  --track=NAME           counter track (threshold)\n"
+         "  --threshold=V          threshold value (threshold)\n"
+         "  --below | --above      predicate direction (default --below)\n"
+         "  --min-duration-us=V    drop windows shorter than V\n"
+         "  --slo-ms=V             p99 target in ms (slo)\n"
+         "  --id=ID                decision record to explain\n"
+         "  --rule=NAME            decision rule filter (decisions, explain)\n"
+         "  --require-rows=N       exit 1 unless >= N result rows\n"
+         "  --require-resolved     exit 1 on any dangling cause id\n"
+         "  --require-rule=NAME[:N] exit 1 unless >= N records of NAME\n"
+         "  --require-monotone=TRACK exit 1 if TRACK ever decreases\n";
   return 2;
 }
 
@@ -88,7 +122,12 @@ bool parse(int argc, char** argv, Args* args) {
       args->csv = true;
     } else if (value_of("--csv=", &value)) {
       args->csv = true;
-      args->csv_path = value;
+      args->out_path = value;
+    } else if (arg == "--jsonl") {
+      args->jsonl = true;
+    } else if (value_of("--jsonl=", &value)) {
+      args->jsonl = true;
+      args->out_path = value;
     } else if (value_of("--track=", &value)) {
       args->track = value;
     } else if (value_of("--threshold=", &value) &&
@@ -106,20 +145,35 @@ bool parse(int argc, char** argv, Args* args) {
     } else if (value_of("--require-rows=", &value) &&
                parse_double(value, &number)) {
       args->require_rows = static_cast<std::size_t>(number);
+    } else if (value_of("--id=", &value)) {
+      args->id = value;
+    } else if (value_of("--rule=", &value)) {
+      args->rule = value;
+    } else if (arg == "--require-resolved") {
+      args->require_resolved = true;
+    } else if (value_of("--require-rule=", &value)) {
+      args->require_rule.push_back(value);
+    } else if (value_of("--require-monotone=", &value)) {
+      args->require_monotone.push_back(value);
     } else {
       std::cerr << "trace_query: unknown option " << arg << "\n";
       return false;
     }
   }
+  if (args->csv && args->jsonl) {
+    std::cerr << "trace_query: --csv and --jsonl are mutually exclusive\n";
+    return false;
+  }
   return true;
 }
 
-/// Resolves the CSV destination; the table view always goes to stdout.
+/// Resolves the machine-output destination; the table view always goes to
+/// stdout.
 std::ostream* open_out(const Args& args, std::ofstream* file) {
-  if (!args.csv || args.csv_path.empty()) return &std::cout;
-  file->open(args.csv_path, std::ios::trunc);
+  if ((!args.csv && !args.jsonl) || args.out_path.empty()) return &std::cout;
+  file->open(args.out_path, std::ios::trunc);
   if (!*file) {
-    std::cerr << "trace_query: cannot write " << args.csv_path << "\n";
+    std::cerr << "trace_query: cannot write " << args.out_path << "\n";
     return nullptr;
   }
   return file;
@@ -160,6 +214,55 @@ void print_windows(std::ostream& out,
   }
 }
 
+void print_decisions(std::ostream& out,
+                     const std::vector<query::DecisionRecord>& records) {
+  for (const query::DecisionRecord& r : records) {
+    out << tag(r.src, r.id) << " t=" << fmt(r.ts_us / 1e6) << "s " << r.rule;
+    if (!r.cause.empty()) out << " <- " << r.cause;
+    out << "\n";
+  }
+}
+
+void print_explain(std::ostream& out,
+                   const std::vector<query::DecisionRecord>& records,
+                   const std::vector<query::ExplainChain>& chains) {
+  for (const query::ExplainChain& c : chains) {
+    if (c.chain.empty()) continue;
+    const query::DecisionRecord& tgt = records[c.chain.front()];
+    out << tag(tgt.src, tgt.id) << " " << tgt.rule << ":\n";
+    for (std::size_t depth = 0; depth < c.chain.size(); ++depth) {
+      const query::DecisionRecord& r = records[c.chain[depth]];
+      out << "  ";
+      for (std::size_t j = 0; j < depth; ++j) out << "  ";
+      out << (depth == 0 ? "" : "<- ") << r.rule << " (" << r.id
+          << ") t=" << fmt(r.ts_us / 1e6) << "s\n";
+    }
+    if (!c.complete()) {
+      out << "  ";
+      for (std::size_t j = 0; j < c.chain.size(); ++j) out << "  ";
+      out << "<- MISSING " << c.dangling << "\n";
+    }
+  }
+}
+
+void print_audit(std::ostream& out, const std::vector<query::AuditRow>& rows,
+                 const std::vector<query::CounterStat>& counters) {
+  for (const query::AuditRow& r : rows) {
+    out << tag(r.src, r.rule) << ": count=" << r.count
+        << " roots=" << r.roots << " resolved=" << r.resolved
+        << " dangling=" << r.dangling << "\n";
+  }
+  // Budget-burn summary when the trace carries the error-budget tracks.
+  for (const query::CounterStat& c : counters) {
+    if (c.name != "slo_budget_remaining" && c.name != "slo_burn_fast" &&
+        c.name != "slo_burn_slow" && c.name != "slo_budget_violations") {
+      continue;
+    }
+    out << tag(c.src, c.name) << ": last=" << fmt(c.last)
+        << " min=" << fmt(c.min) << " max=" << fmt(c.max) << "\n";
+  }
+}
+
 int finish(const Args& args, std::size_t rows) {
   if (rows < args.require_rows) {
     std::cerr << "trace_query: " << rows << " row(s) < required "
@@ -167,6 +270,51 @@ int finish(const Args& args, std::size_t rows) {
     return 1;
   }
   return 0;
+}
+
+/// Applies the decision/counter assertions shared by explain and audit.
+/// Returns 0 when every assertion holds.
+int check_assertions(const Args& args, const query::TraceData& trace,
+                     const std::vector<query::DecisionRecord>& records,
+                     std::size_t dangling_chains) {
+  int rc = 0;
+  if (args.require_resolved && dangling_chains > 0) {
+    std::cerr << "trace_query: " << dangling_chains
+              << " chain(s) with a dangling cause id\n";
+    rc = 1;
+  }
+  for (const std::string& spec : args.require_rule) {
+    std::string name = spec;
+    std::size_t want = 1;
+    const std::size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+      double n = 0.0;
+      if (parse_double(spec.substr(colon + 1), &n)) {
+        name = spec.substr(0, colon);
+        want = static_cast<std::size_t>(n);
+      }
+    }
+    std::size_t have = 0;
+    for (const query::DecisionRecord& r : records) {
+      if (r.rule == name) ++have;
+    }
+    if (have < want) {
+      std::cerr << "trace_query: rule " << name << ": " << have
+                << " record(s) < required " << want << "\n";
+      rc = 1;
+    }
+  }
+  for (const std::string& track : args.require_monotone) {
+    const std::vector<query::MonotoneViolation> violations =
+        query::counter_monotone(trace, track);
+    for (const query::MonotoneViolation& v : violations) {
+      std::cerr << "trace_query: " << tag(v.src, track) << " lane " << v.lane
+                << " decreased " << fmt(v.prev) << " -> " << fmt(v.value)
+                << " at ts_us=" << fmt(v.ts_us) << "\n";
+    }
+    if (!violations.empty()) rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace
@@ -185,6 +333,8 @@ int main(int argc, char** argv) {
       const std::vector<query::ScopeStat> stats = query::scope_stats(trace);
       if (args.csv) {
         query::write_scope_csv(*out, stats);
+      } else if (args.jsonl) {
+        query::write_scope_jsonl(*out, stats);
       } else {
         print_scopes(*out, stats);
       }
@@ -195,6 +345,8 @@ int main(int argc, char** argv) {
           query::counter_stats(trace);
       if (args.csv) {
         query::write_counter_csv(*out, stats);
+      } else if (args.jsonl) {
+        query::write_counter_jsonl(*out, stats);
       } else {
         print_counters(*out, stats);
       }
@@ -225,10 +377,82 @@ int main(int argc, char** argv) {
           query::threshold_windows(trace, q);
       if (args.csv) {
         query::write_window_csv(*out, windows);
+      } else if (args.jsonl) {
+        query::write_window_jsonl(*out, windows);
       } else {
         print_windows(*out, windows);
       }
       return finish(args, windows.size());
+    }
+    if (args.command == "decisions") {
+      std::vector<query::DecisionRecord> records =
+          query::decision_records(trace);
+      if (!args.rule.empty()) {
+        std::erase_if(records, [&](const query::DecisionRecord& r) {
+          return r.rule != args.rule;
+        });
+      }
+      if (args.csv) {
+        query::write_decision_csv(*out, records);
+      } else if (args.jsonl) {
+        query::write_decision_jsonl(*out, trace, records);
+      } else {
+        print_decisions(*out, records);
+      }
+      return finish(args, records.size());
+    }
+    if (args.command == "explain") {
+      const std::vector<query::DecisionRecord> records =
+          query::decision_records(trace);
+      // Targets: one record by id, or every record of a rule (the default
+      // rule answers the canonical question "why did each sprint start").
+      const std::string rule = args.rule.empty() ? "sprint-onset" : args.rule;
+      std::vector<std::size_t> targets;
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        if (!args.id.empty() ? records[i].id == args.id
+                             : records[i].rule == rule) {
+          targets.push_back(i);
+        }
+      }
+      if (!args.id.empty() && targets.empty()) {
+        std::cerr << "trace_query: no decision record with id " << args.id
+                  << "\n";
+        return 2;
+      }
+      std::vector<query::ExplainChain> chains;
+      chains.reserve(targets.size());
+      std::size_t dangling = 0;
+      for (const std::size_t t : targets) {
+        chains.push_back(query::explain_record(records, t));
+        if (!chains.back().complete()) ++dangling;
+      }
+      if (args.csv) {
+        query::write_explain_csv(*out, records, chains);
+      } else if (args.jsonl) {
+        query::write_explain_jsonl(*out, trace, records, chains);
+      } else {
+        print_explain(*out, records, chains);
+      }
+      const int rc = check_assertions(args, trace, records, dangling);
+      if (rc != 0) return rc;
+      return finish(args, chains.size());
+    }
+    if (args.command == "audit") {
+      const std::vector<query::DecisionRecord> records =
+          query::decision_records(trace);
+      const std::vector<query::AuditRow> rows = query::audit(records);
+      if (args.csv) {
+        query::write_audit_csv(*out, rows);
+      } else if (args.jsonl) {
+        query::write_audit_jsonl(*out, rows);
+      } else {
+        print_audit(*out, rows, query::counter_stats(trace));
+      }
+      std::size_t dangling = 0;
+      for (const query::AuditRow& r : rows) dangling += r.dangling;
+      const int rc = check_assertions(args, trace, records, dangling);
+      if (rc != 0) return rc;
+      return finish(args, rows.size());
     }
     std::cerr << "trace_query: unknown command " << args.command << "\n";
     return usage();
