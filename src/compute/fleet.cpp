@@ -12,6 +12,10 @@ Fleet::Fleet(const Params& params)
   DCS_REQUIRE(params_.pdu_count > 0, "PDU count must be positive");
   DCS_REQUIRE(params_.throughput.normal_cores == params_.server.chip.normal_cores,
               "throughput model and chip must agree on the normal core count");
+  throughput_by_cores_.resize(params_.server.chip.total_cores + 1);
+  for (std::size_t n = 0; n < throughput_by_cores_.size(); ++n) {
+    throughput_by_cores_[n] = throughput_.throughput(n);
+  }
 }
 
 std::size_t Fleet::server_count() const noexcept {
@@ -35,9 +39,12 @@ Fleet::Operation Fleet::operate(double demand, double degree_cap) const {
       std::max(normal, chip.cores_for_degree(
                            std::min(degree_cap, chip.max_sprint_degree())));
   // Activate just enough cores for the demand, never below normal, never
-  // above the strategy's bound.
-  const std::size_t want = throughput_.cores_for_demand(demand);
-  const std::size_t active = std::clamp(want, normal, cap_cores);
+  // above the strategy's bound. With the bound at the normal count the clamp
+  // pins the answer regardless of what the demand asks for.
+  const std::size_t active =
+      cap_cores == normal
+          ? normal
+          : std::clamp(throughput_.cores_for_demand(demand), normal, cap_cores);
   return operate_with_cores(demand, active);
 }
 
@@ -49,7 +56,7 @@ Fleet::Operation Fleet::operate_with_cores(double demand,
   Operation op;
   op.active_cores = active_cores;
   op.degree = chip.degree_for_cores(active_cores);
-  const double cap = throughput_.throughput(active_cores);
+  const double cap = throughput_by_cores_[active_cores];
   op.achieved = std::min(demand, cap);
   op.utilization = cap > 0.0 ? op.achieved / cap : 0.0;
   op.per_server = server_.power(active_cores, op.utilization);

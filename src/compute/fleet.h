@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "compute/server.h"
 #include "compute/throughput_model.h"
@@ -64,6 +65,11 @@ class Fleet {
   Params params_;
   Server server_;
   ThroughputModel throughput_;
+  /// throughput_.throughput(n) for n in [0, total_cores], precomputed in the
+  /// constructor with the model itself (same std::pow, bit-identical) so the
+  /// per-tick operating-point math never calls libm. Immutable after
+  /// construction, so concurrent reads (oracle threads) stay safe.
+  std::vector<double> throughput_by_cores_;
 };
 
 }  // namespace dcs::compute

@@ -9,11 +9,15 @@ Power DataCenterConfig::server_peak_normal() const {
 }
 
 Power DataCenterConfig::fleet_peak_normal() const {
-  return compute::Fleet(fleet).peak_normal_power();
+  // Same arithmetic as Fleet::peak_normal_power(), without paying the Fleet
+  // constructor (its throughput table) on a config query.
+  return compute::Server(fleet.server).peak_normal_power() *
+         static_cast<double>(fleet.servers_per_pdu * fleet.pdu_count);
 }
 
 Power DataCenterConfig::fleet_peak_sprint() const {
-  return compute::Fleet(fleet).peak_sprint_power();
+  return compute::Server(fleet.server).peak_sprint_power() *
+         static_cast<double>(fleet.servers_per_pdu * fleet.pdu_count);
 }
 
 Power DataCenterConfig::total_peak_normal() const {

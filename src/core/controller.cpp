@@ -81,7 +81,15 @@ SprintingController::SprintingController(const DataCenterConfig& config,
     // the tank once phase 3 starts.
     total += deps_.tes->stored();
   }
-  budget_total_ds_ = total.j() / power_per_degree().w();
+  // power_per_degree() and tes_activation_time() are run constants derived
+  // from the config; cache them (and the budget they imply) so the per-tick
+  // paths (remaining_energy_fraction, should_activate_tes) never recompute.
+  power_per_degree_ = power_per_degree();
+  budget_total_ds_ = total.j() / power_per_degree_.w();
+  budget_total_energy_ = Energy::joules(budget_total_ds_ * power_per_degree_.w());
+  if (deps_.tes != nullptr) {
+    tes_activation_time_ = config_.tes_activation_time();
+  }
 }
 
 Power SprintingController::power_per_degree() const {
@@ -113,13 +121,10 @@ double SprintingController::remaining_energy_fraction() const {
     remaining += deps_.tes->stored();
   }
   // Breaker transient budget shrinks as the hottest element heats up.
-  double max_heat = deps_.topology->dc_breaker().thermal_state();
-  for (const auto& pdu : deps_.topology->pdus()) {
-    max_heat = std::max(max_heat, pdu.breaker().thermal_state());
-  }
+  const double max_heat = std::max(deps_.topology->dc_breaker().thermal_state(),
+                                   deps_.topology->max_pdu_breaker_heat());
   remaining += cb_budget_initial_ * (1.0 - max_heat);
-  const Energy total =
-      Energy::joules(budget_total_ds_ * power_per_degree().w());
+  const Energy total = budget_total_energy_;
   return total > Energy::zero() ? std::clamp(remaining / total, 0.0, 1.0) : 0.0;
 }
 
@@ -149,7 +154,7 @@ bool SprintingController::should_activate_tes() const {
     return true;
   }
   return in_burst_ && !sprint_terminated_ &&
-         burst_elapsed_ >= config_.tes_activation_time();
+         burst_elapsed_ >= tes_activation_time_;
 }
 
 bool SprintingController::check_cores(std::size_t cores, double demand,
@@ -158,7 +163,7 @@ bool SprintingController::check_cores(std::size_t cores, double demand,
                                       Power* tes_relief) const {
   const auto op = deps_.fleet->operate_with_cores(demand, cores);
   const auto& topo = *deps_.topology;
-  const power::Pdu& pdu = topo.pdus().front();  // fleet is homogeneous
+  const power::Pdu& pdu = topo.pdu(0);  // fleet is homogeneous
 
   if (pdu.breaker().tripped() || topo.dc_breaker().tripped()) return false;
 
@@ -179,37 +184,53 @@ bool SprintingController::check_cores(std::size_t cores, double demand,
 
   // PDU tier: the breaker may carry up to the governor's bound; the UPS
   // bank covers the rest, limited by inverter power and stored energy.
-  const Power pdu_allow = pdu.breaker().max_load_for(config_.cb_reserve);
-  const Power ups_max = std::min(pdu.ups().max_discharge(),
-                                 pdu.ups().available() / dt);
-  Power ups = op.per_pdu > pdu_allow ? op.per_pdu - pdu_allow : Power::zero();
-  if (ups > ups_max + kPowerEps) return false;
+  // Screen: max_load_for() never returns less than the effective rating of
+  // an untripped breaker (the curve's no-trip ratio exceeds 1), so a load
+  // at or below rating needs no UPS assist — skip the curve inversion.
+  const auto ups_limit = [&] {
+    return std::min(pdu.ups().max_discharge(), pdu.ups().available() / dt);
+  };
+  Power ups = Power::zero();
+  Power ups_max = Power::zero();
+  bool ups_max_known = false;
+  if (op.per_pdu.w() > pdu.breaker().effective_rated().w()) {
+    const Power pdu_allow = pdu.breaker().max_load_for(config_.cb_reserve);
+    ups_max = ups_limit();
+    ups_max_known = true;
+    ups = op.per_pdu > pdu_allow ? op.per_pdu - pdu_allow : Power::zero();
+    if (ups > ups_max + kPowerEps) return false;
+  }
 
   // DC tier: grid-side PDU flows plus cooling must fit the substation
   // governor's bound and the utility feed's current capability. In phase 3
   // the TES displaces chiller power first ("reduce the chiller power to
   // decrease the overload of DC-level CBs"); extra UPS discharge relieves
-  // whatever remains.
+  // whatever remains. Same screen as the PDU tier: when the grid is not
+  // limited and the DC load sits at or below the substation rating, the
+  // overload branches cannot engage.
   const Power cooling = deps_.cooling->electrical_projection(
       op.fleet_total, tes_active, Power::zero());
-  Power dc_allow = topo.dc_breaker().max_load_for(config_.cb_reserve);
-  if (grid_limited_) dc_allow = std::min(dc_allow, grid_cap_);
   const double n = static_cast<double>(topo.pdu_count());
   Power dc_load = (op.per_pdu - ups) * n + cooling;
   Power relief = Power::zero();
-  if (dc_load > dc_allow + kPowerEps && tes_active && deps_.tes != nullptr) {
-    const Power chiller_now = deps_.cooling->chiller_electrical(
-        std::min(op.fleet_total, deps_.cooling->thermal_capacity()));
-    const Power relief_max = std::min(
-        chiller_now, tes_rate_left * deps_.cooling->chiller_elec_per_heat());
-    relief = std::min(dc_load - dc_allow, relief_max);
-    dc_load -= relief;
-  }
-  if (dc_load > dc_allow + kPowerEps) {
-    const Power extra_per_pdu = (dc_load - dc_allow) / n;
-    ups += extra_per_pdu;
-    if (ups > ups_max + kPowerEps) return false;
-    if (ups > op.per_pdu) return false;  // cannot discharge more than the load
+  if (grid_limited_ || dc_load.w() > topo.dc_breaker().effective_rated().w()) {
+    Power dc_allow = topo.dc_breaker().max_load_for(config_.cb_reserve);
+    if (grid_limited_) dc_allow = std::min(dc_allow, grid_cap_);
+    if (dc_load > dc_allow + kPowerEps && tes_active && deps_.tes != nullptr) {
+      const Power chiller_now = deps_.cooling->chiller_electrical(
+          std::min(op.fleet_total, deps_.cooling->thermal_capacity()));
+      const Power relief_max = std::min(
+          chiller_now, tes_rate_left * deps_.cooling->chiller_elec_per_heat());
+      relief = std::min(dc_load - dc_allow, relief_max);
+      dc_load -= relief;
+    }
+    if (dc_load > dc_allow + kPowerEps) {
+      const Power extra_per_pdu = (dc_load - dc_allow) / n;
+      ups += extra_per_pdu;
+      if (!ups_max_known) ups_max = ups_limit();
+      if (ups > ups_max + kPowerEps) return false;
+      if (ups > op.per_pdu) return false;  // cannot discharge more than the load
+    }
   }
   if (ups_per_pdu != nullptr) *ups_per_pdu = ups;
   if (tes_relief != nullptr) *tes_relief = relief;
@@ -303,7 +324,7 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
   // bridge whatever the derated feed cannot carry.
   double supply = 1.0;
   if (supply_fraction_ != nullptr) {
-    supply = std::clamp(supply_fraction_->at(now), 0.0, 1.0);
+    supply = std::clamp(supply_fraction_->at(now, supply_cursor_), 0.0, 1.0);
   }
   grid_limited_ = supply < 1.0 - 1e-9;
   if (generator_ != nullptr) {
@@ -445,7 +466,10 @@ StepResult SprintingController::step_controlled(Duration now, double demand,
                                ? pdu_rated_ - op.per_pdu
                                : Power::zero();
     const Power ups_recharge = std::min(pdu_room, dc_room / n);
-    dc_room -= ups_recharge * n;
+    // ups_recharge * n can round one ulp above dc_room when the min picked
+    // dc_room / n (seen at the paper's n = 909); clamp so the leftover room
+    // — and the TES rate derived from it — cannot go negative.
+    dc_room = std::max(dc_room - ups_recharge * n, Power::zero());
     Power tes_rate = Power::zero();
     if (deps_.tes != nullptr) {
       // Convert the remaining electrical room into a thermal recharge rate.
@@ -611,7 +635,7 @@ StepResult SprintingController::step_capped(double demand, Duration dt,
     const std::size_t desired =
         deps_.fleet->operate(demand, max_degree).active_cores;
     const Power pdu_limit =
-        deps_.topology->pdus().front().breaker().effective_rated();
+        deps_.topology->pdu(0).breaker().effective_rated();
     const Power dc_limit = deps_.topology->dc_breaker().effective_rated();
     for (std::size_t n = desired; n >= normal; --n) {
       const auto op = deps_.fleet->operate_with_cores(demand, n);

@@ -221,8 +221,12 @@ class SprintingController {
   Power dc_rated_;
   Power pdu_rated_;
   Power fleet_peak_sprint_;
+  Power power_per_degree_;
+  Duration tes_activation_time_ = Duration::zero();
+  Energy budget_total_energy_ = Energy::zero();
   compute::DvfsModel dvfs_{};
   const TimeSeries* supply_fraction_ = nullptr;
+  TimeSeries::Cursor supply_cursor_;
   power::DieselGenerator* generator_ = nullptr;
   faults::FaultInjector* injector_ = nullptr;
   /// Utility + generator power available this step (set in step_controlled,

@@ -18,17 +18,26 @@ constexpr double kTripMarginCapSec = 3600.0;
 
 /// Adapts the per-tick run body to the simulation engine's Component
 /// interface, so experiment runs share the engine's clock/event machinery.
+/// The optional `hint` reports the next change point of the driver's inputs
+/// (demand/supply samples, fault edges) so the engine's span skipping can
+/// replay quiescent spans in its tight loop; without one the driver
+/// declines skipping (the conservative Component default).
 class RunDriver final : public sim::Component {
  public:
-  explicit RunDriver(std::function<void(Duration, Duration)> body)
-      : body_(std::move(body)) {}
+  explicit RunDriver(std::function<void(Duration, Duration)> body,
+                     std::function<Duration(Duration)> hint = nullptr)
+      : body_(std::move(body)), hint_(std::move(hint)) {}
   void tick(Duration now, Duration dt) override { body_(now, dt); }
+  [[nodiscard]] Duration next_event_hint(Duration now) const override {
+    return hint_ ? hint_(now) : now;
+  }
   [[nodiscard]] std::string_view name() const noexcept override {
     return "run-driver";
   }
 
  private:
   std::function<void(Duration, Duration)> body_;
+  std::function<Duration(Duration)> hint_;
 };
 
 }  // namespace
@@ -117,12 +126,29 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
   DegradationLevel prev_degradation = DegradationLevel::kNominal;
   sim::Engine engine(dt);
   engine.set_tracer(options.tracer);
+  engine.set_span_skip(options.span_skip);
+
+  // Hot-path channel handles, bound lazily on the first recorded tick so a
+  // zero-tick run leaves the recorder exactly as empty as it always was.
+  struct RecHandles {
+    bool ready = false;
+    sim::Recorder::Handle demand, achieved, achieved_nosprint, degree, bound,
+        cores, phase, server_mw, cooling_mw, ups_mw, dc_load_mw, room_c,
+        ups_soc, tes_soc, dc_cb_heat, pdu_cb_heat, cb_trip_margin_s, supply,
+        degradation, faults_active, measured_demand;
+  } rh;
+
+  // Cursor-based trace reads: the run visits times monotonically, so every
+  // sample lookup is O(1) amortized instead of a binary search per tick.
+  TimeSeries::Cursor demand_cursor;
+  TimeSeries::Cursor supply_cursor;
+
   RunDriver driver([&](Duration now, Duration tick_dt) {
     // One time stamp per control period: everything that emits decisions
     // this tick (injector, controller, watchdog, and the serving
     // components ticking after the driver) shares it.
     if (options.decisions != nullptr) options.decisions->set_now(now);
-    const double d = demand.at(now);
+    const double d = demand.at(now, demand_cursor);
     if (injector != nullptr) injector->apply(now);
     const StepResult step = controller.step(now, d, tick_dt);
     watchdog.check(now, plant->topology, plant->room, plant->tes.get());
@@ -132,9 +158,8 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
       m.counter("ticks_total").inc();
       m.histogram("sprint_degree", {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0})
           .observe(step.degree);
-      m.gauge("ups_soc").set(plant->topology.pdus().front().ups().soc());
-      m.gauge("ups_soc_min").set_min(
-          plant->topology.pdus().front().ups().soc());
+      m.gauge("ups_soc").set(plant->topology.pdu(0).ups().soc());
+      m.gauge("ups_soc_min").set_min(plant->topology.pdu(0).ups().soc());
       if (plant->tes != nullptr) {
         m.gauge("tes_soc").set(plant->tes->state_of_charge());
         m.gauge("tes_soc_min").set_min(plant->tes->state_of_charge());
@@ -166,8 +191,8 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
     sprint_admission.admit(d, step.achieved, dt);
     baseline_admission.admit(d, 1.0, dt);
 
-    result.min_ups_soc = std::min(
-        result.min_ups_soc, plant->topology.pdus().front().ups().soc());
+    result.min_ups_soc =
+        std::min(result.min_ups_soc, plant->topology.pdu(0).ups().soc());
     if (plant->tes != nullptr) {
       result.min_tes_soc =
           std::min(result.min_tes_soc, plant->tes->state_of_charge());
@@ -175,44 +200,85 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
 
     if (options.record) {
       auto& rec = result.recorder;
-      rec.record("demand", now, d);
-      rec.record("achieved", now, step.achieved);
-      rec.record("achieved_nosprint", now, std::min(d, 1.0));
-      rec.record("degree", now, step.degree);
-      rec.record("bound", now, step.upper_bound);
-      rec.record("cores", now, static_cast<double>(step.active_cores));
-      rec.record("phase", now, static_cast<double>(step.phase));
-      rec.record("server_mw", now, step.server_power.mw());
-      rec.record("cooling_mw", now, step.cooling_power.mw());
-      rec.record("ups_mw", now, step.ups_power.mw());
-      rec.record("dc_load_mw", now, step.dc_load.mw());
-      rec.record("room_c", now, step.room.c());
-      rec.record("ups_soc", now, plant->topology.pdus().front().ups().soc());
-      rec.record("tes_soc", now,
+      if (!rh.ready) {
+        rh.demand = rec.handle("demand");
+        rh.achieved = rec.handle("achieved");
+        rh.achieved_nosprint = rec.handle("achieved_nosprint");
+        rh.degree = rec.handle("degree");
+        rh.bound = rec.handle("bound");
+        rh.cores = rec.handle("cores");
+        rh.phase = rec.handle("phase");
+        rh.server_mw = rec.handle("server_mw");
+        rh.cooling_mw = rec.handle("cooling_mw");
+        rh.ups_mw = rec.handle("ups_mw");
+        rh.dc_load_mw = rec.handle("dc_load_mw");
+        rh.room_c = rec.handle("room_c");
+        rh.ups_soc = rec.handle("ups_soc");
+        rh.tes_soc = rec.handle("tes_soc");
+        rh.dc_cb_heat = rec.handle("dc_cb_heat");
+        rh.pdu_cb_heat = rec.handle("pdu_cb_heat");
+        rh.cb_trip_margin_s = rec.handle("cb_trip_margin_s");
+        rh.supply = rec.handle("supply");
+        rh.degradation = rec.handle("degradation");
+        if (injector != nullptr) {
+          rh.faults_active = rec.handle("faults_active");
+          rh.measured_demand = rec.handle("measured_demand");
+        }
+        rh.ready = true;
+      }
+      rec.record(rh.demand, now, d);
+      rec.record(rh.achieved, now, step.achieved);
+      rec.record(rh.achieved_nosprint, now, std::min(d, 1.0));
+      rec.record(rh.degree, now, step.degree);
+      rec.record(rh.bound, now, step.upper_bound);
+      rec.record(rh.cores, now, static_cast<double>(step.active_cores));
+      rec.record(rh.phase, now, static_cast<double>(step.phase));
+      rec.record(rh.server_mw, now, step.server_power.mw());
+      rec.record(rh.cooling_mw, now, step.cooling_power.mw());
+      rec.record(rh.ups_mw, now, step.ups_power.mw());
+      rec.record(rh.dc_load_mw, now, step.dc_load.mw());
+      rec.record(rh.room_c, now, step.room.c());
+      rec.record(rh.ups_soc, now, plant->topology.pdu(0).ups().soc());
+      rec.record(rh.tes_soc, now,
                  plant->tes != nullptr ? plant->tes->state_of_charge() : 0.0);
-      rec.record("dc_cb_heat", now,
+      rec.record(rh.dc_cb_heat, now,
                  plant->topology.dc_breaker().thermal_state());
-      rec.record("pdu_cb_heat", now,
-                 plant->topology.pdus().front().breaker().thermal_state());
+      rec.record(rh.pdu_cb_heat, now,
+                 plant->topology.pdu(0).breaker().thermal_state());
       // Time-to-trip margin at the current load, clamped so the channel
       // stays finite (infinity has no JSON literal for trace export); an
       // hour of margin is indistinguishable from "safe" on every figure.
       const Duration trip_margin =
           plant->topology.dc_breaker().time_to_trip_at(step.dc_load);
-      rec.record("cb_trip_margin_s", now,
+      rec.record(rh.cb_trip_margin_s, now,
                  trip_margin.is_infinite()
                      ? kTripMarginCapSec
                      : std::min(trip_margin.sec(), kTripMarginCapSec));
-      rec.record("supply", now, step.supply_fraction);
-      rec.record("degradation", now, static_cast<double>(step.degradation));
+      rec.record(rh.supply, now, step.supply_fraction);
+      rec.record(rh.degradation, now, static_cast<double>(step.degradation));
       if (injector != nullptr) {
-        rec.record("faults_active", now,
+        rec.record(rh.faults_active, now,
                    static_cast<double>(step.faults_active));
-        rec.record("measured_demand", now, step.measured_demand);
+        rec.record(rh.measured_demand, now, step.measured_demand);
       }
     }
 
     if (options.on_step) options.on_step(now, tick_dt, step);
+  },
+  // The driver's only time-varying inputs are the demand trace, the supply
+  // trace and the fault schedule; their next change point bounds the span
+  // the engine may replay in its leap loop. The leap replays every tick
+  // verbatim, so the hint affects scheduling only — never results.
+  [&](Duration now) {
+    Duration hint = demand.next_time_after(now, demand_cursor);
+    if (options.supply_fraction != nullptr) {
+      hint = std::min(hint,
+                      options.supply_fraction->next_time_after(now, supply_cursor));
+    }
+    if (injector != nullptr) {
+      hint = std::min(hint, injector->schedule().next_edge_after(now));
+    }
+    return hint;
   });
   engine.add(&driver);
   // Extra components (e.g. the request-level serving layer) tick after the
@@ -221,6 +287,8 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
     engine.add(component);
   }
   engine.run_until(end);
+  result.engine_leaps = engine.leap_count();
+  result.engine_leaped_ticks = engine.leaped_ticks();
 
   const double total_sec = (end - Duration::zero()).sec();
   result.avg_achieved = achieved_integral / total_sec;
@@ -253,7 +321,7 @@ RunResult DataCenter::run(const TimeSeries& demand, Strategy* strategy,
     options.metrics->counter("watchdog_violations_total")
         .inc(static_cast<double>(watchdog.report().violations));
   }
-  const power::Battery& bank = plant->topology.pdus().front().ups();
+  const power::Battery& bank = plant->topology.pdu(0).ups();
   result.ups_discharge_events = bank.discharge_events();
   result.ups_equivalent_cycles = bank.equivalent_full_cycles();
   result.ups_max_depth = 1.0 - result.min_ups_soc;

@@ -51,6 +51,10 @@ struct RunOptions {
   const faults::FaultSchedule* faults = nullptr;
   /// Seed for the injector's sensor-noise stream.
   std::uint64_t fault_seed = 0x5eedu;
+  /// Engine span skipping (sim/engine.h). On by default; results are
+  /// bit-identical either way — the bit-identity tests run both and
+  /// byte-compare every channel. Off forces the plain per-tick loop.
+  bool span_skip = true;
   /// Optional structured-trace sink wired through the engine, controller,
   /// injector and watchdog; must outlive the run. All events carry sim
   /// time, so the stream is bit-identical regardless of who else runs in
@@ -120,6 +124,12 @@ struct RunResult {
   /// Invariant-watchdog diagnostics: DESIGN.md Section 6 invariants checked
   /// every tick against the *true* plant state.
   faults::WatchdogReport watchdog;
+  /// Engine span-skipping observability: leaps taken and ticks replayed
+  /// inside leaps. Zero with RunOptions::span_skip off, or when the inputs
+  /// change every tick. These are scheduling counters, not results — every
+  /// other RunResult field is bit-identical regardless.
+  std::size_t engine_leaps = 0;
+  std::size_t engine_leaped_ticks = 0;
   /// Per-tick channels (only when RunOptions::record): demand, achieved,
   /// achieved_nosprint, degree, bound, cores, phase, server_mw, cooling_mw,
   /// ups_mw, dc_load_mw, room_c, ups_soc, tes_soc, dc_cb_heat, pdu_cb_heat,

@@ -27,6 +27,7 @@ ZonalController::ZonalController(const DataCenterConfig& config,
       room_(config.room_params()) {
   config_.validate();
   DCS_REQUIRE(!zones.empty(), "need at least one zone");
+  if (tes_ != nullptr) tes_activation_time_ = config_.tes_activation_time();
   std::size_t first = 0;
   for (const ZoneSpec& spec : zones) {
     DCS_REQUIRE(spec.pdu_count > 0, "zone must own at least one PDU");
@@ -51,7 +52,7 @@ std::size_t ZonalController::shed_to_grant(double demand, Power grant,
   const double max_degree = chip.max_sprint_degree();
   const std::size_t desired = fleet_.operate(demand, max_degree).active_cores;
   const Power pdu_allow =
-      topology_.pdus()[first_pdu].breaker().max_load_for(config_.cb_reserve);
+      topology_.pdu(first_pdu).breaker().max_load_for(config_.cb_reserve);
   for (std::size_t cores = desired; cores > normal; --cores) {
     const auto op = fleet_.operate_with_cores(demand, cores);
     const Power over =
@@ -81,7 +82,7 @@ ZonalStepResult ZonalController::step(Duration now, Duration dt) {
     any_burst_seen_ = true;
   }
   const bool tes_active = tes_ != nullptr && !tes_->empty() && any_burst &&
-                          first_burst_elapsed_ >= config_.tes_activation_time();
+                          first_burst_elapsed_ >= tes_activation_time_;
 
   // Desired operating point per zone (greedy within the zone).
   struct ZoneWant {
@@ -93,7 +94,7 @@ ZonalStepResult ZonalController::step(Duration now, Duration dt) {
   Power fleet_power = Power::zero();
   for (std::size_t z = 0; z < zones_.size(); ++z) {
     const ZoneRuntime& rt = zones_[z];
-    const power::Pdu& rep = topology_.pdus()[rt.first_pdu];
+    const power::Pdu& rep = topology_.pdu(rt.first_pdu);
     ZoneWant w;
     w.op = fleet_.operate(demand[z], max_degree);
     w.ups_max = std::min(rep.ups().max_discharge(), rep.ups().available() / dt);
@@ -222,10 +223,10 @@ ZonalStepResult ZonalController::step(Duration now, Duration dt) {
       recorder_->record(prefix + "degree", now, state.degree);
       recorder_->record(prefix + "grid_mw", now, state.grid_power.mw());
       recorder_->record(prefix + "ups_soc", now,
-                        topology_.pdus()[rt.first_pdu].ups().soc());
+                        topology_.pdu(rt.first_pdu).ups().soc());
       const auto n = static_cast<double>(rt.spec.pdu_count);
       const Duration margin =
-          topology_.pdus()[rt.first_pdu].breaker().time_to_trip_at(
+          topology_.pdu(rt.first_pdu).breaker().time_to_trip_at(
               state.grid_power / n);
       recorder_->record(prefix + "cb_trip_margin_s", now,
                         margin.is_infinite()

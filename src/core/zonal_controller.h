@@ -107,6 +107,9 @@ class ZonalController {
   Energy ups_energy_ = Energy::zero();
   bool any_burst_seen_ = false;
   Duration first_burst_elapsed_ = Duration::zero();
+  /// Cached config_.tes_activation_time() (a run constant) — the accessor
+  /// rebuilds the peak-power arithmetic per call, too heavy for every step.
+  Duration tes_activation_time_ = Duration::zero();
 };
 
 }  // namespace dcs::core

@@ -69,6 +69,14 @@ std::map<std::string, double> perf_scope_times_us(const json::Value& record) {
       "google-benchmark output");
 }
 
+std::string perf_record_build_type(const json::Value& record) {
+  const json::Value* context = record.find("context");
+  if (context == nullptr || !context->is_object()) return {};
+  const json::Value* type = context->find("dcs_build_type");
+  if (type == nullptr || !type->is_string()) return {};
+  return type->as_string();
+}
+
 PerfGateResult perf_gate_compare(const std::map<std::string, double>& baseline,
                                  const std::map<std::string, double>& fresh,
                                  const PerfGateOptions& options) {

@@ -61,6 +61,15 @@ struct PerfGateResult {
 [[nodiscard]] std::map<std::string, double> perf_scope_times_us(
     const json::Value& record);
 
+/// Build type the record's *benchmark binary* was compiled with, as stamped
+/// by bench/perf_engine.cpp into the google-benchmark context
+/// ("dcs_build_type": "release"/"debug"). Empty when the record carries no
+/// stamp (repo BENCH_*.json records, or google-benchmark output from before
+/// the stamp existed). Note google-benchmark's own "library_build_type"
+/// context key describes the *system benchmark library*, not our code — it
+/// is deliberately ignored here.
+[[nodiscard]] std::string perf_record_build_type(const json::Value& record);
+
 /// Compares fresh against baseline entry-by-entry.
 [[nodiscard]] PerfGateResult perf_gate_compare(
     const std::map<std::string, double>& baseline,

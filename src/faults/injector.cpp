@@ -85,10 +85,14 @@ void FaultInjector::apply(Duration now) {
   state_ = s;
   ever_active_ = ever_active_ || s.active_count > 0;
 
-  for (auto& pdu : bindings_.topology->pdus()) {
-    pdu.breaker().set_fault(s.breaker_rating_factor, s.breaker_trip_bias);
-    pdu.ups().set_fault(s.ups_availability, s.ups_capacity_factor);
-  }
+  // Re-pushing an unchanged state is a no-op on every bound component (the
+  // set_fault hooks assign factors; the battery's stored-charge clamp only
+  // bites when the capacity factor drops), so skip the push while the
+  // merged factors hold steady — outside fault windows that is every tick.
+  if (pushed_ && push_equal(s, last_pushed_)) return;
+  bindings_.topology->set_fault_all(s.breaker_rating_factor,
+                                    s.breaker_trip_bias, s.ups_availability,
+                                    s.ups_capacity_factor);
   bindings_.cooling->set_fault(s.chiller_capacity_factor, s.chiller_cop_penalty);
   if (bindings_.tes != nullptr) {
     bindings_.tes->set_fault(s.tes_discharge_factor);
@@ -97,6 +101,20 @@ void FaultInjector::apply(Duration now) {
     bindings_.generator->set_fault(s.generator_start_inhibited,
                                    s.generator_extra_delay);
   }
+  last_pushed_ = s;
+  pushed_ = true;
+}
+
+bool FaultInjector::push_equal(const State& a, const State& b) noexcept {
+  return a.breaker_rating_factor == b.breaker_rating_factor &&
+         a.breaker_trip_bias == b.breaker_trip_bias &&
+         a.ups_availability == b.ups_availability &&
+         a.ups_capacity_factor == b.ups_capacity_factor &&
+         a.chiller_capacity_factor == b.chiller_capacity_factor &&
+         a.chiller_cop_penalty == b.chiller_cop_penalty &&
+         a.tes_discharge_factor == b.tes_discharge_factor &&
+         a.generator_start_inhibited == b.generator_start_inhibited &&
+         a.generator_extra_delay == b.generator_extra_delay;
 }
 
 double FaultInjector::measure(SensorChannel channel, Duration now,

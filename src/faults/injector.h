@@ -91,9 +91,15 @@ class FaultInjector {
     bool latched = false;
   };
 
+  /// True when the fields apply() pushes into components match (the
+  /// active_count/severity/sensor fields are bookkeeping, not pushed).
+  [[nodiscard]] static bool push_equal(const State& a, const State& b) noexcept;
+
   FaultSchedule schedule_;
   Bindings bindings_;
   State state_;
+  State last_pushed_;
+  bool pushed_ = false;
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
   obs::DecisionLog* decisions_ = nullptr;

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <system_error>
 #include <utility>
 
@@ -11,7 +12,7 @@
 namespace dcs::obs {
 namespace detail {
 
-std::string render_number(double v) {
+void append_number(std::string& out, double v) {
   // Shortest round-trip form (strtod recovers the exact bits, like %.17g)
   // via to_chars: ~7x cheaper than snprintf, which matters because arg()
   // renders eagerly on the controller's tracing hot path.
@@ -19,14 +20,41 @@ std::string render_number(double v) {
   const auto res = std::to_chars(buf, buf + sizeof(buf), v);
   if (res.ec != std::errc()) {
     std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
+    out += buf;
+    return;
   }
-  return std::string(buf, res.ptr);
+  out.append(buf, res.ptr);
 }
 
-std::string render_string(std::string_view s) {
-  std::string out = "\"";
-  for (const char c : s) {
+std::string render_number(double v) {
+  std::string out;
+  append_number(out, v);
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] bool needs_escaping(char c) noexcept {
+  return c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20;
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  // Fast path: event categories, names and arg keys are almost always plain
+  // identifiers — copy verbatim, escape only on demand.
+  std::size_t plain = 0;
+  while (plain < s.size() && !needs_escaping(s[plain])) ++plain;
+  out.append(s.data(), plain);
+  for (std::size_t i = plain; i < s.size(); ++i) {
+    const char c = s[i];
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -43,6 +71,11 @@ std::string render_string(std::string_view s) {
     }
   }
   out += '"';
+}
+
+std::string render_string(std::string_view s) {
+  std::string out;
+  append_json_string(out, s);
   return out;
 }
 
@@ -51,13 +84,15 @@ namespace {
 constexpr int kSimPid = 1;
 constexpr int kWallPid = 2;
 
-void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
-  out << "{";
+void append_args(std::string& out, const std::vector<TraceArg>& args) {
+  out += '{';
   for (std::size_t i = 0; i < args.size(); ++i) {
-    out << (i == 0 ? "" : ", ") << render_string(args[i].key) << ": "
-        << args[i].value;
+    if (i != 0) out += ", ";
+    append_json_string(out, args[i].key);
+    out += ": ";
+    out += args[i].value;
   }
-  out << "}";
+  out += '}';
 }
 
 }  // namespace
@@ -66,31 +101,65 @@ int pid_of(Domain domain) noexcept {
   return domain == Domain::kSim ? kSimPid : kWallPid;
 }
 
-void write_event_json(std::ostream& out, const TraceEvent& e) {
-  out << "{\"ph\": \"" << e.phase << "\", \"ts\": " << render_number(e.ts_us);
-  if (e.phase == 'X') out << ", \"dur\": " << render_number(e.dur_us);
-  out << ", \"pid\": " << pid_of(e.domain) << ", \"tid\": " << e.lane
-      << ", \"cat\": " << render_string(e.cat)
-      << ", \"name\": " << render_string(e.name);
-  if (e.phase == 'i') out << ", \"s\": \"t\"";
-  if (!e.args.empty()) {
-    out << ", \"args\": ";
-    write_args(out, e.args);
+void append_event_json(std::string& out, const TraceEvent& e) {
+  out += "{\"ph\": \"";
+  out += e.phase;
+  out += "\", \"ts\": ";
+  append_number(out, e.ts_us);
+  if (e.phase == 'X') {
+    out += ", \"dur\": ";
+    append_number(out, e.dur_us);
   }
-  out << "}";
+  out += ", \"pid\": ";
+  append_uint(out, static_cast<std::uint64_t>(pid_of(e.domain)));
+  out += ", \"tid\": ";
+  append_uint(out, e.lane);
+  out += ", \"cat\": ";
+  append_json_string(out, e.cat);
+  out += ", \"name\": ";
+  append_json_string(out, e.name);
+  if (e.phase == 'i') out += ", \"s\": \"t\"";
+  if (!e.args.empty()) {
+    out += ", \"args\": ";
+    append_args(out, e.args);
+  }
+  out += '}';
+}
+
+void append_jsonl_event(std::string& out, const TraceEvent& e) {
+  out += "{\"domain\": \"";
+  out += to_string(e.domain);
+  out += "\", \"ph\": \"";
+  out += e.phase;
+  out += "\", \"ts\": ";
+  append_number(out, e.ts_us);
+  if (e.phase == 'X') {
+    out += ", \"dur\": ";
+    append_number(out, e.dur_us);
+  }
+  out += ", \"lane\": ";
+  append_uint(out, e.lane);
+  out += ", \"cat\": ";
+  append_json_string(out, e.cat);
+  out += ", \"name\": ";
+  append_json_string(out, e.name);
+  if (!e.args.empty()) {
+    out += ", \"args\": ";
+    append_args(out, e.args);
+  }
+  out += "}\n";
+}
+
+void write_event_json(std::ostream& out, const TraceEvent& e) {
+  std::string buf;
+  append_event_json(buf, e);
+  out << buf;
 }
 
 void write_jsonl_event(std::ostream& out, const TraceEvent& e) {
-  out << "{\"domain\": \"" << to_string(e.domain) << "\", "
-      << "\"ph\": \"" << e.phase << "\", \"ts\": " << render_number(e.ts_us);
-  if (e.phase == 'X') out << ", \"dur\": " << render_number(e.dur_us);
-  out << ", \"lane\": " << e.lane << ", \"cat\": " << render_string(e.cat)
-      << ", \"name\": " << render_string(e.name);
-  if (!e.args.empty()) {
-    out << ", \"args\": ";
-    write_args(out, e.args);
-  }
-  out << "}\n";
+  std::string buf;
+  append_jsonl_event(buf, e);
+  out << buf;
 }
 
 void write_lane_metadata_json(std::ostream& out, Domain domain,
@@ -187,17 +256,36 @@ void Tracer::clear() {
   counts_[0] = counts_[1] = 0;
 }
 
+namespace {
+
+/// Serialization chunk size: build events into a string and flush in large
+/// blocks — per-event ostream writes dominated the bulk exporters.
+constexpr std::size_t kFlushBytes = 1 << 20;
+
+}  // namespace
+
 void Tracer::write_jsonl(std::ostream& out) const {
-  for (const TraceEvent& e : events_) detail::write_jsonl_event(out, e);
+  std::string buf;
+  buf.reserve(kFlushBytes + 512);
+  for (const TraceEvent& e : events_) {
+    detail::append_jsonl_event(buf, e);
+    if (buf.size() >= kFlushBytes) {
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
-  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  std::string buf;
+  buf.reserve(kFlushBytes + 512);
+  buf += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
-  const auto sep = [&]() -> std::ostream& {
-    out << (first ? "  " : ",\n  ");
+  const auto sep = [&]() -> std::string& {
+    buf += first ? "  " : ",\n  ";
     first = false;
-    return out;
+    return buf;
   };
   for (const Domain domain : {Domain::kSim, Domain::kWall}) {
     bool have = count(domain) > 0;
@@ -205,15 +293,24 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       have = have || key.first == domain;
     }
     if (!have) continue;
-    detail::write_process_metadata_json(sep(), domain);
+    std::ostringstream meta;
+    detail::write_process_metadata_json(meta, domain);
+    sep() += meta.str();
   }
   for (const auto& [key, name] : lane_names_) {
-    detail::write_lane_metadata_json(sep(), key.first, key.second, name);
+    std::ostringstream meta;
+    detail::write_lane_metadata_json(meta, key.first, key.second, name);
+    sep() += meta.str();
   }
   for (const TraceEvent& e : events_) {
-    detail::write_event_json(sep(), e);
+    detail::append_event_json(sep(), e);
+    if (buf.size() >= kFlushBytes) {
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
   }
-  out << "\n]}\n";
+  buf += "\n]}\n";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
 }
 
 bool export_trace(const std::string& dir, const std::string& name,

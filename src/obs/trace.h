@@ -159,10 +159,17 @@ bool export_trace(const std::string& dir, const std::string& name,
 
 namespace detail {
 // Shared JSON rendering between the buffered writers above and the
-// streaming sinks in obs/sink.h.
+// streaming sinks in obs/sink.h. The append_* forms build into a caller
+// buffer with std::to_chars — the bulk exporters serialize hundreds of
+// thousands of events, where per-event ostream formatting dominated the
+// day-long fig01 wall time. The ostream forms delegate to them.
 [[nodiscard]] std::string render_number(double v);
 [[nodiscard]] std::string render_string(std::string_view s);
 [[nodiscard]] int pid_of(Domain domain) noexcept;
+void append_number(std::string& out, double v);
+void append_json_string(std::string& out, std::string_view s);
+void append_event_json(std::string& out, const TraceEvent& e);
+void append_jsonl_event(std::string& out, const TraceEvent& e);
 void write_event_json(std::ostream& out, const TraceEvent& e);
 void write_jsonl_event(std::ostream& out, const TraceEvent& e);
 void write_lane_metadata_json(std::ostream& out, Domain domain,

@@ -1,9 +1,26 @@
 // Two-level data-center power topology: an on-site substation breaker
 // (DC level) feeding identical PDU groups, with the cooling plant hanging
 // off the DC level (paper Fig. 4).
+//
+// State layout: the mutable breaker/bank state of every PDU lives in two
+// contiguous structure-of-arrays pools owned by the topology; each Pdu's
+// CircuitBreaker/Battery is a thin view bound into its slot. On top of that
+// the topology exploits the paper's homogeneous fleet: the uniform kernels
+// (`step_uniform`, `recharge_uniform`) advance only PDU 0 — the
+// *representative* — and the remaining slots are materialized (bulk-copied
+// from the representative) only when a caller actually asks for per-PDU
+// state. The skewed-load path (`step` with per-PDU vectors, or mutation via
+// the non-const `pdus()` accessor) permanently drops the topology out of
+// uniform mode and every kernel then walks the full pools.
+//
+// Bit-identity contract: every fast path reproduces the exact floating-point
+// results of the plain per-PDU walk (sums over n identical values are
+// memoized but recomputed with the same sequential loop whenever the value
+// changes), so a uniform run is byte-identical to a materialized one.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +50,11 @@ class PowerTopology {
 
   explicit PowerTopology(const Params& params);
 
+  PowerTopology(const PowerTopology& other);
+  PowerTopology& operator=(const PowerTopology& other);
+  PowerTopology(PowerTopology&& other) noexcept;
+  PowerTopology& operator=(PowerTopology&& other) noexcept;
+
   /// Advances one step with *uniform* per-PDU server power and UPS request
   /// (the paper's fleet is homogeneous and the workload is spread evenly).
   /// `cooling_power` is applied at the DC level only.
@@ -40,6 +62,7 @@ class PowerTopology {
                      Power cooling_power, Duration dt);
 
   /// Advances one step with per-PDU values (tests exercise skewed loads).
+  /// Permanently leaves uniform mode.
   Flows step(const std::vector<Power>& server_power,
              const std::vector<Power>& ups_request, Power cooling_power,
              Duration dt);
@@ -51,8 +74,19 @@ class PowerTopology {
 
   [[nodiscard]] CircuitBreaker& dc_breaker() noexcept { return dc_breaker_; }
   [[nodiscard]] const CircuitBreaker& dc_breaker() const noexcept { return dc_breaker_; }
-  [[nodiscard]] std::vector<Pdu>& pdus() noexcept { return pdus_; }
-  [[nodiscard]] const std::vector<Pdu>& pdus() const noexcept { return pdus_; }
+
+  /// Mutable per-PDU access: materializes and permanently leaves uniform
+  /// mode (callers may skew individual PDUs). Prefer `pdu(i)` for reads.
+  [[nodiscard]] std::vector<Pdu>& pdus() noexcept;
+  /// Read access to the full PDU list; materializes lazily but stays in
+  /// uniform mode.
+  [[nodiscard]] const std::vector<Pdu>& pdus() const;
+  /// Read access to one PDU. `pdu(0)` is always cheap (the representative);
+  /// other indices materialize first.
+  [[nodiscard]] const Pdu& pdu(std::size_t i) const;
+  /// True while all PDUs provably share the representative's state.
+  [[nodiscard]] bool uniform() const noexcept { return uniform_; }
+
   [[nodiscard]] std::size_t pdu_count() const noexcept { return pdus_.size(); }
   [[nodiscard]] std::size_t server_count() const noexcept;
 
@@ -60,14 +94,45 @@ class PowerTopology {
   [[nodiscard]] Energy ups_available() const;
   /// Total UPS energy capacity across all PDU banks.
   [[nodiscard]] Energy ups_capacity() const;
+  /// Largest trip fraction across the PDU-level breakers (not the DC one).
+  [[nodiscard]] double max_pdu_breaker_heat() const;
+
+  /// Applies fault-injection factors to every PDU breaker and UPS bank
+  /// (faults::FaultInjector pushes the merged fault state here each tick).
+  /// Uniform topologies fault only the representative.
+  void set_fault_all(double breaker_rating_factor, double breaker_trip_bias,
+                     double ups_availability, double ups_capacity_factor);
 
   void reset_breakers();
 
  private:
-  Flows finish_step(Power cooling_power, Duration dt);
+  /// Memo for a sequential sum of `pdu_count` identical doubles: replays the
+  /// exact per-PDU accumulation loop when the summand changes and reuses the
+  /// result (bit-identical) while it doesn't.
+  struct SumMemo {
+    std::uint64_t value_bits = 0;
+    double sum = 0.0;
+    bool valid = false;
+  };
 
-  std::vector<Pdu> pdus_;
+  void rebind_states() noexcept;
+  void materialize() const;
+  [[nodiscard]] double uniform_sum(SumMemo& memo, double value) const;
+  Flows finish_step(Power cooling_power, Duration dt);
+  Flows finish_step_uniform(Power cooling_power, Duration dt);
+
+  // The uniform kernels mutate only the representative, so const readers
+  // must be able to materialize the rest of the pools on demand.
+  mutable std::vector<Pdu> pdus_;
+  mutable std::vector<CircuitBreaker::State> breaker_states_;
+  mutable std::vector<Battery::State> battery_states_;
   CircuitBreaker dc_breaker_;
+  bool uniform_ = true;
+  mutable bool materialized_ = true;
+  mutable SumMemo grid_sum_;
+  mutable SumMemo ups_sum_;
+  mutable SumMemo avail_sum_;
+  mutable SumMemo capacity_sum_;
 };
 
 }  // namespace dcs::power

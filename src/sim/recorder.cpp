@@ -4,12 +4,9 @@
 
 namespace dcs::sim {
 
-void Recorder::record(std::string_view channel, Duration time, double value) {
-  auto it = channels_.find(channel);
-  if (it == channels_.end()) {
-    it = channels_.emplace(std::string{channel}, Channel{}).first;
-  }
-  TimeSeries& ts = it->second.series;
+namespace {
+
+void append(TimeSeries& ts, Duration time, double value) {
   if (!ts.empty() && ts.end_time() == time) {
     // Same-tick overwrite: rebuild the last sample.
     std::vector<Sample> samples = ts.samples();
@@ -18,6 +15,29 @@ void Recorder::record(std::string_view channel, Duration time, double value) {
     return;
   }
   ts.push_back(time, value);
+}
+
+}  // namespace
+
+void Recorder::record(std::string_view channel, Duration time, double value) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    it = channels_.emplace(std::string{channel}, Channel{}).first;
+  }
+  append(it->second.series, time, value);
+}
+
+Recorder::Handle Recorder::handle(std::string_view channel) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    it = channels_.emplace(std::string{channel}, Channel{}).first;
+  }
+  return Handle{&it->second};
+}
+
+void Recorder::record(Handle h, Duration time, double value) {
+  DCS_REQUIRE(h.ch_ != nullptr, "recorder handle is not bound to a channel");
+  append(h.ch_->series, time, value);
 }
 
 bool Recorder::has(std::string_view channel) const {

@@ -13,10 +13,30 @@
 namespace dcs::sim {
 
 class Recorder {
+  struct Channel;
+
  public:
+  /// Stable handle to one channel: map nodes never move, so hot-path callers
+  /// resolve the name once and append per tick without a map lookup. A
+  /// default-constructed handle is unusable until assigned from handle().
+  class Handle {
+   public:
+    Handle() = default;
+
+   private:
+    friend class Recorder;
+    explicit Handle(Channel* ch) noexcept : ch_(ch) {}
+    Channel* ch_ = nullptr;
+  };
+
   /// Appends a sample to `channel` (created on first use). Times within a
   /// channel must be non-decreasing; equal-time samples overwrite.
   void record(std::string_view channel, Duration time, double value);
+
+  /// Resolves (creating on first use) a stable handle for `channel`.
+  [[nodiscard]] Handle handle(std::string_view channel);
+  /// Appends through a handle; identical semantics to the name overload.
+  void record(Handle h, Duration time, double value);
 
   [[nodiscard]] bool has(std::string_view channel) const;
   /// Throws std::invalid_argument for unknown channels.

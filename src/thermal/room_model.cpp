@@ -32,7 +32,13 @@ void RoomModel::step(Power generated, Power absorbed, Duration dt) {
   } else {
     // Overcooling: exponential recovery toward the setpoint. The surplus
     // absorption accelerates recovery but never undershoots the setpoint.
-    const double decay = std::exp(-(dt / params_.recovery_tau));
+    // The decay factor depends only on dt, which is the fixed engine step on
+    // the hot path — memoize the exp for the repeated-dt case.
+    if (dt.sec() != decay_cache_dt_s_) {
+      decay_cache_ = std::exp(-(dt / params_.recovery_tau));
+      decay_cache_dt_s_ = dt.sec();
+    }
+    const double decay = decay_cache_;
     double r = rise_.c() * decay;
     r += gap.w() * dt.sec() / capacitance_;  // gap is negative here
     rise_ = Temperature::celsius(std::max(0.0, r));

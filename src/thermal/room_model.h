@@ -63,6 +63,10 @@ class RoomModel {
   double capacitance_;  // J / C
   Temperature rise_ = Temperature::celsius(0.0);
   Temperature peak_;
+  /// Memoized std::exp(-(dt / recovery_tau)) keyed on dt (fixed on the hot
+  /// path), so quiescent overcooled ticks avoid the libm call.
+  double decay_cache_dt_s_ = -1.0;
+  double decay_cache_ = 1.0;
 };
 
 }  // namespace dcs::thermal

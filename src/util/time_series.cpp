@@ -45,6 +45,35 @@ double TimeSeries::at(Duration t, Interpolation mode) const {
   return lo.value + frac * (hi.value - lo.value);
 }
 
+double TimeSeries::at(Duration t, Cursor& cursor, Interpolation mode) const {
+  DCS_REQUIRE(!samples_.empty(), "cannot sample an empty series");
+  if (t <= samples_.front().time) return samples_.front().value;
+  if (t >= samples_.back().time) return samples_.back().value;
+  // Restore the invariant samples_[i].time <= t < samples_[i + 1].time by
+  // walking from the cursor; both loops terminate because t lies strictly
+  // between the first and last sample times.
+  std::size_t i = std::min(cursor.hint_, samples_.size() - 2);
+  while (samples_[i].time > t) --i;
+  while (samples_[i + 1].time <= t) ++i;
+  cursor.hint_ = i;
+  const Sample& lo = samples_[i];
+  if (mode == Interpolation::kStep) return lo.value;
+  const Sample& hi = samples_[i + 1];
+  const double frac = (t - lo.time) / (hi.time - lo.time);
+  return lo.value + frac * (hi.value - lo.value);
+}
+
+Duration TimeSeries::next_time_after(Duration t, Cursor& cursor) const {
+  DCS_REQUIRE(!samples_.empty(), "cannot sample an empty series");
+  if (t < samples_.front().time) return samples_.front().time;
+  if (t >= samples_.back().time) return Duration::infinity();
+  std::size_t i = std::min(cursor.hint_, samples_.size() - 2);
+  while (samples_[i].time > t) --i;
+  while (samples_[i + 1].time <= t) ++i;
+  cursor.hint_ = i;
+  return samples_[i + 1].time;
+}
+
 TimeSeries TimeSeries::slice(Duration from, Duration to, Interpolation mode) const {
   DCS_REQUIRE(from < to, "slice requires from < to");
   TimeSeries out;

@@ -30,6 +30,20 @@ enum class Interpolation {
 
 class TimeSeries {
  public:
+  /// Amortized-O(1) sampling position for callers that walk a series with
+  /// (nearly) monotone query times, e.g. the per-tick run loop. The cursor
+  /// is just a hint — any position yields correct results — and is external
+  /// to the series so one series can be shared across threads, each with its
+  /// own cursor.
+  class Cursor {
+   public:
+    Cursor() = default;
+
+   private:
+    friend class TimeSeries;
+    std::size_t hint_ = 0;
+  };
+
   TimeSeries() = default;
   explicit TimeSeries(std::vector<Sample> samples);
 
@@ -48,6 +62,16 @@ class TimeSeries {
   /// Value at `t`. Before the first sample returns the first value; after
   /// the last returns the last value.
   [[nodiscard]] double at(Duration t, Interpolation mode = Interpolation::kStep) const;
+
+  /// Same result as at(), locating the bracketing samples from `cursor`
+  /// instead of a binary search (amortized O(1) for monotone query times).
+  [[nodiscard]] double at(Duration t, Cursor& cursor,
+                          Interpolation mode = Interpolation::kStep) const;
+
+  /// Time of the first sample strictly after `t`, or Duration::infinity()
+  /// when no sample lies after it. The engine's span-skipping uses this as
+  /// the next boundary where a step-interpolated series can change value.
+  [[nodiscard]] Duration next_time_after(Duration t, Cursor& cursor) const;
 
   /// Sub-series covering [from, to] (endpoints sampled via `mode` so the
   /// slice is well-defined even when they fall between samples), shifted so

@@ -201,6 +201,28 @@ TEST(ExpPerfGate, PerfRecordRoundTripsNonFiniteScopeStats) {
   EXPECT_DOUBLE_EQ(times.at("wall"), 0.25e6);
 }
 
+TEST(ExpPerfGate, BuildTypeReadFromDcsContextOnly) {
+  // The stamp the gate trusts is our own context key, written by the
+  // benchmark binary from NDEBUG. google-benchmark's library_build_type
+  // describes the *library* package, not our code, and must be ignored.
+  EXPECT_EQ(perf_record_build_type(json::parse(R"({
+    "context": {"dcs_build_type": "release", "library_build_type": "debug"},
+    "benchmarks": []
+  })")),
+            "release");
+  EXPECT_EQ(perf_record_build_type(json::parse(R"({
+    "context": {"dcs_build_type": "debug"}, "benchmarks": []
+  })")),
+            "debug");
+  // Unstamped records (older baselines, the scope format) report empty.
+  EXPECT_EQ(perf_record_build_type(json::parse(R"({
+    "context": {"library_build_type": "debug"}, "benchmarks": []
+  })")),
+            "");
+  EXPECT_EQ(perf_record_build_type(json::parse(kGoogleBenchmark)), "");
+  EXPECT_EQ(perf_record_build_type(json::parse(kBenchRecord)), "");
+}
+
 TEST(ExpPerfGate, ReportPrintsPassAndFailVerdicts) {
   const std::map<std::string, double> times{{"a", 100.0}};
   std::ostringstream pass_out;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "power/pdu.h"
 #include "power/topology.h"
@@ -146,6 +149,89 @@ TEST(PowerTopology, ResetBreakersRestoresAll) {
   topo.reset_breakers();
   EXPECT_FALSE(topo.pdus()[0].breaker().tripped());
   EXPECT_FALSE(topo.dc_breaker().tripped());
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+TEST(PowerTopology, UniformRepresentativeMatchesMaterializedWalk) {
+  // The uniform fast path updates only the representative PDU; reading any
+  // other slot must materialize state that is bit-identical to stepping a
+  // de-uniformed topology through the same loads.
+  PowerTopology fast(topo_params(4));
+  PowerTopology slow(topo_params(4));
+  (void)slow.pdus();  // non-const access permanently leaves uniform mode
+  EXPECT_TRUE(fast.uniform());
+  EXPECT_FALSE(slow.uniform());
+  const Power loads[] = {Power::kilowatts(10), Power::kilowatts(18),
+                         Power::kilowatts(21), Power::kilowatts(9)};
+  for (int round = 0; round < 25; ++round) {
+    const Power server = loads[round % 4];
+    const Power ups = round % 3 == 0 ? Power::kilowatts(4) : Power::zero();
+    const Flows a = fast.step_uniform(server, ups, Power::kilowatts(3),
+                                      Duration::seconds(1));
+    const Flows b = slow.step_uniform(server, ups, Power::kilowatts(3),
+                                      Duration::seconds(1));
+    EXPECT_EQ(bits(a.pdu_grid_total.w()), bits(b.pdu_grid_total.w()));
+    EXPECT_EQ(bits(a.ups_total.w()), bits(b.ups_total.w()));
+    EXPECT_EQ(bits(a.dc_load.w()), bits(b.dc_load.w()));
+    EXPECT_EQ(a.any_pdu_tripped, b.any_pdu_tripped);
+    EXPECT_EQ(a.dc_tripped, b.dc_tripped);
+  }
+  EXPECT_TRUE(fast.uniform());
+  // Const per-PDU reads materialize without leaving uniform mode, and every
+  // slot matches the de-uniformed topology bit for bit.
+  for (std::size_t i = 0; i < fast.pdu_count(); ++i) {
+    EXPECT_EQ(bits(fast.pdu(i).breaker().thermal_state()),
+              bits(slow.pdu(i).breaker().thermal_state()));
+    EXPECT_EQ(bits(fast.pdu(i).ups().soc()), bits(slow.pdu(i).ups().soc()));
+    EXPECT_EQ(bits(fast.pdu(i).last_grid_load().w()),
+              bits(slow.pdu(i).last_grid_load().w()));
+  }
+  EXPECT_TRUE(fast.uniform());
+  EXPECT_EQ(bits(fast.ups_available().j()), bits(slow.ups_available().j()));
+  EXPECT_EQ(bits(fast.max_pdu_breaker_heat()),
+            bits(slow.max_pdu_breaker_heat()));
+}
+
+TEST(PowerTopology, SetFaultAllAppliesToEverySlot) {
+  PowerTopology topo(topo_params(3));
+  topo.step_uniform(Power::kilowatts(20), Power::kilowatts(5), Power::zero(),
+                    Duration::seconds(30));
+  topo.set_fault_all(0.8, 0.1, 0.5, 0.9);
+  EXPECT_TRUE(topo.uniform());
+  for (std::size_t i = 0; i < topo.pdu_count(); ++i) {
+    EXPECT_DOUBLE_EQ(topo.pdu(i).breaker().effective_rated().kw(),
+                     13.75 * 0.8);
+  }
+  // Clearing restores the nameplate rating everywhere.
+  topo.set_fault_all(1.0, 0.0, 1.0, 1.0);
+  for (std::size_t i = 0; i < topo.pdu_count(); ++i) {
+    EXPECT_DOUBLE_EQ(topo.pdu(i).breaker().effective_rated().kw(), 13.75);
+  }
+}
+
+TEST(PowerTopology, CopyPreservesStateAndIndependence) {
+  PowerTopology topo(topo_params(2));
+  topo.step_uniform(Power::kilowatts(20), Power::kilowatts(8), Power::zero(),
+                    Duration::seconds(60));
+  PowerTopology copy = topo;  // copy while still uniform/unmaterialized
+  EXPECT_EQ(bits(copy.ups_available().j()), bits(topo.ups_available().j()));
+  EXPECT_EQ(bits(copy.pdu(1).breaker().thermal_state()),
+            bits(topo.pdu(1).breaker().thermal_state()));
+  // Further steps on the copy must not alias the original's state.
+  copy.step_uniform(Power::kilowatts(22), Power::zero(), Power::zero(),
+                    Duration::seconds(60));
+  EXPECT_NE(bits(copy.pdu(0).breaker().thermal_state()),
+            bits(topo.pdu(0).breaker().thermal_state()));
+  // Move keeps the views bound to live state.
+  PowerTopology moved = std::move(copy);
+  EXPECT_GT(moved.pdu(0).breaker().thermal_state(), 0.0);
+  moved.step_uniform(Power::kilowatts(10), Power::zero(), Power::zero(),
+                     Duration::seconds(1));
 }
 
 TEST(PowerTopology, RequiresAtLeastOnePdu) {

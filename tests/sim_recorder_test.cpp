@@ -47,6 +47,32 @@ TEST(SimRecorder, DecreasingTimeThrows) {
                std::invalid_argument);
 }
 
+TEST(SimRecorder, HandleRecordsLikeNameOverload) {
+  Recorder by_name;
+  Recorder by_handle;
+  const Recorder::Handle h = by_handle.handle("power");
+  for (int i = 0; i < 5; ++i) {
+    by_name.record("power", Duration::seconds(i), 1.5 * i);
+    by_handle.record(h, Duration::seconds(i), 1.5 * i);
+  }
+  // Same-tick overwrite semantics must hold through the handle too.
+  by_name.record("power", Duration::seconds(4), 99.0);
+  by_handle.record(h, Duration::seconds(4), 99.0);
+  ASSERT_EQ(by_name.series("power").size(), by_handle.series("power").size());
+  for (std::size_t i = 0; i < by_name.series("power").size(); ++i) {
+    EXPECT_EQ(by_name.series("power")[i].time,
+              by_handle.series("power")[i].time);
+    EXPECT_EQ(by_name.series("power")[i].value,
+              by_handle.series("power")[i].value);
+  }
+}
+
+TEST(SimRecorder, UnboundHandleThrows) {
+  Recorder rec;
+  EXPECT_THROW(rec.record(Recorder::Handle{}, Duration::zero(), 1.0),
+               std::invalid_argument);
+}
+
 TEST(SimRecorder, UnknownChannelThrows) {
   const Recorder rec;
   EXPECT_THROW(static_cast<void>(rec.series("nope")), std::invalid_argument);

@@ -122,6 +122,50 @@ TEST(TimeSeries, SumAlignsTimestamps) {
   EXPECT_DOUBLE_EQ(s.at(Duration::seconds(10)), 12.0);
 }
 
+TEST(TimeSeries, CursorAtMatchesBinarySearchEverywhere) {
+  const TimeSeries ts = ramp();
+  // Monotone forward walk, then backward jumps: the cursor overload must
+  // return the exact same double as the binary-search overload at every
+  // probe, for both interpolation modes.
+  TimeSeries::Cursor step_cursor;
+  TimeSeries::Cursor lerp_cursor;
+  for (double t = -2.0; t <= 24.0; t += 0.5) {
+    const Duration at = Duration::seconds(t);
+    EXPECT_EQ(ts.at(at), ts.at(at, step_cursor)) << "t=" << t;
+    EXPECT_EQ(ts.at(at, Interpolation::kLinear),
+              ts.at(at, lerp_cursor, Interpolation::kLinear))
+        << "t=" << t;
+  }
+  for (double t : {19.0, 3.5, 10.0, 0.0, 22.0, 7.25}) {
+    const Duration at = Duration::seconds(t);
+    EXPECT_EQ(ts.at(at), ts.at(at, step_cursor)) << "t=" << t;
+  }
+}
+
+TEST(TimeSeries, CursorOnSingleSampleSeries) {
+  TimeSeries ts;
+  ts.push_back(Duration::seconds(3), 7.0);
+  TimeSeries::Cursor cursor;
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(0), cursor), 7.0);
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(3), cursor), 7.0);
+  EXPECT_DOUBLE_EQ(ts.at(Duration::seconds(9), cursor), 7.0);
+  EXPECT_DOUBLE_EQ(ts.next_time_after(Duration::seconds(0), cursor).sec(), 3.0);
+  EXPECT_TRUE(ts.next_time_after(Duration::seconds(3), cursor).is_infinite());
+}
+
+TEST(TimeSeries, NextTimeAfterWalksSampleBoundaries) {
+  const TimeSeries ts = ramp();
+  TimeSeries::Cursor cursor;
+  EXPECT_DOUBLE_EQ(ts.next_time_after(Duration::seconds(-5), cursor).sec(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.next_time_after(Duration::seconds(0), cursor).sec(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.next_time_after(Duration::seconds(9.5), cursor).sec(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.next_time_after(Duration::seconds(10), cursor).sec(), 20.0);
+  EXPECT_TRUE(ts.next_time_after(Duration::seconds(20), cursor).is_infinite());
+  EXPECT_TRUE(ts.next_time_after(Duration::seconds(99), cursor).is_infinite());
+  // Backward probe after a forward walk still lands exactly.
+  EXPECT_DOUBLE_EQ(ts.next_time_after(Duration::seconds(2), cursor).sec(), 10.0);
+}
+
 TEST(TimeSeries, SpanOfSingleSampleIsZero) {
   TimeSeries ts;
   ts.push_back(Duration::seconds(3), 7.0);

@@ -47,6 +47,39 @@ bool parse_double_flag(const char* arg, const char* prefix, double* out) {
   return true;
 }
 
+/// Compares the dcs_build_type stamps of the fresh and gating-baseline
+/// records. A mismatch (e.g. a debug fresh run against a release baseline)
+/// makes every ratio meaningless, so it fails the gate unless --warn-only;
+/// a matching non-release pair still warns. Unstamped records (older
+/// formats) are not checked. Returns false when the gate must fail.
+bool check_build_types(const dcs::json::Value& fresh,
+                       const dcs::json::Value& baseline, bool warn_only) {
+  const std::string f = dcs::exp::perf_record_build_type(fresh);
+  const std::string b = dcs::exp::perf_record_build_type(baseline);
+  if (f.empty() || b.empty()) {
+    if (f.empty() != b.empty()) {
+      std::cout << "perf_gate: warning: only one record carries a "
+                   "dcs_build_type stamp (fresh='"
+                << f << "', baseline='" << b
+                << "'); build types not verified\n";
+    }
+    return true;
+  }
+  if (f != b) {
+    std::cout << "perf_gate: build-type mismatch: fresh record is a '" << f
+              << "' build, baseline is '" << b
+              << "' — timings are not comparable"
+              << (warn_only ? " (warn-only mode)" : "") << "\n";
+    return warn_only;
+  }
+  if (f != "release") {
+    std::cout << "perf_gate: warning: both records come from '" << f
+              << "' builds; regenerate them from a release build before "
+                 "trusting the ratios\n";
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,17 +132,21 @@ int main(int argc, char** argv) {
       }
       std::sort(paths.begin(), paths.end());
       std::vector<dcs::exp::PerfTrendBaseline> baselines;
+      dcs::json::Value newest_doc;  // gating baseline, for build-type check
       for (const std::string& path : paths) {
-        baselines.push_back(
-            {fs::path(path).stem().string(),
-             dcs::exp::perf_scope_times_us(dcs::json::parse_file(path))});
+        dcs::json::Value doc = dcs::json::parse_file(path);
+        baselines.push_back({fs::path(path).stem().string(),
+                             dcs::exp::perf_scope_times_us(doc)});
+        newest_doc = std::move(doc);
       }
-      const auto fresh =
-          dcs::exp::perf_scope_times_us(dcs::json::parse_file(fresh_path));
+      const dcs::json::Value fresh_doc = dcs::json::parse_file(fresh_path);
+      const auto fresh = dcs::exp::perf_scope_times_us(fresh_doc);
+      const bool types_ok =
+          check_build_types(fresh_doc, newest_doc, options.warn_only);
       const dcs::exp::PerfTrendResult trend =
           dcs::exp::perf_trend(baselines, fresh, options);
       dcs::exp::write_perf_trend_report(std::cout, trend, options);
-      return trend.ok() ? 0 : 1;
+      return trend.ok() && types_ok ? 0 : 1;
     }
 
     // A missing baseline is the expected first-run state: warn and pass so
@@ -121,14 +158,16 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto fresh =
-        dcs::exp::perf_scope_times_us(dcs::json::parse_file(fresh_path));
-    const auto baseline =
-        dcs::exp::perf_scope_times_us(dcs::json::parse_file(baseline_path));
+    const dcs::json::Value fresh_doc = dcs::json::parse_file(fresh_path);
+    const dcs::json::Value baseline_doc = dcs::json::parse_file(baseline_path);
+    const auto fresh = dcs::exp::perf_scope_times_us(fresh_doc);
+    const auto baseline = dcs::exp::perf_scope_times_us(baseline_doc);
+    const bool types_ok =
+        check_build_types(fresh_doc, baseline_doc, options.warn_only);
     const dcs::exp::PerfGateResult result =
         dcs::exp::perf_gate_compare(baseline, fresh, options);
     dcs::exp::write_perf_gate_report(std::cout, result, options);
-    return result.ok ? 0 : 1;
+    return result.ok && types_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "perf_gate: " << e.what() << "\n";
     return 2;
